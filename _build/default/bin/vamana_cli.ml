@@ -1,0 +1,174 @@
+(* vamana — command-line front end for the VAMANA XPath engine.
+
+     vamana query   [-f doc.xml | -x MB] [--no-optimize] [-v] QUERY
+     vamana explain [-f doc.xml | -x MB] QUERY
+     vamana stats   [-f doc.xml | -x MB]
+     vamana generate -x MB [-o out.xml]                              *)
+
+open Cmdliner
+module Store = Mass.Store
+
+let input_doc file xmark_mb snapshot =
+  match snapshot with
+  | Some path ->
+      let store = Store.load_file ~pool_pages:16384 path in
+      let doc =
+        match Store.documents store with
+        | d :: _ -> d
+        | [] -> failwith "snapshot contains no documents"
+      in
+      (store, doc)
+  | None -> (
+      let store = Store.create ~pool_pages:16384 () in
+      match (file, xmark_mb) with
+      | Some path, _ ->
+          let tree = Xml.Parser.parse_file path in
+          let doc = Store.load store ~name:(Filename.basename path) tree in
+          (store, doc)
+      | None, Some mb ->
+          let doc = Xmark.load store mb in
+          (store, doc)
+      | None, None ->
+          let doc = Xmark.load store 1.0 in
+          (store, doc))
+
+let file_arg =
+  let doc = "XML document to load." in
+  Arg.(value & opt (some file) None & info [ "f"; "file" ] ~docv:"FILE" ~doc)
+
+let xmark_arg =
+  let doc = "Generate an XMark-style document of this many megabytes instead of loading a file." in
+  Arg.(value & opt (some float) None & info [ "x"; "xmark" ] ~docv:"MB" ~doc)
+
+let snapshot_arg =
+  let doc = "Load the store from a snapshot written by $(b,vamana save)." in
+  Arg.(value & opt (some file) None & info [ "s"; "snapshot" ] ~docv:"SNAP" ~doc)
+
+let query_arg =
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"QUERY" ~doc:"XPath expression.")
+
+let handle_parse_errors f =
+  try f () with
+  | Xml.Parser.Error _ as e ->
+      Printf.eprintf "%s\n" (Option.value ~default:"XML error" (Xml.Parser.error_to_string e));
+      exit 1
+  | Sys_error msg ->
+      Printf.eprintf "%s\n" msg;
+      exit 1
+
+let run_query file xmark_mb snapshot no_optimize verbose query =
+  handle_parse_errors @@ fun () ->
+  let store, doc = input_doc file xmark_mb snapshot in
+  match Vamana.Engine.query ~optimize:(not no_optimize) store ~context:doc.Store.doc_key query with
+  | Error msg ->
+      Printf.eprintf "error: %s\n" msg;
+      exit 1
+  | Ok r ->
+      List.iter
+        (fun key ->
+          let record = Store.get_exn store key in
+          let value = Store.string_value store key in
+          let shown =
+            if String.length value > 60 then String.sub value 0 57 ^ "..." else value
+          in
+          if verbose then
+            Printf.printf "%-16s %-10s %-14s %s\n" (Flex.to_string key)
+              (Mass.Record.kind_to_string record.Mass.Record.kind)
+              record.Mass.Record.name shown
+          else
+            Printf.printf "%s%s\n" record.Mass.Record.name
+              (if shown = "" then "" else (if record.Mass.Record.name = "" then "" else ": ") ^ shown))
+        r.Vamana.Engine.keys;
+      Printf.eprintf "-- %d results; compile %.2f ms, optimize %.2f ms, execute %.2f ms, %d page reads\n"
+        (List.length r.Vamana.Engine.keys)
+        (r.Vamana.Engine.compile_time *. 1000.)
+        (r.Vamana.Engine.optimize_time *. 1000.)
+        (r.Vamana.Engine.execute_time *. 1000.)
+        r.Vamana.Engine.io.Storage.Stats.logical_reads
+
+let run_explain file xmark_mb snapshot query =
+  handle_parse_errors @@ fun () ->
+  let store, doc = input_doc file xmark_mb snapshot in
+  match Vamana.Engine.explain store doc query with
+  | Ok text -> print_string text
+  | Error msg ->
+      Printf.eprintf "error: %s\n" msg;
+      exit 1
+
+let run_stats file xmark_mb snapshot =
+  handle_parse_errors @@ fun () ->
+  let store, doc = input_doc file xmark_mb snapshot in
+  let s = Store.statistics store in
+  Printf.printf "document          %s\n" doc.Store.doc_name;
+  Printf.printf "records           %d\n" s.Store.record_count;
+  Printf.printf "elements          %d\n" doc.Store.element_count;
+  Printf.printf "attributes        %d\n" doc.Store.attribute_count;
+  Printf.printf "text nodes        %d\n" doc.Store.text_count;
+  Printf.printf "doc index pages   %d (height %d)\n" s.Store.doc_index_pages s.Store.doc_index_height;
+  Printf.printf "name index pages  %d\n" s.Store.name_index_pages;
+  Printf.printf "value index pages %d\n" s.Store.value_index_pages;
+  Printf.printf "tuples per page   %.1f\n" s.Store.tuples_per_page
+
+let run_generate mb output seed =
+  let text = Xmark.generate_string ?seed:(Option.map Int64.of_int seed) mb in
+  match output with
+  | Some path ->
+      let oc = open_out_bin path in
+      output_string oc text;
+      close_out oc;
+      Printf.eprintf "wrote %d bytes to %s\n" (String.length text) path
+  | None -> print_string text
+
+let no_optimize_arg =
+  Arg.(value & flag & info [ "n"; "no-optimize" ] ~doc:"Execute the default plan (VQP) without optimization.")
+
+let verbose_arg = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Show FLEX keys and node kinds.")
+
+let query_cmd =
+  Cmd.v (Cmd.info "query" ~doc:"Run an XPath query")
+    Term.(const run_query $ file_arg $ xmark_arg $ snapshot_arg $ no_optimize_arg $ verbose_arg $ query_arg)
+
+let explain_cmd =
+  Cmd.v (Cmd.info "explain" ~doc:"Show cost-annotated default and optimized plans")
+    Term.(const run_explain $ file_arg $ xmark_arg $ snapshot_arg $ query_arg)
+
+let stats_cmd =
+  Cmd.v (Cmd.info "stats" ~doc:"Show storage statistics")
+    Term.(const run_stats $ file_arg $ xmark_arg $ snapshot_arg)
+
+let generate_cmd =
+  let mb = Arg.(value & opt float 1.0 & info [ "x"; "xmark" ] ~docv:"MB" ~doc:"Document size.") in
+  let out = Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Output path.") in
+  let seed = Arg.(value & opt (some int) None & info [ "seed" ] ~docv:"N" ~doc:"Generator seed.") in
+  Cmd.v (Cmd.info "generate" ~doc:"Emit an XMark-style document")
+    Term.(const run_generate $ mb $ out $ seed)
+
+let run_xquery file xmark_mb snapshot query =
+  handle_parse_errors @@ fun () ->
+  let store, doc = input_doc file xmark_mb snapshot in
+  match Xquery.run_to_xml store ~context:doc.Store.doc_key query with
+  | xml -> print_endline xml
+  | exception Xquery.Error msg ->
+      Printf.eprintf "error: %s\n" msg;
+      exit 1
+
+let xquery_cmd =
+  Cmd.v (Cmd.info "xquery" ~doc:"Run an XQuery-lite FLWOR query")
+    Term.(const run_xquery $ file_arg $ xmark_arg $ snapshot_arg $ query_arg)
+
+let run_save file xmark_mb output =
+  handle_parse_errors @@ fun () ->
+  let store, _ = input_doc file xmark_mb None in
+  Store.save_file store output;
+  Printf.eprintf "saved store snapshot to %s\n" output
+
+let save_cmd =
+  let out =
+    Arg.(required & opt (some string) None & info [ "o"; "output" ] ~docv:"SNAP" ~doc:"Snapshot path.")
+  in
+  Cmd.v (Cmd.info "save" ~doc:"Build a store and write a binary snapshot")
+    Term.(const run_save $ file_arg $ xmark_arg $ out)
+
+let () =
+  let info = Cmd.info "vamana" ~version:"1.0.0" ~doc:"Cost-driven XPath engine over the MASS storage structure" in
+  exit (Cmd.eval (Cmd.group info [ query_cmd; xquery_cmd; explain_cmd; stats_cmd; generate_cmd; save_cmd ]))

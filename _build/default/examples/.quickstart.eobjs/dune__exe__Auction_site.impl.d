@@ -1,0 +1,1 @@
+examples/auction_site.ml: Array List Mass Printf Storage Sys Vamana Xmark Xpath

@@ -1,0 +1,1 @@
+examples/cost_explorer.ml: Array List Mass Printf Sys Vamana Xmark

@@ -1,0 +1,1 @@
+examples/engine_shootout.ml: Array Baselines List Mass Printf Result Storage Sys Unix Vamana Xmark Xml

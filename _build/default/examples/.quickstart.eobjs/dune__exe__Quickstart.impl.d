@@ -1,0 +1,1 @@
+examples/quickstart.ml: Flex List Mass Printf Vamana Xpath

@@ -1,0 +1,1 @@
+examples/xquery_report.ml: Array List Mass Printf String Sys Xmark Xquery

@@ -1,0 +1,53 @@
+(* Cost explorer: watch the paper's optimizer at work.
+
+   Prints the default physical plan with COUNT/IN/OUT/selectivity
+   annotations (paper Figures 6 and 7), the transformations the optimizer
+   admits, and the final plan — for the running examples and any query
+   passed on the command line.
+
+     dune exec examples/cost_explorer.exe
+     dune exec examples/cost_explorer.exe -- "//person[profile]/name" *)
+
+module Store = Mass.Store
+
+let () =
+  let store = Store.create () in
+  (* 10 MB-scale gives the exact counts the paper's figures show:
+     2550 person, 1256 address, 4825 name *)
+  let doc = Xmark.load store 10.0 in
+  let queries =
+    if Array.length Sys.argv > 1 then Array.to_list (Array.sub Sys.argv 1 (Array.length Sys.argv - 1))
+    else
+      [ (* paper running example Q1 (Figures 5, 6, 8, 11) *)
+        "descendant::name/parent::*/self::person/address";
+        (* paper running example Q2 (Figures 7, 9) *)
+        "//name[text()='Yung Flach']/following-sibling::emailaddress";
+        (* duplicate elimination (§VIII Q2) *)
+        "//watches/watch/ancestor::person" ]
+  in
+  List.iter
+    (fun q ->
+      Printf.printf "=========================================================\n";
+      Printf.printf "Query: %s\n\n" q;
+      match Vamana.Engine.explain store doc q with
+      | Ok text -> print_string text
+      | Error e -> Printf.printf "error: %s\n" e)
+    queries;
+
+  (* the paper's key claim: statistics come from the index, so they stay
+     exact under updates — delete the only 'Yung Flach' and re-cost *)
+  Printf.printf "=========================================================\n";
+  Printf.printf "Statistics under updates (paper §VI: no histogram staleness)\n\n";
+  let q = "//name[text()='Yung Flach']/following-sibling::emailaddress" in
+  let tc () = Store.text_value_count store "Yung Flach" in
+  Printf.printf "TC('Yung Flach') before update: %d\n" (tc ());
+  let keys =
+    match Vamana.Engine.query_doc store doc "//person[name='Yung Flach']" with
+    | Ok r -> r.Vamana.Engine.keys
+    | Error _ -> []
+  in
+  List.iter (fun k -> ignore (Store.delete_subtree store k)) keys;
+  Printf.printf "TC('Yung Flach') after deleting that person: %d\n\n" (tc ());
+  match Vamana.Engine.explain store doc q with
+  | Ok text -> print_string text
+  | Error e -> Printf.printf "error: %s\n" e

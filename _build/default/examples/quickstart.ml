@@ -1,0 +1,64 @@
+(* Quickstart: load an XML document into MASS and run XPath queries
+   through the VAMANA engine.
+
+     dune exec examples/quickstart.exe *)
+
+let document =
+  {xml|<library>
+  <book id="b1" year="1994">
+    <title>Transaction Processing</title>
+    <author>Jim Gray</author>
+    <author>Andreas Reuter</author>
+    <price>89.50</price>
+  </book>
+  <book id="b2" year="2003">
+    <title>Database Management Systems</title>
+    <author>Raghu Ramakrishnan</author>
+    <price>65.00</price>
+  </book>
+  <book id="b3" year="1999">
+    <title>Principles of Distributed Database Systems</title>
+    <author>M. Tamer Ozsu</author>
+    <price>49.99</price>
+  </book>
+</library>|xml}
+
+let () =
+  (* 1. create a store and load a document *)
+  let store = Mass.Store.create () in
+  let doc = Mass.Store.load_string store ~name:"library.xml" document in
+  Printf.printf "Loaded %s: %d records\n\n" doc.Mass.Store.doc_name
+    (Mass.Store.total_records store);
+
+  (* 2. run queries; results are FLEX keys, materialized on demand *)
+  let run query =
+    Printf.printf "Q: %s\n" query;
+    match Vamana.Engine.query_doc store doc query with
+    | Error msg -> Printf.printf "   error: %s\n" msg
+    | Ok r ->
+        List.iter
+          (fun key ->
+            let record = Mass.Store.get_exn store key in
+            Printf.printf "   %-10s %-8s %s\n"
+              (Flex.to_string key)
+              record.Mass.Record.name
+              (Mass.Store.string_value store key))
+          r.Vamana.Engine.keys;
+        Printf.printf "   (%d results, executed in %.3f ms)\n" (List.length r.Vamana.Engine.keys)
+          (r.Vamana.Engine.execute_time *. 1000.)
+  in
+  run "//book[price > 60]/title";
+  run "//author";
+  run "//book[@year='1999']/title";
+  run "//book[count(author) = 2]/title";
+  run "//title[text()='Database Management Systems']/following-sibling::author";
+
+  (* 3. non-path expressions go through the generic evaluator *)
+  (match Vamana.Engine.eval store ~context:doc.Mass.Store.doc_key "count(//book)" with
+  | Ok (Xpath.Eval.Num n) -> Printf.printf "\ncount(//book) = %.0f\n" n
+  | Ok _ | Error _ -> ());
+
+  (* 4. inspect what the optimizer did *)
+  match Vamana.Engine.explain store doc "//title[text()='Transaction Processing']" with
+  | Ok plan -> Printf.printf "\n%s" plan
+  | Error msg -> Printf.printf "explain error: %s\n" msg

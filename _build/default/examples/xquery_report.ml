@@ -1,0 +1,47 @@
+(* XQuery-lite over VAMANA: build an XML report from the auction site.
+
+   Demonstrates the paper's XQuery integration point (§V-B, §VII): each
+   for-clause path compiles to one optimized VAMANA plan whose leaf is
+   re-rooted at every binding of the enclosing clause.
+
+     dune exec examples/xquery_report.exe -- [megabytes] *)
+
+module Store = Mass.Store
+
+let () =
+  let megabytes =
+    if Array.length Sys.argv > 1 then float_of_string Sys.argv.(1) else 0.5
+  in
+  let store = Store.create () in
+  let doc = Xmark.load store megabytes in
+  let ctx = doc.Store.doc_key in
+  let show title query =
+    Printf.printf "=== %s ===\n%s\n\n%!" title query;
+    match Xquery.run_to_xml store ~context:ctx query with
+    | xml ->
+        let lines = String.split_on_char '\n' xml in
+        let shown = List.filteri (fun i _ -> i < 8) lines in
+        List.iter print_endline shown;
+        if List.length lines > 8 then Printf.printf "... (%d more)\n" (List.length lines - 8);
+        print_newline ()
+    | exception Xquery.Error msg -> Printf.printf "error: %s\n\n" msg
+  in
+
+  show "Vermont residents, as a report"
+    "for $p in //person where $p/address/province = 'Vermont' \
+     return <resident><who>{$p/name/text()}</who><city>{$p/address/city/text()}</city></resident>";
+
+  show "People and how many auctions they watch, busiest first"
+    "for $p in //person where count($p/watches/watch) > 2 \
+     order by count($p/watches/watch) descending \
+     return <watcher n=\"many\"><name>{$p/name/text()}</name><watching>{count($p/watches/watch)}</watching></watcher>";
+
+  show "Join: open auctions with their item names"
+    "for $a in //open_auction, $i in //item \
+     where $a/itemref/@item = $i/@id and $a/current > 350 \
+     return <hot><item>{$i/name/text()}</item><price>{$a/current/text()}</price></hot>";
+
+  show "Aggregate with let"
+    "let $total := count(//person) \
+     let $withaddr := count(//person[address]) \
+     return <coverage><people>{$total}</people><addressed>{$withaddr}</addressed></coverage>"

@@ -1,0 +1,1 @@
+lib/baselines/dom_engine.ml: Dom_nav List Option Result Xml Xpath

@@ -1,0 +1,1 @@
+lib/baselines/dom_engine.mli: Xml Xpath

@@ -1,0 +1,1 @@
+lib/baselines/dom_nav.ml: Array List String Tree Xml Xpath

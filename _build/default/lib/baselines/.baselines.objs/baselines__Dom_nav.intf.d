@@ -1,0 +1,1 @@
+lib/baselines/dom_nav.mli: Xml Xpath

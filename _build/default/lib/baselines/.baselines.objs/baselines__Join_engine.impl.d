@@ -1,0 +1,1 @@
+lib/baselines/join_engine.ml: Ast Flex Hashtbl List Mass Option Parser Printf Result Xpath

@@ -1,0 +1,1 @@
+lib/baselines/join_engine.mli: Flex Mass

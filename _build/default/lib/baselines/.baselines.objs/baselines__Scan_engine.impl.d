@@ -1,0 +1,1 @@
+lib/baselines/scan_engine.ml: Array Ast Flex Hashtbl List Mass Option Parser Result Xpath

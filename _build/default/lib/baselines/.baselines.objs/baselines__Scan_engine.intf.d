@@ -1,0 +1,1 @@
+lib/baselines/scan_engine.mli: Flex Mass

@@ -1,0 +1,46 @@
+exception Document_too_large of { nodes : int; budget : int }
+
+module Space = struct
+  type t = unit
+  type node = Xml.Tree.node
+
+  let compare = Xml.Tree.doc_order_compare
+  let select () axis test n = Dom_nav.select axis test n
+  let string_value () n = Xml.Tree.string_value n
+  let name () n = Xml.Tree.name n
+end
+
+module E = Xpath.Eval.Make (Space)
+
+type t = { doc : Xml.Tree.t }
+
+(* a 10 MB XMark document holds roughly 170k elements plus text and
+   attribute nodes *)
+let default_node_budget = 500_000
+
+let create ?(node_budget = default_node_budget) doc =
+  let nodes = Xml.Tree.node_count doc in
+  if nodes > node_budget then raise (Document_too_large { nodes; budget = node_budget });
+  { doc }
+
+let query t src =
+  match Xpath.Parser.parse src with
+  | exception (Xpath.Parser.Error _ as exn) ->
+      Error (Option.value ~default:"parse error" (Xpath.Parser.error_to_string exn))
+  | ast -> (
+      match E.eval () ~context:t.doc ast with
+      | Xpath.Eval.Nodes ns -> Ok ns
+      | _ -> Error "expression is not a node-set query"
+      | exception Xpath.Eval.Unsupported msg -> Error msg)
+
+let query_ranks t src =
+  Result.map (List.map (fun (n : Xml.Tree.node) -> n.Xml.Tree.id)) (query t src)
+
+let eval t src =
+  match Xpath.Parser.parse src with
+  | exception (Xpath.Parser.Error _ as exn) ->
+      Error (Option.value ~default:"parse error" (Xpath.Parser.error_to_string exn))
+  | ast -> (
+      match E.eval () ~context:t.doc ast with
+      | v -> Ok v
+      | exception Xpath.Eval.Unsupported msg -> Error msg)

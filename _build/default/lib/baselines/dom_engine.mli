@@ -1,0 +1,26 @@
+(** DOM-traversal baseline (the paper's Jaxen stand-in).
+
+    Loads the whole document into an in-memory DOM and evaluates queries
+    by top-down tree traversal through the generic evaluator over
+    {!Dom_nav}.  Faithful to the class of engines the paper compares
+    against: complete XPath semantics, no indexes, and a hard memory
+    wall — the engine refuses documents above its node budget, mirroring
+    "Jaxen does not support large XML documents of sizes >= 10Mb". *)
+
+exception Document_too_large of { nodes : int; budget : int }
+
+type t
+
+val default_node_budget : int
+(** ≈ the node count of a 10 MB XMark document. *)
+
+val create : ?node_budget:int -> Xml.Tree.t -> t
+(** @raise Document_too_large if the document exceeds the budget. *)
+
+val query : t -> string -> (Xml.Tree.node list, string) result
+(** Evaluate an XPath location path; document order, duplicate-free. *)
+
+val query_ranks : t -> string -> (int list, string) result
+(** Results as preorder ids (comparable across engines). *)
+
+val eval : t -> string -> (Xml.Tree.node Xpath.Eval.value, string) result

@@ -1,0 +1,109 @@
+open Xml
+
+let principal_kind = function
+  | Xpath.Ast.Attribute -> `Attribute
+  | Xpath.Ast.Child | Xpath.Ast.Descendant | Xpath.Ast.Descendant_or_self | Xpath.Ast.Parent
+  | Xpath.Ast.Ancestor | Xpath.Ast.Ancestor_or_self | Xpath.Ast.Following
+  | Xpath.Ast.Following_sibling | Xpath.Ast.Preceding | Xpath.Ast.Preceding_sibling
+  | Xpath.Ast.Self | Xpath.Ast.Namespace ->
+      `Element
+
+let matches_test ~principal test (n : Tree.node) =
+  match test with
+  | Xpath.Ast.Name_test name -> (
+      match (principal, n.Tree.kind) with
+      | `Element, Tree.Element en -> String.equal en name
+      | `Attribute, Tree.Attribute (an, _) -> String.equal an name
+      | _ -> false)
+  | Xpath.Ast.Wildcard -> (
+      match (principal, n.Tree.kind) with
+      | `Element, Tree.Element _ | `Attribute, Tree.Attribute _ -> true
+      | _ -> false)
+  | Xpath.Ast.Text_test -> Tree.is_text n
+  | Xpath.Ast.Comment_test -> ( match n.Tree.kind with Tree.Comment _ -> true | _ -> false)
+  | Xpath.Ast.Node_test -> true
+  | Xpath.Ast.Pi_test target -> (
+      match n.Tree.kind with
+      | Tree.Pi (t, _) -> ( match target with None -> true | Some x -> String.equal t x)
+      | _ -> false)
+
+let children n = Array.to_list n.Tree.children
+
+let rec descendants n =
+  List.concat_map (fun c -> c :: descendants c) (children n)
+
+let ancestors n =
+  let rec go acc = function
+    | Some p -> go (p :: acc) p.Tree.parent
+    | None -> acc
+  in
+  (* proximity order: nearest first *)
+  List.rev (go [] n.Tree.parent)
+
+let document_of n =
+  let rec go m = match m.Tree.parent with Some p -> go p | None -> m in
+  go n
+
+(* Preorder ids are contiguous within a subtree (attributes are numbered
+   between their element and its children), so the subtree occupies the id
+   range [n.id, subtree_max n]. *)
+let rec subtree_max n =
+  Array.fold_left
+    (fun acc c -> max acc (subtree_max c))
+    (Array.fold_left (fun acc a -> max acc a.Tree.id) n.Tree.id n.Tree.attributes)
+    n.Tree.children
+
+let siblings_after n =
+  if Tree.is_attribute n then []
+  else
+    match n.Tree.parent with
+    | None -> []
+    | Some p -> List.filter (fun s -> s.Tree.id > n.Tree.id) (children p)
+
+let siblings_before n =
+  if Tree.is_attribute n then []
+  else
+    match n.Tree.parent with
+    | None -> []
+    | Some p ->
+        (* reverse document order: nearest sibling first *)
+        List.rev (List.filter (fun s -> s.Tree.id < n.Tree.id) (children p))
+
+let following n =
+  let doc = document_of n in
+  let last = subtree_max n in
+  Tree.fold_preorder
+    (fun acc m -> if m.Tree.id > last && not (Tree.is_attribute m) then m :: acc else acc)
+    [] doc
+  |> List.rev
+
+let preceding n =
+  let doc = document_of n in
+  let anc = List.map (fun a -> a.Tree.id) (ancestors n) in
+  (* reverse document order *)
+  Tree.fold_preorder
+    (fun acc m ->
+      if m.Tree.id < n.Tree.id && (not (Tree.is_attribute m)) && not (List.mem m.Tree.id anc)
+      then m :: acc
+      else acc)
+    [] doc
+
+let axis_nodes (axis : Xpath.Ast.axis) n =
+  match axis with
+  | Xpath.Ast.Self -> [ n ]
+  | Xpath.Ast.Child -> children n
+  | Xpath.Ast.Descendant -> descendants n
+  | Xpath.Ast.Descendant_or_self -> n :: descendants n
+  | Xpath.Ast.Parent -> ( match n.Tree.parent with Some p -> [ p ] | None -> [])
+  | Xpath.Ast.Ancestor -> ancestors n
+  | Xpath.Ast.Ancestor_or_self -> n :: ancestors n
+  | Xpath.Ast.Following -> following n
+  | Xpath.Ast.Preceding -> preceding n
+  | Xpath.Ast.Following_sibling -> siblings_after n
+  | Xpath.Ast.Preceding_sibling -> siblings_before n
+  | Xpath.Ast.Attribute -> Array.to_list n.Tree.attributes
+  | Xpath.Ast.Namespace -> []
+
+let select axis test n =
+  let principal = principal_kind axis in
+  List.filter (matches_test ~principal test) (axis_nodes axis n)

@@ -1,0 +1,20 @@
+(** Textbook DOM navigation: the XPath axes defined directly over the
+    in-memory {!Xml.Tree} model.
+
+    This is the reference semantics — the specification each index-based
+    cursor implementation is tested against — and the traversal core of
+    the Jaxen-like DOM baseline engine. *)
+
+val principal_kind : Xpath.Ast.axis -> [ `Element | `Attribute ]
+
+val matches_test :
+  principal:[ `Element | `Attribute ] -> Xpath.Ast.node_test -> Xml.Tree.node -> bool
+
+val axis_nodes : Xpath.Ast.axis -> Xml.Tree.node -> Xml.Tree.node list
+(** All nodes on the axis from the context node, in axis order (document
+    order for forward axes, reverse document order / proximity order for
+    reverse axes).  Attribute and namespace nodes appear only on their own
+    axes, per the XPath data model. *)
+
+val select : Xpath.Ast.axis -> Xpath.Ast.node_test -> Xml.Tree.node -> Xml.Tree.node list
+(** {!axis_nodes} filtered by the node test. *)

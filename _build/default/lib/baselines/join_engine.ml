@@ -1,0 +1,138 @@
+module Store = Mass.Store
+module Record = Mass.Record
+open Xpath
+
+exception Unsupported of string
+exception Document_too_large of { records : int; cap : int }
+
+type t = { store : Store.t; doc : Store.doc }
+
+let default_record_cap = 1_200_000
+
+let create ?(record_cap = default_record_cap) store doc =
+  let records = Store.subtree_size store doc.Store.doc_key in
+  if records > record_cap then raise (Document_too_large { records; cap = record_cap });
+  { store; doc }
+
+(* ---- posting lists ----
+
+   One name-index range scan per (document, node test): the access path
+   eXist's path joins are built on. *)
+
+let posting t (axis : Ast.axis) (test : Ast.node_test) =
+  let principal = match axis with Ast.Attribute -> Record.Attribute | _ -> Record.Element in
+  let cursor = Store.test_cursor ~scope:t.doc.Store.doc_key t.store ~principal test in
+  let rec go acc = match cursor () with Some k -> go (k :: acc) | None -> List.rev acc in
+  go []
+
+(* ---- structural joins ---- *)
+
+let to_set keys =
+  let h = Hashtbl.create (List.length keys * 2) in
+  List.iter (fun k -> Hashtbl.replace h (Flex.encode k) ()) keys;
+  h
+
+let mem set k = Hashtbl.mem set (Flex.encode k)
+
+let prefix_in set k ~or_self =
+  let d = Flex.depth k in
+  let stop = if or_self then d else d - 1 in
+  let rec go i = i <= stop && (mem set (Flex.prefix k i) || go (i + 1)) in
+  (* prefixes at every depth, self included when [or_self] *)
+  go 0
+
+let step_join t ctx_keys (s : Ast.step) =
+  let axis = s.Ast.axis in
+  let test = s.Ast.test in
+  match axis with
+  | Ast.Following | Ast.Preceding | Ast.Following_sibling | Ast.Preceding_sibling
+  | Ast.Namespace ->
+      raise
+        (Unsupported
+           (Printf.sprintf "join engine: axis %s is not supported" (Ast.axis_name axis)))
+  | Ast.Child | Ast.Descendant | Ast.Descendant_or_self | Ast.Attribute ->
+      let ctx = to_set ctx_keys in
+      let postings = posting t axis test in
+      List.filter
+        (fun k ->
+          match axis with
+          | Ast.Child | Ast.Attribute -> (
+              match Flex.parent k with Some p -> mem ctx p | None -> false)
+          | Ast.Descendant -> prefix_in ctx k ~or_self:false
+          | Ast.Descendant_or_self -> prefix_in ctx k ~or_self:true
+          | _ -> assert false)
+        postings
+  | Ast.Self | Ast.Parent | Ast.Ancestor | Ast.Ancestor_or_self ->
+      (* derive candidate keys from the context set, then check the node
+         test against the stored record *)
+      let principal = Record.Element in
+      let candidates =
+        match axis with
+        | Ast.Self -> ctx_keys
+        | Ast.Parent -> List.filter_map Flex.parent ctx_keys
+        | Ast.Ancestor ->
+            List.concat_map
+              (fun k -> List.init (Flex.depth k) (fun i -> Flex.prefix k i))
+              ctx_keys
+        | Ast.Ancestor_or_self ->
+            List.concat_map
+              (fun k -> List.init (Flex.depth k + 1) (fun i -> Flex.prefix k i))
+              ctx_keys
+        | _ -> assert false
+      in
+      let candidates = List.sort_uniq Flex.compare candidates in
+      List.filter
+        (fun k ->
+          Flex.depth k > 0
+          &&
+          match Store.get t.store k with
+          | Some r -> Record.matches_test ~principal test r
+          | None -> false)
+        candidates
+
+(* value predicates: per-candidate tree traversal over stored records —
+   the paper's "eXist has to switch back to a tree traversal algorithm
+   for predicate evaluation" *)
+let eval_predicate t candidate pred =
+  match Mass.Nav.E.eval t.store ~context:candidate pred with
+  | v -> Mass.Nav.E.to_boolean t.store v
+
+let apply_predicates t keys preds =
+  List.filter (fun k -> List.for_all (eval_predicate t k) preds) keys
+
+let rec positional (e : Ast.expr) =
+  match e with
+  | Ast.Number _ -> true
+  | Ast.Call (("position" | "last"), []) -> true
+  | Ast.Call (_, args) -> List.exists positional args
+  | Ast.Binop (_, a, b) -> positional a || positional b
+  | Ast.Neg a -> positional a
+  | Ast.Filter (a, preds) -> positional a || List.exists positional preds
+  | Ast.Located (a, p) -> positional a || List.exists step_positional p.Ast.steps
+  | Ast.Path p -> List.exists step_positional p.Ast.steps
+  | Ast.Literal _ | Ast.Var _ -> false
+
+and step_positional s = List.exists positional s.Ast.predicates
+
+let query t src =
+  match Parser.parse src with
+  | exception (Parser.Error _ as exn) ->
+      Error (Option.value ~default:"parse error" (Parser.error_to_string exn))
+  | Ast.Path p -> (
+      if List.exists step_positional p.Ast.steps then
+        Error "join engine: positional predicates are not supported"
+      else
+        try
+          let result =
+            List.fold_left
+              (fun ctxs s ->
+                let joined = step_join t ctxs s in
+                apply_predicates t joined s.Ast.predicates)
+              [ t.doc.Store.doc_key ] p.Ast.steps
+          in
+          Ok (List.sort_uniq Flex.compare result)
+        with Unsupported msg -> Error msg)
+  | _ -> Error "join engine: only location paths are supported"
+
+let query_ranks t src =
+  Result.map (List.map (Store.document_rank t.store)) (query t src)

@@ -1,0 +1,32 @@
+(** Structural-join baseline (the paper's eXist stand-in).
+
+    Evaluates location steps set-at-a-time: the name index supplies the
+    full posting list for the step's node test, which is then joined
+    structurally (by FLEX-key containment/parenthood) with the context
+    set.  Value predicates fall back to per-candidate tree traversal over
+    stored records — the penalty the paper measures on Q5.  Mirroring the
+    paper's observations about eXist:
+
+    - sibling and following/preceding axes raise {!Unsupported}
+      ("eXist currently fails to execute all XPath axes like
+      following-sibling, previous-sibling");
+    - positional predicates raise {!Unsupported};
+    - documents above the record cap are refused
+      ("eXist is unable to store large complex documents >= 20Mb"). *)
+
+exception Unsupported of string
+exception Document_too_large of { records : int; cap : int }
+
+type t
+
+val default_record_cap : int
+(** ≈ the record count of a 20 MB XMark document. *)
+
+val create : ?record_cap:int -> Mass.Store.t -> Mass.Store.doc -> t
+(** @raise Document_too_large when the document exceeds the cap. *)
+
+val query : t -> string -> (Flex.t list, string) result
+(** Document order, duplicate-free.  Unsupported features are reported as
+    [Error]. *)
+
+val query_ranks : t -> string -> (int list, string) result

@@ -1,0 +1,272 @@
+module Store = Mass.Store
+module Record = Mass.Record
+open Xpath
+
+type t = { store : Store.t; doc : Store.doc }
+
+let create store doc = { store; doc }
+
+(* ---- positional-predicate detection ---- *)
+
+let rec expr_positional (e : Ast.expr) =
+  match e with
+  | Ast.Number _ -> false (* positional only in predicate position; checked there *)
+  | Ast.Call (("position" | "last"), []) -> true
+  | Ast.Call (_, args) -> List.exists expr_positional args
+  | Ast.Binop (_, a, b) -> expr_positional a || expr_positional b
+  | Ast.Neg a -> expr_positional a
+  | Ast.Filter (a, preds) ->
+      expr_positional a || List.exists predicate_positional preds
+  | Ast.Located (a, p) -> expr_positional a || path_positional p
+  | Ast.Path p -> path_positional p
+  | Ast.Literal _ | Ast.Var _ -> false
+
+and predicate_positional (e : Ast.expr) =
+  match e with Ast.Number _ -> true | _ -> expr_positional e
+
+and path_positional (p : Ast.path) =
+  List.exists (fun s -> List.exists predicate_positional s.Ast.predicates) p.Ast.steps
+
+(* ---- structural relations by key arithmetic ---- *)
+
+(* context sets with the auxiliary structures used for O(log)/O(1)
+   relation checks during a scan *)
+type ctxset = {
+  sorted : Flex.t array;
+  members : (string, unit) Hashtbl.t;
+  parents : (string, unit) Hashtbl.t;
+  (* parent key -> (min, max) non-attribute context child under it *)
+  sibling_groups : (string, Flex.t * Flex.t) Hashtbl.t;
+}
+
+let encode = Flex.encode
+
+let build_ctxset store keys =
+  let sorted = Array.of_list keys in
+  let members = Hashtbl.create (Array.length sorted * 2) in
+  let parents = Hashtbl.create (Array.length sorted * 2) in
+  let sibling_groups = Hashtbl.create 16 in
+  Array.iter
+    (fun k ->
+      Hashtbl.replace members (encode k) ();
+      match Flex.parent k with
+      | Some p -> (
+          Hashtbl.replace parents (encode p) ();
+          let is_attr =
+            match Store.get store k with
+            | Some { Record.kind = Record.Attribute; _ } -> true
+            | _ -> false
+          in
+          if not is_attr then
+            let ep = encode p in
+            match Hashtbl.find_opt sibling_groups ep with
+            | None -> Hashtbl.replace sibling_groups ep (k, k)
+            | Some (lo, hi) ->
+                let lo = if Flex.compare k lo < 0 then k else lo in
+                let hi = if Flex.compare k hi > 0 then k else hi in
+                Hashtbl.replace sibling_groups ep (lo, hi))
+      | None -> ())
+    sorted;
+  { sorted; members; parents; sibling_groups }
+
+let mem cs k = Hashtbl.mem cs.members (encode k)
+
+let proper_prefix_in cs k =
+  let d = Flex.depth k in
+  let rec go i = i < d && (mem cs (Flex.prefix k i) || go (i + 1)) in
+  go 0
+
+let count_prefixes_in cs k =
+  let d = Flex.depth k in
+  let n = ref 0 in
+  for i = 0 to d - 1 do
+    if mem cs (Flex.prefix k i) then incr n
+  done;
+  !n
+
+(* number of context keys strictly before k in document order *)
+let rank_lt cs k =
+  let lo = ref 0 and hi = ref (Array.length cs.sorted) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if Flex.compare cs.sorted.(mid) k < 0 then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+let count_in_subtree cs k =
+  (* contexts in [k, end of subtree(k)) *)
+  let lo, hi = Flex.subtree_range k in
+  let first =
+    let a = ref 0 and b = ref (Array.length cs.sorted) in
+    while !a < !b do
+      let mid = (!a + !b) / 2 in
+      if Flex.bound_compare_key lo cs.sorted.(mid) > 0 then a := mid + 1 else b := mid
+    done;
+    !a
+  in
+  let rec count i n =
+    if i < Array.length cs.sorted && Flex.bound_compare_key hi cs.sorted.(i) > 0 then
+      count (i + 1) (n + 1)
+    else n
+  in
+  count first 0
+
+let first_ctx_after cs k =
+  let i = rank_lt cs k in
+  let i = if i < Array.length cs.sorted && Flex.equal cs.sorted.(i) k then i + 1 else i in
+  if i < Array.length cs.sorted then Some cs.sorted.(i) else None
+
+(* Is record (k, r) on [axis] of at least one context in [cs]? *)
+let related cs (axis : Ast.axis) k (r : Record.t) =
+  let non_attr = r.Record.kind <> Record.Attribute in
+  match axis with
+  | Ast.Self -> mem cs k
+  | Ast.Child -> (
+      non_attr && match Flex.parent k with Some p -> mem cs p | None -> false)
+  | Ast.Attribute -> (
+      r.Record.kind = Record.Attribute
+      && match Flex.parent k with Some p -> mem cs p | None -> false)
+  | Ast.Descendant -> non_attr && proper_prefix_in cs k
+  | Ast.Descendant_or_self -> mem cs k || (non_attr && proper_prefix_in cs k)
+  | Ast.Parent -> Hashtbl.mem cs.parents (encode k)
+  | Ast.Ancestor -> (
+      match first_ctx_after cs k with
+      | Some c -> Flex.is_ancestor k c
+      | None -> false)
+  | Ast.Ancestor_or_self -> (
+      mem cs k
+      || match first_ctx_after cs k with Some c -> Flex.is_ancestor k c | None -> false)
+  | Ast.Following -> non_attr && rank_lt cs k > count_prefixes_in cs k
+  | Ast.Preceding -> non_attr && Array.length cs.sorted - rank_lt cs k > count_in_subtree cs k
+  | Ast.Following_sibling -> (
+      non_attr
+      && match Flex.parent k with
+         | Some p -> (
+             match Hashtbl.find_opt cs.sibling_groups (encode p) with
+             | Some (lo, _) -> Flex.compare lo k < 0
+             | None -> false)
+         | None -> false)
+  | Ast.Preceding_sibling -> (
+      non_attr
+      && match Flex.parent k with
+         | Some p -> (
+             match Hashtbl.find_opt cs.sibling_groups (encode p) with
+             | Some (_, hi) -> Flex.compare hi k > 0
+             | None -> false)
+         | None -> false)
+  | Ast.Namespace -> false
+
+(* ---- per-context node space for predicate evaluation ----
+
+   select = one full scan per call: the no-index strawman. *)
+
+let single_related ctx (axis : Ast.axis) k (r : Record.t) =
+  let non_attr = r.Record.kind <> Record.Attribute in
+  match axis with
+  | Ast.Self -> Flex.equal k ctx
+  | Ast.Child -> (
+      non_attr && match Flex.parent k with Some p -> Flex.equal p ctx | None -> false)
+  | Ast.Attribute -> (
+      r.Record.kind = Record.Attribute
+      && match Flex.parent k with Some p -> Flex.equal p ctx | None -> false)
+  | Ast.Descendant -> non_attr && Flex.is_ancestor ctx k
+  | Ast.Descendant_or_self -> Flex.equal k ctx || (non_attr && Flex.is_ancestor ctx k)
+  | Ast.Parent -> ( match Flex.parent ctx with Some p -> Flex.equal p k | None -> false)
+  | Ast.Ancestor -> Flex.is_ancestor k ctx
+  | Ast.Ancestor_or_self -> Flex.equal k ctx || Flex.is_ancestor k ctx
+  | Ast.Following -> non_attr && Flex.compare k ctx > 0 && not (Flex.is_ancestor ctx k)
+  | Ast.Preceding -> non_attr && Flex.compare k ctx < 0 && not (Flex.is_ancestor k ctx)
+  | Ast.Following_sibling | Ast.Preceding_sibling -> (
+      non_attr
+      &&
+      match (Flex.parent k, Flex.parent ctx) with
+      | Some pk, Some pc ->
+          Flex.equal pk pc
+          && (if axis = Ast.Following_sibling then Flex.compare k ctx > 0
+              else Flex.compare k ctx < 0)
+          && not (Flex.equal k ctx)
+      | _ -> false)
+  | Ast.Namespace -> false
+
+module Space = struct
+  type nonrec t = t
+  type node = Flex.t
+
+  let compare = Flex.compare
+
+  let select t axis test ctx =
+    (* attribute/sibling special case: attributes have no siblings *)
+    let ctx_is_attr =
+      match Store.get t.store ctx with
+      | Some { Record.kind = Record.Attribute; _ } -> true
+      | _ -> false
+    in
+    if ctx_is_attr && (axis = Ast.Following_sibling || axis = Ast.Preceding_sibling) then []
+    else begin
+      let principal =
+        match axis with Ast.Attribute -> Record.Attribute | _ -> Record.Element
+      in
+      let out =
+        Store.fold_document t.store t.doc
+          (fun acc k r ->
+            if single_related ctx axis k r && Record.matches_test ~principal test r then
+              k :: acc
+            else acc)
+          []
+      in
+      if Ast.is_reverse_axis axis then out else List.rev out
+    end
+
+  let string_value t k = Store.string_value t.store k
+
+  let name t k =
+    match Store.get t.store k with Some r -> r.Record.name | None -> ""
+end
+
+module E = Xpath.Eval.Make (Space)
+
+(* ---- set-at-a-time path evaluation ---- *)
+
+let eval_step t ctx_keys (s : Ast.step) =
+  let cs = build_ctxset t.store ctx_keys in
+  let principal =
+    match s.Ast.axis with Ast.Attribute -> Record.Attribute | _ -> Record.Element
+  in
+  (* handle sibling axes on attribute contexts: exclude attribute context
+     keys from sibling groups happens in build_ctxset already *)
+  let matches =
+    Store.fold_document t.store t.doc
+      (fun acc k r ->
+        if related cs s.Ast.axis k r && Record.matches_test ~principal s.Ast.test r then
+          k :: acc
+        else acc)
+      []
+    |> List.rev
+  in
+  (* non-positional predicates: evaluate per candidate *)
+  List.filter
+    (fun k ->
+      List.for_all
+        (fun pred ->
+          match E.eval t ~context:k pred with
+          | v -> E.to_boolean t v)
+        s.Ast.predicates)
+    matches
+
+let query t src =
+  match Parser.parse src with
+  | exception (Parser.Error _ as exn) ->
+      Error (Option.value ~default:"parse error" (Parser.error_to_string exn))
+  | Ast.Path p ->
+      if path_positional p then
+        Error "scan engine: positional predicates are not supported"
+      else
+        let start = [ t.doc.Store.doc_key ] in
+        let result =
+          List.fold_left (fun ctxs s -> eval_step t ctxs s) start p.Ast.steps
+        in
+        Ok result
+  | _ -> Error "scan engine: only location paths are supported"
+
+let query_ranks t src =
+  Result.map (List.map (Store.document_rank t.store)) (query t src)

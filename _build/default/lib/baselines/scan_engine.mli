@@ -1,0 +1,23 @@
+(** Sequential-scan baseline (the paper's Galax stand-in).
+
+    Evaluates each location step with one full clustered scan of the
+    document, testing every record's structural relation to the context
+    set by key arithmetic; predicate sub-expressions are themselves
+    evaluated by per-candidate scans.  No secondary index is ever used,
+    so the engine is complete on its supported surface but degrades
+    steeply with document size — the profile the paper measures for
+    Galax.
+
+    Limitation (documented in DESIGN.md): positional predicates ([n],
+    [position()], [last()]) are rejected — set-at-a-time scanning has no
+    per-context tuple order. *)
+
+type t
+
+val create : Mass.Store.t -> Mass.Store.doc -> t
+
+val query : t -> string -> (Flex.t list, string) result
+(** Document order, duplicate-free. *)
+
+val query_ranks : t -> string -> (int list, string) result
+(** Results as within-document preorder positions. *)

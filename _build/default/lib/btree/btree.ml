@@ -1,0 +1,384 @@
+module type KEY = sig
+  type t
+
+  val compare : t -> t -> int
+  val pp : Format.formatter -> t -> unit
+end
+
+let nil = -1
+
+module Make (K : KEY) = struct
+  type 'v leaf = { keys : K.t array; vals : 'v array; prev : int; next : int }
+  type inner = { seps : K.t array; children : int array; counts : int array }
+  type 'v node = Leaf of 'v leaf | Node of inner
+
+  type 'v t = { pager : 'v node Storage.Pager.t; mutable root : int; order : int }
+
+  module P = Storage.Pager
+
+  let create ?(order = 64) ?pool_pages () =
+    if order < 4 then invalid_arg "Btree.create: order < 4";
+    let pager = P.create ?pool_pages () in
+    let root = P.alloc pager (Leaf { keys = [||]; vals = [||]; prev = nil; next = nil }) in
+    { pager; root; order }
+
+  (* ---- array helpers ---- *)
+
+  let insert_at a i x =
+    let n = Array.length a in
+    let b = Array.make (n + 1) x in
+    Array.blit a 0 b 0 i;
+    Array.blit a i b (i + 1) (n - i);
+    b
+
+  let remove_at a i =
+    let n = Array.length a in
+    let b = Array.sub a 0 (n - 1) in
+    Array.blit a (i + 1) b i (n - 1 - i);
+    b
+
+  let sum = Array.fold_left ( + ) 0
+
+  (* first index i with [f a.(i) >= 0], or [length a] *)
+  let lower_bound f a =
+    let lo = ref 0 and hi = ref (Array.length a) in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if f a.(mid) >= 0 then hi := mid else lo := mid + 1
+    done;
+    !lo
+
+  (* first index i with [a.(i) > k], or [length a]: the child an exact-key
+     descent takes (keys equal to a separator live in the right subtree) *)
+  let child_index seps k = lower_bound (fun s -> if K.compare s k > 0 then 0 else -1) seps
+
+  let node_entry_count = function
+    | Leaf l -> Array.length l.keys
+    | Node n -> sum n.counts
+
+  let length t = node_entry_count (P.read t.pager t.root)
+
+  let height t =
+    let rec go page acc =
+      match P.read t.pager page with
+      | Leaf _ -> acc
+      | Node n -> go n.children.(0) (acc + 1)
+    in
+    go t.root 1
+
+  (* ---- find ---- *)
+
+  let find t k =
+    let rec go page =
+      match P.read t.pager page with
+      | Leaf l ->
+          let i = lower_bound (fun k' -> K.compare k' k) l.keys in
+          if i < Array.length l.keys && K.compare l.keys.(i) k = 0 then Some l.vals.(i)
+          else None
+      | Node n -> go n.children.(child_index n.seps k)
+    in
+    go t.root
+
+  let mem t k = find t k <> None
+
+  (* ---- insert ---- *)
+
+  type 'v split = { sep : K.t; right : int; right_count : int }
+
+  let rec ins t page k v : bool * 'v split option =
+    match P.read t.pager page with
+    | Leaf l ->
+        let i = lower_bound (fun k' -> K.compare k' k) l.keys in
+        if i < Array.length l.keys && K.compare l.keys.(i) k = 0 then begin
+          let vals = Array.copy l.vals in
+          vals.(i) <- v;
+          P.write t.pager page (Leaf { l with vals });
+          (false, None)
+        end
+        else begin
+          let keys = insert_at l.keys i k and vals = insert_at l.vals i v in
+          let len = Array.length keys in
+          if len <= t.order then begin
+            P.write t.pager page (Leaf { l with keys; vals });
+            (true, None)
+          end
+          else begin
+            let mid = len / 2 in
+            let rkeys = Array.sub keys mid (len - mid)
+            and rvals = Array.sub vals mid (len - mid) in
+            let right =
+              P.alloc t.pager (Leaf { keys = rkeys; vals = rvals; prev = page; next = l.next })
+            in
+            (* fix the back link of the old successor *)
+            (if l.next <> nil then
+               match P.read t.pager l.next with
+               | Leaf nl -> P.write t.pager l.next (Leaf { nl with prev = right })
+               | Node _ -> assert false);
+            P.write t.pager page
+              (Leaf { keys = Array.sub keys 0 mid; vals = Array.sub vals 0 mid;
+                      prev = l.prev; next = right });
+            (true, Some { sep = rkeys.(0); right; right_count = Array.length rkeys })
+          end
+        end
+    | Node n ->
+        let i = child_index n.seps k in
+        let added, sp = ins t n.children.(i) k v in
+        let delta = if added then 1 else 0 in
+        let seps, children, counts =
+          match sp with
+          | None ->
+              let counts = Array.copy n.counts in
+              counts.(i) <- counts.(i) + delta;
+              (n.seps, n.children, counts)
+          | Some { sep; right; right_count } ->
+              let counts = Array.copy n.counts in
+              counts.(i) <- counts.(i) + delta - right_count;
+              ( insert_at n.seps i sep,
+                insert_at n.children (i + 1) right,
+                insert_at counts (i + 1) right_count )
+        in
+        if Array.length seps <= t.order then begin
+          P.write t.pager page (Node { seps; children; counts });
+          (added, None)
+        end
+        else begin
+          let m = Array.length seps in
+          let mid = m / 2 in
+          let promoted = seps.(mid) in
+          let rseps = Array.sub seps (mid + 1) (m - mid - 1) in
+          let rchildren = Array.sub children (mid + 1) (m - mid) in
+          let rcounts = Array.sub counts (mid + 1) (m - mid) in
+          let right =
+            P.alloc t.pager (Node { seps = rseps; children = rchildren; counts = rcounts })
+          in
+          P.write t.pager page
+            (Node
+               { seps = Array.sub seps 0 mid;
+                 children = Array.sub children 0 (mid + 1);
+                 counts = Array.sub counts 0 (mid + 1) });
+          (added, Some { sep = promoted; right; right_count = sum rcounts })
+        end
+
+  let insert t k v =
+    let _, sp = ins t t.root k v in
+    match sp with
+    | None -> ()
+    | Some { sep; right; right_count } ->
+        let left_count = node_entry_count (P.read t.pager t.root) in
+        t.root <-
+          P.alloc t.pager
+            (Node
+               { seps = [| sep |]; children = [| t.root; right |];
+                 counts = [| left_count; right_count |] })
+
+  (* ---- delete (lazy: no rebalancing, counts stay exact) ---- *)
+
+  let delete t k =
+    let rec go page =
+      match P.read t.pager page with
+      | Leaf l ->
+          let i = lower_bound (fun k' -> K.compare k' k) l.keys in
+          if i < Array.length l.keys && K.compare l.keys.(i) k = 0 then begin
+            P.write t.pager page
+              (Leaf { l with keys = remove_at l.keys i; vals = remove_at l.vals i });
+            true
+          end
+          else false
+      | Node n ->
+          let i = child_index n.seps k in
+          let removed = go n.children.(i) in
+          if removed then begin
+            let counts = Array.copy n.counts in
+            counts.(i) <- counts.(i) - 1;
+            P.write t.pager page (Node { n with counts })
+          end;
+          removed
+    in
+    go t.root
+
+  (* ---- probing ---- *)
+
+  let rank t f =
+    let rec go page =
+      match P.read t.pager page with
+      | Leaf l -> lower_bound f l.keys
+      | Node n ->
+          let i = lower_bound f n.seps in
+          let before = ref 0 in
+          for j = 0 to i - 1 do
+            before := !before + n.counts.(j)
+          done;
+          !before + go n.children.(i)
+    in
+    go t.root
+
+  let count_range t ~lo ~hi =
+    let n = rank t hi - rank t lo in
+    if n < 0 then 0 else n
+
+  (* ---- cursors ---- *)
+
+  type 'v cursor = { tree : 'v t; mutable page : int; mutable idx : int }
+  (* Position: before entry [idx] of leaf [page]. [idx] may equal the leaf
+     length, meaning "at the end of this leaf". *)
+
+  let seek t f =
+    let rec go page =
+      match P.read t.pager page with
+      | Leaf l -> { tree = t; page; idx = lower_bound f l.keys }
+      | Node n -> go n.children.(lower_bound f n.seps)
+    in
+    go t.root
+
+  let seek_key t k = seek t (fun k' -> K.compare k' k)
+  let seek_min t = seek t (fun _ -> 0)
+
+  let seek_max t =
+    let rec go page =
+      match P.read t.pager page with
+      | Leaf l -> { tree = t; page; idx = Array.length l.keys }
+      | Node n -> go n.children.(Array.length n.children - 1)
+    in
+    go t.root
+
+  let read_leaf t page =
+    match P.read t.pager page with
+    | Leaf l -> l
+    | Node _ -> assert false
+
+  let next c =
+    let rec go page idx =
+      let l = read_leaf c.tree page in
+      if idx < Array.length l.keys then begin
+        c.page <- page;
+        c.idx <- idx + 1;
+        Some (l.keys.(idx), l.vals.(idx))
+      end
+      else if l.next = nil then begin
+        c.page <- page;
+        c.idx <- idx;
+        None
+      end
+      else go l.next 0
+    in
+    go c.page c.idx
+
+  let prev c =
+    let rec go page idx =
+      let l = read_leaf c.tree page in
+      if idx > 0 then begin
+        c.page <- page;
+        c.idx <- idx - 1;
+        Some (l.keys.(idx - 1), l.vals.(idx - 1))
+      end
+      else if l.prev = nil then begin
+        c.page <- page;
+        c.idx <- 0;
+        None
+      end
+      else
+        let pl = read_leaf c.tree l.prev in
+        go l.prev (Array.length pl.keys)
+    in
+    go c.page c.idx
+
+  let peek c =
+    let saved_page = c.page and saved_idx = c.idx in
+    let r = next c in
+    c.page <- saved_page;
+    c.idx <- saved_idx;
+    r
+
+  let min_binding t = next (seek_min t)
+  let max_binding t = prev (seek_max t)
+
+  (* ---- iteration ---- *)
+
+  let iter f t =
+    let c = seek_min t in
+    let rec go () =
+      match next c with
+      | Some (k, v) ->
+          f k v;
+          go ()
+      | None -> ()
+    in
+    go ()
+
+  let fold f init t =
+    let acc = ref init in
+    iter (fun k v -> acc := f !acc k v) t;
+    !acc
+
+  let to_list t = List.rev (fold (fun acc k v -> (k, v) :: acc) [] t)
+
+  (* ---- introspection ---- *)
+
+  let stats t = P.stats t.pager
+  let page_count t = P.page_count t.pager
+
+  let check_invariants t =
+    let fail fmt = Format.kasprintf failwith fmt in
+    let leaves = ref [] in
+    (* returns (entry count, leaf depth); bounds are exclusive/inclusive
+       key constraints inherited from ancestors *)
+    let rec go page lo hi =
+      let in_bounds k =
+        (match lo with None -> true | Some b -> K.compare b k <= 0)
+        && match hi with None -> true | Some b -> K.compare k b < 0
+      in
+      match P.read t.pager page with
+      | Leaf l ->
+          let n = Array.length l.keys in
+          if Array.length l.vals <> n then fail "leaf %d: keys/vals mismatch" page;
+          for i = 0 to n - 2 do
+            if K.compare l.keys.(i) l.keys.(i + 1) >= 0 then
+              fail "leaf %d: keys not strictly sorted" page
+          done;
+          Array.iter
+            (fun k -> if not (in_bounds k) then fail "leaf %d: key out of bounds" page)
+            l.keys;
+          leaves := (page, l.prev, l.next, l.keys) :: !leaves;
+          (n, 1)
+      | Node n ->
+          let m = Array.length n.seps in
+          if Array.length n.children <> m + 1 then fail "node %d: children arity" page;
+          if Array.length n.counts <> m + 1 then fail "node %d: counts arity" page;
+          for i = 0 to m - 2 do
+            if K.compare n.seps.(i) n.seps.(i + 1) >= 0 then
+              fail "node %d: separators not sorted" page
+          done;
+          Array.iter
+            (fun s -> if not (in_bounds s) then fail "node %d: separator out of bounds" page)
+            n.seps;
+          let depth = ref 0 in
+          let total = ref 0 in
+          Array.iteri
+            (fun i child ->
+              let clo = if i = 0 then lo else Some n.seps.(i - 1) in
+              let chi = if i = m then hi else Some n.seps.(i) in
+              let cnt, d = go child clo chi in
+              if cnt <> n.counts.(i) then
+                fail "node %d: child %d count %d, recorded %d" page i cnt n.counts.(i);
+              if !depth = 0 then depth := d
+              else if d <> !depth then fail "node %d: uneven leaf depth" page;
+              total := !total + cnt)
+            n.children;
+          (!total, !depth + 1)
+    in
+    ignore (go t.root None None);
+    (* leaf chain must visit the leaves in key order *)
+    let ordered = List.rev !leaves in
+    let rec chain = function
+      | (p1, _, next1, _) :: ((p2, prev2, _, _) :: _ as rest) ->
+          if next1 <> p2 then fail "leaf chain: %d.next = %d, expected %d" p1 next1 p2;
+          if prev2 <> p1 then fail "leaf chain: %d.prev = %d, expected %d" p2 prev2 p1;
+          chain rest
+      | [ (p, _, next, _) ] -> if next <> nil then fail "last leaf %d has a successor" p
+      | [] -> ()
+    in
+    (match ordered with
+    | (p, prev, _, _) :: _ -> if prev <> nil then fail "first leaf %d has a predecessor" p
+    | [] -> ());
+    chain ordered
+end

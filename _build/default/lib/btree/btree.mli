@@ -1,0 +1,107 @@
+(** Counted B+-tree over buffer-pool-managed pages.
+
+    The tree is the index primitive under MASS.  Two properties matter for
+    the paper's cost model and index-only plans:
+
+    - {b Counted interior nodes}: every routing entry carries the number of
+      entries in its child subtree, so {!rank} and {!count_range} run in
+      O(log n) touching only one root-to-leaf path each — counts are
+      computed "on the index level without going to data" (paper §IV-B).
+    - {b Seek-able cursors}: {!seek} positions by an arbitrary monotone
+      probe, which lets axis cursors jump past whole subtrees (child and
+      sibling axes) instead of scanning.
+
+    Keys are unique; {!insert} is an upsert.  Deletion removes entries and
+    maintains exact counts but does not rebalance (empty leaves remain
+    chained and are skipped by cursors) — the classic lazy-deletion
+    trade-off, adequate because the workload is read-mostly. *)
+
+module type KEY = sig
+  type t
+
+  val compare : t -> t -> int
+  val pp : Format.formatter -> t -> unit
+end
+
+(** A monotone probe [f] classifies keys: [f k < 0] for keys before the
+    target position and [f k >= 0] at or after it.  [f] must be
+    non-decreasing along the key order. *)
+
+module Make (K : KEY) : sig
+  type 'v t
+
+  val create : ?order:int -> ?pool_pages:int -> unit -> 'v t
+  (** [order] is the maximum number of entries per node (default 64);
+      [pool_pages] sizes the buffer pool.
+      @raise Invalid_argument if [order < 4]. *)
+
+  val length : 'v t -> int
+  (** Total number of entries, O(1). *)
+
+  val height : 'v t -> int
+  (** Levels from root to leaf (1 for a single-leaf tree). *)
+
+  val insert : 'v t -> K.t -> 'v -> unit
+  (** Upsert: replaces the value if the key is present. *)
+
+  val find : 'v t -> K.t -> 'v option
+  val mem : 'v t -> K.t -> bool
+
+  val delete : 'v t -> K.t -> bool
+  (** Remove a key; returns whether it was present. *)
+
+  val min_binding : 'v t -> (K.t * 'v) option
+  val max_binding : 'v t -> (K.t * 'v) option
+
+  (** {1 Probing} *)
+
+  val rank : 'v t -> (K.t -> int) -> int
+  (** [rank t f] — number of keys strictly before the probe position
+      (keys with [f k < 0]).  O(log n). *)
+
+  val count_range : 'v t -> lo:(K.t -> int) -> hi:(K.t -> int) -> int
+  (** Entries at or after [lo] and strictly before [hi]:
+      [rank t hi - rank t lo].  O(log n), no data access. *)
+
+  (** {1 Cursors}
+
+      A cursor is a position between entries.  Cursors are invalidated by
+      any update to the tree. *)
+
+  type 'v cursor
+
+  val seek : 'v t -> (K.t -> int) -> 'v cursor
+  (** Position just before the first key [k] with [f k >= 0]. *)
+
+  val seek_key : 'v t -> K.t -> 'v cursor
+  (** Position just before [k] (or where it would be). *)
+
+  val seek_min : 'v t -> 'v cursor
+  val seek_max : 'v t -> 'v cursor
+  (** Position after the last entry. *)
+
+  val next : 'v cursor -> (K.t * 'v) option
+  (** Entry just after the cursor, advancing past it. *)
+
+  val prev : 'v cursor -> (K.t * 'v) option
+  (** Entry just before the cursor, retreating before it. *)
+
+  val peek : 'v cursor -> (K.t * 'v) option
+  (** Like {!next} without advancing. *)
+
+  (** {1 Whole-tree iteration} *)
+
+  val iter : (K.t -> 'v -> unit) -> 'v t -> unit
+  val fold : ('a -> K.t -> 'v -> 'a) -> 'a -> 'v t -> 'a
+  val to_list : 'v t -> (K.t * 'v) list
+
+  (** {1 Introspection} *)
+
+  val stats : 'v t -> Storage.Stats.t
+  val page_count : 'v t -> int
+
+  val check_invariants : 'v t -> unit
+  (** Validate structural invariants (sortedness, partition bounds, exact
+      counts, uniform depth, leaf chaining).  @raise Failure on violation.
+      Test support. *)
+end

@@ -1,0 +1,182 @@
+type t = string array
+(* Invariant: every element satisfies [is_valid_component]. *)
+
+let alphabet_base = 26
+let code c = Char.code c - Char.code 'a'
+let chr d = Char.chr (d + Char.code 'a')
+
+let is_valid_component s =
+  let n = String.length s in
+  n > 0
+  && s.[n - 1] <> 'a'
+  &&
+  let ok = ref true in
+  String.iter (fun c -> if c < 'a' || c > 'z' then ok := false) s;
+  !ok
+
+let check_component s =
+  if not (is_valid_component s) then
+    invalid_arg (Printf.sprintf "Flex: invalid component %S" s)
+
+let document : t = [||]
+let of_components cs =
+  List.iter check_component cs;
+  Array.of_list cs
+
+let components k = Array.to_list k
+let depth = Array.length
+
+let child k c =
+  check_component c;
+  Array.append k [| c |]
+
+let parent k =
+  if Array.length k = 0 then None else Some (Array.sub k 0 (Array.length k - 1))
+
+let last_component k =
+  if Array.length k = 0 then None else Some k.(Array.length k - 1)
+
+let prefix k d =
+  if d < 0 || d > Array.length k then invalid_arg "Flex.prefix: bad depth";
+  Array.sub k 0 d
+
+let compare a b =
+  let la = Array.length a and lb = Array.length b in
+  let rec go i =
+    if i >= la && i >= lb then 0
+    else if i >= la then -1
+    else if i >= lb then 1
+    else
+      let c = String.compare a.(i) b.(i) in
+      if c <> 0 then c else go (i + 1)
+  in
+  go 0
+
+let equal a b = compare a b = 0
+
+let is_ancestor a k =
+  let la = Array.length a and lk = Array.length k in
+  la < lk
+  &&
+  let rec go i = i >= la || (String.equal a.(i) k.(i) && go (i + 1)) in
+  go 0
+
+let is_ancestor_or_self a k = equal a k || is_ancestor a k
+
+let common_ancestor a b =
+  let n = min (Array.length a) (Array.length b) in
+  let rec go i = if i < n && String.equal a.(i) b.(i) then go (i + 1) else i in
+  Array.sub a 0 (go 0)
+
+(* Midpoint of two component strings, treated as base-26 fractions over
+   digits 'a'(=0) .. 'z'(=25).  The no-trailing-'a' invariant on inputs
+   guarantees that a strict midpoint exists whenever [lo < hi]; the
+   algorithm below (standard fractional indexing) also never produces a
+   trailing 'a'. *)
+let between lo hi =
+  (match lo, hi with
+  | Some a, _ -> check_component a
+  | None, _ -> ());
+  (match hi with Some b -> check_component b | None -> ());
+  (match lo, hi with
+  | Some a, Some b when String.compare a b >= 0 ->
+      invalid_arg (Printf.sprintf "Flex.between: %S >= %S" a b)
+  | _ -> ());
+  let buf = Buffer.create 8 in
+  (* [mid a b]: append to [buf] digits of a string strictly between [a]
+     (or -inf when [a] exhausted at position 0 with [ia >= len]) and [b]
+     (+inf when [b = None]). *)
+  let rec mid a ia b ib =
+    let digit_a = if ia < String.length a then code a.[ia] else 0 in
+    let digit_b =
+      match b with
+      | Some b when ib < String.length b -> code b.[ib]
+      | Some _ -> alphabet_base (* past end of b: unreachable when a < b *)
+      | None -> alphabet_base
+    in
+    if digit_a = digit_b then begin
+      (* common digit: copy and recurse *)
+      Buffer.add_char buf (chr digit_a);
+      mid a (ia + 1) b (ib + 1)
+    end
+    else if digit_b - digit_a > 1 then
+      (* room for a digit strictly in between; never 'a' since mid > 0 *)
+      Buffer.add_char buf (chr ((digit_a + digit_b + 1) / 2))
+    else begin
+      (* consecutive digits *)
+      match b with
+      | Some bs when ib + 1 < String.length bs ->
+          (* b continues past this digit, so the proper prefix of b ending
+             here is strictly between a and b (its last digit is >= 'b'
+             because digit_b > digit_a >= 0) *)
+          Buffer.add_char buf (chr digit_b)
+      | _ ->
+          (* descend along a with +inf upper bound *)
+          Buffer.add_char buf (chr digit_a);
+          mid a (ia + 1) None 0
+    end
+  in
+  let a = match lo with Some a -> a | None -> "" in
+  mid a 0 hi 0;
+  let r = Buffer.contents buf in
+  assert (is_valid_component r);
+  r
+
+let first_child_component = "n"
+
+(* [sequence n] enumerates [n] components of equal width over the 25
+   digits 'b'..'z' (avoiding 'a' entirely keeps the invariant and equal
+   widths keep the order lexicographic). *)
+let sequence n =
+  if n < 0 then invalid_arg "Flex.sequence: negative count";
+  if n = 0 then []
+  else begin
+    let digits = 25 in
+    let width =
+      let rec go w cap = if cap >= n then w else go (w + 1) (cap * digits) in
+      go 1 digits
+    in
+    let component i =
+      let b = Bytes.make width 'b' in
+      let rec fill pos i =
+        if pos >= 0 then begin
+          Bytes.set b pos (Char.chr (Char.code 'b' + (i mod digits)));
+          fill (pos - 1) (i / digits)
+        end
+      in
+      fill (width - 1) i;
+      Bytes.to_string b
+    in
+    List.init n component
+  end
+
+type bound = Min | Before of t | After_key of t | After_subtree of t | Max
+
+let bound_compare_key b k =
+  match b with
+  | Min -> -1
+  | Max -> 1
+  | Before t -> if compare t k <= 0 then -1 else 1
+  | After_key t -> if compare t k < 0 then -1 else 1
+  | After_subtree t -> if compare t k < 0 && not (is_ancestor t k) then -1 else 1
+
+let key_in_range ~lo ~hi k = bound_compare_key lo k < 0 && bound_compare_key hi k > 0
+let subtree_range k = (Before k, After_subtree k)
+let descendants_range k = (After_key k, After_subtree k)
+
+let pp_sep = '.'
+
+let to_string k =
+  if Array.length k = 0 then "/" else String.concat "." (Array.to_list k)
+
+let of_string s =
+  if String.equal s "/" then document
+  else of_components (String.split_on_char pp_sep s)
+
+let encode k = String.concat "\x01" (Array.to_list k)
+
+let decode s =
+  if String.length s = 0 then document
+  else of_components (String.split_on_char '\x01' s)
+
+let pp ppf k = Format.pp_print_string ppf (to_string k)

@@ -1,0 +1,1 @@
+lib/mass/nav.ml: Flex List Record Store Xpath

@@ -1,0 +1,1 @@
+lib/mass/nav.mli: Flex Store Xpath

@@ -1,0 +1,1 @@
+lib/mass/record.ml: Flex Format Printf String Xpath

@@ -1,0 +1,1 @@
+lib/mass/record.mli: Flex Format Xpath

@@ -1,0 +1,1 @@
+lib/mass/store.ml: Array Btree Buffer Char Flex Format Hashtbl Int64 List Option Printf Record Storage String Xml Xpath

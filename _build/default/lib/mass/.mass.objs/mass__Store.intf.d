@@ -1,0 +1,1 @@
+lib/mass/store.mli: Flex Record Storage Xml Xpath

@@ -1,0 +1,17 @@
+let collect cursor =
+  let rec go acc = match cursor () with Some k -> go (k :: acc) | None -> List.rev acc in
+  go []
+
+module Space = struct
+  type t = Store.t
+  type node = Flex.t
+
+  let compare = Flex.compare
+  let select store axis test key = collect (Store.axis_cursor store axis test key)
+  let string_value = Store.string_value
+
+  let name store key =
+    match Store.get store key with Some r -> r.Record.name | None -> ""
+end
+
+module E = Xpath.Eval.Make (Space)

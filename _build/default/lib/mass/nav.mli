@@ -1,0 +1,14 @@
+(** MASS-backed node space: the index-navigation instantiation of the
+    generic XPath evaluator.
+
+    Used by the engine for general predicate expressions (the fallback
+    when a predicate is outside the physical algebra's specialized forms)
+    and by tests as the navigational reference. *)
+
+module Space :
+  Xpath.Eval.NODE_SPACE with type t = Store.t and type node = Flex.t
+
+module E : module type of Xpath.Eval.Make (Space)
+
+val collect : Store.cursor -> Flex.t list
+(** Drain a cursor into a list. *)

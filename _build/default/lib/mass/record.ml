@@ -1,0 +1,28 @@
+type kind = Document | Element | Attribute | Text | Comment | Pi
+
+type t = { key : Flex.t; kind : kind; name : string; value : string }
+
+let kind_to_string = function
+  | Document -> "document"
+  | Element -> "element"
+  | Attribute -> "attribute"
+  | Text -> "text"
+  | Comment -> "comment"
+  | Pi -> "pi"
+
+let pp ppf r =
+  Format.fprintf ppf "[%a %s%s%s]" Flex.pp r.key (kind_to_string r.kind)
+    (if r.name = "" then "" else " " ^ r.name)
+    (if r.value = "" then "" else Printf.sprintf " %S" r.value)
+
+(* The axis membership (e.g. that the child axis never yields attribute
+   records) is enforced by the cursors; this checks the node test only. *)
+let matches_test ~principal test r =
+  match test with
+  | Xpath.Ast.Name_test n -> r.kind = principal && String.equal r.name n
+  | Xpath.Ast.Wildcard -> r.kind = principal
+  | Xpath.Ast.Text_test -> r.kind = Text
+  | Xpath.Ast.Comment_test -> r.kind = Comment
+  | Xpath.Ast.Node_test -> true
+  | Xpath.Ast.Pi_test None -> r.kind = Pi
+  | Xpath.Ast.Pi_test (Some target) -> r.kind = Pi && String.equal r.name target

@@ -1,0 +1,26 @@
+(** Node records stored in the MASS clustered document index. *)
+
+type kind =
+  | Document  (** per-document root record *)
+  | Element
+  | Attribute
+  | Text
+  | Comment
+  | Pi
+
+type t = {
+  key : Flex.t;
+  kind : kind;
+  name : string;  (** element/attribute name, PI target, document name; [""] otherwise *)
+  value : string;  (** attribute value, text content, comment text, PI data; [""] otherwise *)
+}
+
+val kind_to_string : kind -> string
+val pp : Format.formatter -> t -> unit
+
+val matches_test : principal:kind -> Xpath.Ast.node_test -> t -> bool
+(** XPath node-test semantics: [Name_test]/[Wildcard] select nodes of the
+    axis' principal kind ([Element] for all axes except [attribute], whose
+    principal kind is [Attribute]); [text()], [comment()],
+    [processing-instruction()] select by kind; [node()] selects any
+    non-attribute node (or any attribute on the attribute axis). *)

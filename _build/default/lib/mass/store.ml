@@ -1,0 +1,935 @@
+module FlexKey = struct
+  type t = Flex.t
+
+  let compare = Flex.compare
+  let pp = Flex.pp
+end
+
+module TagKey = struct
+  type t = string * Flex.t
+
+  let compare (t1, k1) (t2, k2) =
+    let c = String.compare t1 t2 in
+    if c <> 0 then c else Flex.compare k1 k2
+
+  let pp ppf (t, k) = Format.fprintf ppf "(%s,%a)" t Flex.pp k
+end
+
+module DocTree = Btree.Make (FlexKey)
+module TagTree = Btree.Make (TagKey)
+
+type doc = {
+  doc_id : int;
+  doc_name : string;
+  doc_key : Flex.t;
+  mutable element_count : int;
+  mutable text_count : int;
+  mutable attribute_count : int;
+  mutable comment_count : int;
+  mutable pi_count : int;
+}
+
+type t = {
+  doc_index : Record.t DocTree.t;
+  name_index : unit TagTree.t;
+  value_index : unit TagTree.t;
+  mutable docs : doc list;  (** in root-component order *)
+  mutable next_doc_id : int;
+}
+
+let create ?pool_pages ?order () =
+  {
+    doc_index = DocTree.create ?order ?pool_pages ();
+    name_index = TagTree.create ?order ?pool_pages ();
+    value_index = TagTree.create ?order ?pool_pages ();
+    docs = [];
+    next_doc_id = 0;
+  }
+
+(* ---- probes ----
+
+   [Btree.seek]/[rank] take monotone probes: negative strictly before the
+   position, non-negative at or after it.  [Flex.bound_compare_key] is the
+   opposite sign convention (bound vs key), hence the negation. *)
+
+let key_probe bound k = -Flex.bound_compare_key bound k
+
+let tag_probe tag bound (tag', k) =
+  let c = String.compare tag' tag in
+  if c <> 0 then c else key_probe bound k
+
+(* tag of a record in the name index; '@' and '#' cannot start XML names,
+   so attribute/text/comment/pi/document entries never collide with
+   element names *)
+let tag_of (r : Record.t) =
+  match r.kind with
+  | Record.Element -> r.name
+  | Record.Attribute -> "@" ^ r.name
+  | Record.Text -> "#text"
+  | Record.Comment -> "#comment"
+  | Record.Pi -> "#pi"
+  | Record.Document -> "#document"
+
+let indexed_value (r : Record.t) =
+  match r.kind with Record.Text | Record.Attribute -> Some r.value | _ -> None
+
+let insert_record t (r : Record.t) =
+  DocTree.insert t.doc_index r.key r;
+  TagTree.insert t.name_index (tag_of r, r.key) ();
+  match indexed_value r with
+  | Some v -> TagTree.insert t.value_index (v, r.key) ()
+  | None -> ()
+
+let remove_record t (r : Record.t) =
+  ignore (DocTree.delete t.doc_index r.key);
+  ignore (TagTree.delete t.name_index (tag_of r, r.key));
+  match indexed_value r with
+  | Some v -> ignore (TagTree.delete t.value_index (v, r.key))
+  | None -> ()
+
+(* ---- document loading ---- *)
+
+let bump doc (kind : Record.kind) n =
+  match kind with
+  | Record.Element -> doc.element_count <- doc.element_count + n
+  | Record.Text -> doc.text_count <- doc.text_count + n
+  | Record.Attribute -> doc.attribute_count <- doc.attribute_count + n
+  | Record.Comment -> doc.comment_count <- doc.comment_count + n
+  | Record.Pi -> doc.pi_count <- doc.pi_count + n
+  | Record.Document -> ()
+
+let doc_of_key t key =
+  if Flex.depth key = 0 then None
+  else
+    let root = Flex.prefix key 1 in
+    List.find_opt (fun d -> Flex.equal d.doc_key root) t.docs
+
+let load t ~name tree =
+  let last_component =
+    List.fold_left
+      (fun acc d ->
+        match Flex.last_component d.doc_key with
+        | Some c -> (
+            match acc with
+            | Some prev when String.compare prev c >= 0 -> acc
+            | _ -> Some c)
+        | None -> acc)
+      None t.docs
+  in
+  let root_component = Flex.between last_component None in
+  let doc_key = Flex.of_components [ root_component ] in
+  let doc =
+    {
+      doc_id = t.next_doc_id;
+      doc_name = name;
+      doc_key;
+      element_count = 0;
+      text_count = 0;
+      attribute_count = 0;
+      comment_count = 0;
+      pi_count = 0;
+    }
+  in
+  t.next_doc_id <- t.next_doc_id + 1;
+  insert_record t { Record.key = doc_key; kind = Record.Document; name; value = "" };
+  let add key kind nm value =
+    insert_record t { Record.key; kind; name = nm; value };
+    bump doc kind 1
+  in
+  let rec walk key (n : Xml.Tree.node) =
+    match n.Xml.Tree.kind with
+    | Xml.Tree.Document -> assert false
+    | Xml.Tree.Text s -> add key Record.Text "" s
+    | Xml.Tree.Comment s -> add key Record.Comment "" s
+    | Xml.Tree.Pi (target, data) -> add key Record.Pi target data
+    | Xml.Tree.Attribute (an, av) -> add key Record.Attribute an av
+    | Xml.Tree.Element en ->
+        add key Record.Element en "";
+        let attrs = n.Xml.Tree.attributes and children = n.Xml.Tree.children in
+        let total = Array.length attrs + Array.length children in
+        let comps = Array.of_list (Flex.sequence total) in
+        Array.iteri (fun i c -> walk (Flex.child key comps.(i)) c) attrs;
+        let na = Array.length attrs in
+        Array.iteri (fun i c -> walk (Flex.child key comps.(na + i)) c) children
+  in
+  let top = tree.Xml.Tree.children in
+  let comps = Array.of_list (Flex.sequence (Array.length top)) in
+  Array.iteri (fun i c -> walk (Flex.child doc_key comps.(i)) c) top;
+  t.docs <- t.docs @ [ doc ];
+  doc
+
+let load_string t ~name src = load t ~name (Xml.Parser.parse src)
+let documents t = t.docs
+let find_document t name = List.find_opt (fun d -> String.equal d.doc_name name) t.docs
+
+(* ---- record access ---- *)
+
+let get t key = DocTree.find t.doc_index key
+
+let get_exn t key =
+  match get t key with
+  | Some r -> r
+  | None -> invalid_arg (Printf.sprintf "Mass.Store: no record at %s" (Flex.to_string key))
+
+let subtree_bounds key =
+  let lo, hi = Flex.subtree_range key in
+  (key_probe lo, key_probe hi)
+
+let string_value t key =
+  match get t key with
+  | None -> ""
+  | Some r -> (
+      match r.Record.kind with
+      | Record.Text | Record.Comment -> r.Record.value
+      | Record.Attribute -> r.Record.value
+      | Record.Pi -> r.Record.value
+      | Record.Element | Record.Document ->
+          let buf = Buffer.create 32 in
+          let lo, hi = Flex.subtree_range key in
+          let c = DocTree.seek t.doc_index (key_probe lo) in
+          let rec go () =
+            match DocTree.next c with
+            | Some (k, r) when Flex.bound_compare_key hi k > 0 ->
+                (match r.Record.kind with
+                | Record.Text -> Buffer.add_string buf r.Record.value
+                | Record.Document | Record.Element | Record.Attribute | Record.Comment
+                | Record.Pi ->
+                    ());
+                go ()
+            | Some _ | None -> ()
+          in
+          go ();
+          Buffer.contents buf)
+
+(* ---- counting (index-only) ---- *)
+
+let scope_bounds = function
+  | None -> (Flex.Min, Flex.Max)
+  | Some scope -> Flex.subtree_range scope
+
+let count_tag t ?scope tag =
+  let lo, hi = scope_bounds scope in
+  TagTree.count_range t.name_index ~lo:(tag_probe tag lo) ~hi:(tag_probe tag hi)
+
+let subtree_size t key =
+  let lo, hi = subtree_bounds key in
+  DocTree.count_range t.doc_index ~lo ~hi
+
+let totals t =
+  List.fold_left
+    (fun (e, x, a, c, p) d ->
+      ( e + d.element_count,
+        x + d.text_count,
+        a + d.attribute_count,
+        c + d.comment_count,
+        p + d.pi_count ))
+    (0, 0, 0, 0, 0) t.docs
+
+let count_test t ?scope ~principal test =
+  match (test : Xpath.Ast.node_test) with
+  | Xpath.Ast.Name_test n ->
+      let tag = match principal with Record.Attribute -> "@" ^ n | _ -> n in
+      count_tag t ?scope tag
+  | Xpath.Ast.Text_test -> count_tag t ?scope "#text"
+  | Xpath.Ast.Comment_test -> count_tag t ?scope "#comment"
+  | Xpath.Ast.Pi_test _ -> count_tag t ?scope "#pi"
+  | Xpath.Ast.Wildcard | Xpath.Ast.Node_test -> (
+      match scope with
+      | Some key -> subtree_size t key
+      | None -> (
+          let e, x, a, c, p = totals t in
+          match (test, principal) with
+          | Xpath.Ast.Wildcard, Record.Attribute -> a
+          | Xpath.Ast.Wildcard, _ -> e
+          | Xpath.Ast.Node_test, Record.Attribute -> a
+          | Xpath.Ast.Node_test, _ -> e + x + c + p
+          | _ -> assert false))
+
+let text_value_count t ?scope v =
+  let lo, hi = scope_bounds scope in
+  TagTree.count_range t.value_index ~lo:(tag_probe v lo) ~hi:(tag_probe v hi)
+
+let total_records t = DocTree.length t.doc_index
+
+let preorder_rank t key = DocTree.rank t.doc_index (key_probe (Flex.Before key))
+
+let document_rank t key =
+  if Flex.depth key = 0 then preorder_rank t key
+  else preorder_rank t key - preorder_rank t (Flex.prefix key 1)
+
+(* ---- cursors ---- *)
+
+type cursor = unit -> Flex.t option
+
+let empty_cursor () = None
+
+let cursor_of_list keys =
+  let rest = ref keys in
+  fun () ->
+    match !rest with
+    | [] -> None
+    | k :: tl ->
+        rest := tl;
+        Some k
+
+(* forward scan of one tag's entries within a key range, with a key filter *)
+let tag_scan tree tag ~lo ~hi ~filter =
+  let c = TagTree.seek tree (tag_probe tag lo) in
+  let rec pull () =
+    match TagTree.next c with
+    | Some ((tag', k), ()) when String.equal tag' tag && Flex.bound_compare_key hi k > 0 ->
+        if filter k then Some k else pull ()
+    | Some _ | None -> None
+  in
+  pull
+
+(* reverse scan of one tag's entries, starting just before [hi] *)
+let tag_scan_rev tree tag ~lo ~hi ~filter =
+  let c = TagTree.seek tree (tag_probe tag hi) in
+  let rec pull () =
+    match TagTree.prev c with
+    | Some ((tag', k), ()) when String.equal tag' tag && Flex.bound_compare_key lo k < 0 ->
+        if filter k then Some k else pull ()
+    | Some _ | None -> None
+  in
+  pull
+
+(* forward scan of the clustered index over a key range *)
+let doc_scan t ~lo ~hi ~filter =
+  let c = DocTree.seek t.doc_index (key_probe lo) in
+  let rec pull () =
+    match DocTree.next c with
+    | Some (k, r) when Flex.bound_compare_key hi k > 0 ->
+        if filter k r then Some k else pull ()
+    | Some _ | None -> None
+  in
+  pull
+
+(* reverse scan of the clustered index, starting just before [hi] *)
+let doc_scan_rev t ~lo ~hi ~filter =
+  let c = DocTree.seek t.doc_index (key_probe hi) in
+  let rec pull () =
+    match DocTree.prev c with
+    | Some (k, r) when Flex.bound_compare_key lo k < 0 ->
+        if filter k r then Some k else pull ()
+    | Some _ | None -> None
+  in
+  pull
+
+(* children of [parent] by skipping each child's subtree with a fresh
+   O(log n) seek — the clustered-index "jump" the paper credits MASS with *)
+let child_skip_scan t parent ~yield =
+  let state = ref (Flex.After_key parent) in
+  let _, stop = Flex.subtree_range parent in
+  let rec pull () =
+    let c = DocTree.seek t.doc_index (key_probe !state) in
+    match DocTree.next c with
+    | Some (k, r) when Flex.bound_compare_key stop k > 0 ->
+        state := Flex.After_subtree k;
+        if yield k r then Some k else pull ()
+    | Some _ | None -> None
+  in
+  pull
+
+let non_attribute (r : Record.t) = r.Record.kind <> Record.Attribute
+
+(* named tag for index-driven evaluation, when the node test pins one *)
+let tag_for_test ~principal (test : Xpath.Ast.node_test) =
+  match test with
+  | Xpath.Ast.Name_test n -> (
+      match (principal : Record.kind) with
+      | Record.Attribute -> Some ("@" ^ n)
+      | _ -> Some n)
+  | Xpath.Ast.Text_test -> Some "#text"
+  | Xpath.Ast.Comment_test -> Some "#comment"
+  | Xpath.Ast.Pi_test None -> Some "#pi"
+  | Xpath.Ast.Pi_test (Some _) -> None (* target needs the record *)
+  | Xpath.Ast.Wildcard | Xpath.Ast.Node_test -> None
+
+let axis_cursor t (axis : Xpath.Ast.axis) test ctx : cursor =
+  let principal =
+    match axis with Xpath.Ast.Attribute -> Record.Attribute | _ -> Record.Element
+  in
+  let depth = Flex.depth ctx in
+  let named = tag_for_test ~principal test in
+  let matches r = Record.matches_test ~principal test r in
+  let doc_root = if depth = 0 then None else Some (Flex.prefix ctx 1) in
+  match axis with
+  | Xpath.Ast.Self ->
+      let done_ = ref false in
+      fun () ->
+        if !done_ then None
+        else begin
+          done_ := true;
+          match get t ctx with Some r when matches r -> Some ctx | _ -> None
+        end
+  | Xpath.Ast.Child -> (
+      let lo, hi = Flex.descendants_range ctx in
+      match named with
+      | Some tag ->
+          tag_scan t.name_index tag ~lo ~hi ~filter:(fun k -> Flex.depth k = depth + 1)
+      | None ->
+          child_skip_scan t ctx ~yield:(fun _ r -> non_attribute r && matches r))
+  | Xpath.Ast.Descendant -> (
+      let lo, hi = Flex.descendants_range ctx in
+      match named with
+      | Some tag -> tag_scan t.name_index tag ~lo ~hi ~filter:(fun _ -> true)
+      | None -> doc_scan t ~lo ~hi ~filter:(fun _ r -> non_attribute r && matches r))
+  | Xpath.Ast.Descendant_or_self -> (
+      let lo, hi = Flex.subtree_range ctx in
+      match named with
+      | Some tag -> tag_scan t.name_index tag ~lo ~hi ~filter:(fun _ -> true)
+      | None ->
+          (* the context node itself stays in even when it is an attribute *)
+          doc_scan t ~lo ~hi ~filter:(fun k r ->
+              (non_attribute r || Flex.equal k ctx) && matches r))
+  | Xpath.Ast.Attribute -> (
+      let lo, hi = Flex.descendants_range ctx in
+      (* only a name test can ride the name index here: the attribute axis
+         contains attribute nodes only, so kind tests select nothing *)
+      match test with
+      | Xpath.Ast.Name_test n ->
+          tag_scan t.name_index ("@" ^ n) ~lo ~hi ~filter:(fun k -> Flex.depth k = depth + 1)
+      | Xpath.Ast.Wildcard | Xpath.Ast.Node_test ->
+          child_skip_scan t ctx ~yield:(fun _ r -> r.Record.kind = Record.Attribute)
+      | Xpath.Ast.Text_test | Xpath.Ast.Comment_test | Xpath.Ast.Pi_test _ -> empty_cursor)
+  | Xpath.Ast.Parent -> (
+      match Flex.parent ctx with
+      | None -> empty_cursor
+      | Some p -> (
+          match get t p with
+          | Some r when matches r -> cursor_of_list [ p ]
+          | _ -> empty_cursor))
+  | Xpath.Ast.Ancestor | Xpath.Ast.Ancestor_or_self ->
+      (* proximity order: nearest ancestor first *)
+      let start = if axis = Xpath.Ast.Ancestor_or_self then depth else depth - 1 in
+      let keys = ref (List.init (max start 0) (fun i -> Flex.prefix ctx (start - i))) in
+      let rec pull () =
+        match !keys with
+        | [] -> None
+        | k :: tl -> (
+            keys := tl;
+            match get t k with Some r when matches r -> Some k | _ -> pull ())
+      in
+      pull
+  | Xpath.Ast.Following -> (
+      match doc_root with
+      | None -> empty_cursor
+      | Some root -> (
+          let lo = Flex.After_subtree ctx in
+          let _, hi = Flex.subtree_range root in
+          match named with
+          | Some tag -> tag_scan t.name_index tag ~lo ~hi ~filter:(fun _ -> true)
+          | None -> doc_scan t ~lo ~hi ~filter:(fun _ r -> non_attribute r && matches r)))
+  | Xpath.Ast.Preceding -> (
+      match doc_root with
+      | None -> empty_cursor
+      | Some root -> (
+          let lo, _ = Flex.descendants_range root in
+          let hi = Flex.Before ctx in
+          let not_ancestor k = not (Flex.is_ancestor k ctx) in
+          match named with
+          | Some tag -> tag_scan_rev t.name_index tag ~lo ~hi ~filter:not_ancestor
+          | None ->
+              doc_scan_rev t ~lo ~hi ~filter:(fun k r ->
+                  not_ancestor k && non_attribute r && matches r)))
+  | Xpath.Ast.Following_sibling -> (
+      match Flex.parent ctx with
+      | None -> empty_cursor
+      | Some _ when (match get t ctx with
+                    | Some { Record.kind = Record.Attribute; _ } -> true
+                    | _ -> false) ->
+          (* attribute nodes have no siblings *)
+          empty_cursor
+      | Some p -> (
+          let lo = Flex.After_subtree ctx in
+          let _, hi = Flex.subtree_range p in
+          match named with
+          | Some tag ->
+              tag_scan t.name_index tag ~lo ~hi ~filter:(fun k -> Flex.depth k = depth)
+          | None ->
+              let state = ref lo in
+              let rec pull () =
+                let c = DocTree.seek t.doc_index (key_probe !state) in
+                match DocTree.next c with
+                | Some (k, r) when Flex.bound_compare_key hi k > 0 ->
+                    state := Flex.After_subtree k;
+                    if non_attribute r && matches r then Some k else pull ()
+                | Some _ | None -> None
+              in
+              pull))
+  | Xpath.Ast.Preceding_sibling -> (
+      match Flex.parent ctx with
+      | None -> empty_cursor
+      | Some _ when (match get t ctx with
+                    | Some { Record.kind = Record.Attribute; _ } -> true
+                    | _ -> false) ->
+          empty_cursor
+      | Some p -> (
+          let lo, _ = Flex.descendants_range p in
+          let hi = Flex.Before ctx in
+          match named with
+          | Some tag ->
+              tag_scan_rev t.name_index tag ~lo ~hi ~filter:(fun k -> Flex.depth k = depth)
+          | None ->
+              (* reverse child scan: truncating any descendant to the
+                 sibling depth jumps straight to the sibling *)
+              let state = ref hi in
+              let rec pull () =
+                let c = DocTree.seek t.doc_index (key_probe !state) in
+                match DocTree.prev c with
+                | Some (k, _) when Flex.bound_compare_key lo k < 0 -> (
+                    let sibling = Flex.prefix k depth in
+                    state := Flex.Before sibling;
+                    match get t sibling with
+                    | Some r when non_attribute r && matches r -> Some sibling
+                    | _ -> pull ())
+                | Some _ | None -> None
+              in
+              pull))
+  | Xpath.Ast.Namespace -> empty_cursor
+
+let test_cursor ?scope t ~principal test =
+  let lo, hi = scope_bounds scope in
+  match tag_for_test ~principal test with
+  | Some tag -> tag_scan t.name_index tag ~lo ~hi ~filter:(fun _ -> true)
+  | None ->
+      let kind_ok (r : Record.t) =
+        match (principal : Record.kind) with
+        | Record.Attribute -> r.kind = Record.Attribute
+        | _ -> r.kind <> Record.Attribute
+      in
+      doc_scan t ~lo ~hi ~filter:(fun _ r ->
+          kind_ok r && Record.matches_test ~principal test r)
+
+let value_cursor ?scope t v =
+  let lo, hi = scope_bounds scope in
+  tag_scan t.value_index v ~lo ~hi ~filter:(fun _ -> true)
+
+let value_range_cursor ?scope t ~lo ~hi =
+  let klo, khi = scope_bounds scope in
+  let start_probe (tag, k) =
+    match lo with
+    | None -> 0
+    | Some l ->
+        let c = String.compare tag l in
+        if c <> 0 then c else key_probe klo k
+  in
+  let c = TagTree.seek t.value_index start_probe in
+  let rec pull () =
+    match TagTree.next c with
+    | Some ((tag, k), ()) -> (
+        match hi with
+        | Some h when String.compare tag h > 0 -> None
+        | _ ->
+            if Flex.key_in_range ~lo:klo ~hi:khi k then Some k else pull ())
+    | None -> None
+  in
+  pull
+
+let fold_document t doc f init =
+  let lo, hi = Flex.subtree_range doc.doc_key in
+  let c = DocTree.seek t.doc_index (key_probe lo) in
+  let rec go acc =
+    match DocTree.next c with
+    | Some (k, r) when Flex.bound_compare_key hi k > 0 -> go (f acc k r)
+    | Some _ | None -> acc
+  in
+  go init
+
+let iter_document t doc f = fold_document t doc (fun () k r -> f k r) ()
+
+(* ---- dynamic updates ---- *)
+
+let child_components t parent =
+  let scan = child_skip_scan t parent ~yield:(fun _ _ -> true) in
+  let rec go acc =
+    match scan () with
+    | Some k -> (
+        match Flex.last_component k with Some c -> go (c :: acc) | None -> go acc)
+    | None -> List.rev acc
+  in
+  go []
+
+let insert_element t ~parent ?after name attrs text =
+  (match get t parent with
+  | Some { Record.kind = Record.Element | Record.Document; _ } -> ()
+  | Some _ -> invalid_arg "Mass.Store.insert_element: parent cannot hold children"
+  | None -> invalid_arg "Mass.Store.insert_element: unknown parent");
+  let siblings = child_components t parent in
+  let lo, hi =
+    match after with
+    | None -> (
+        (* append after the last existing child *)
+        match List.rev siblings with last :: _ -> (Some last, None) | [] -> (None, None))
+    | Some sib ->
+        (match Flex.parent sib with
+        | Some p when Flex.equal p parent -> ()
+        | _ -> invalid_arg "Mass.Store.insert_element: 'after' is not a child of parent");
+        let sc = Option.get (Flex.last_component sib) in
+        let next = List.find_opt (fun c -> String.compare c sc > 0) siblings in
+        (Some sc, next)
+  in
+  let comp = Flex.between lo hi in
+  let key = Flex.child parent comp in
+  let doc = doc_of_key t key in
+  let add k kind nm value =
+    insert_record t { Record.key = k; kind; name = nm; value };
+    match doc with Some d -> bump d kind 1 | None -> ()
+  in
+  add key Record.Element name "";
+  let inner = Flex.sequence (List.length attrs + if text = None then 0 else 1) in
+  List.iteri (fun i (an, av) -> add (Flex.child key (List.nth inner i)) Record.Attribute an av) attrs;
+  (match text with
+  | Some s ->
+      add (Flex.child key (List.nth inner (List.length attrs))) Record.Text "" s
+  | None -> ());
+  key
+
+let delete_subtree t key =
+  let lo, hi = Flex.subtree_range key in
+  let doc = doc_of_key t key in
+  (* collect first: deleting invalidates cursors *)
+  let scan = doc_scan t ~lo ~hi ~filter:(fun _ _ -> true) in
+  let rec collect acc =
+    match scan () with
+    | Some k -> collect (k :: acc)
+    | None -> acc
+  in
+  let keys = collect [] in
+  let n = List.length keys in
+  List.iter
+    (fun k ->
+      match get t k with
+      | Some r ->
+          remove_record t r;
+          (match doc with Some d -> bump d r.Record.kind (-1) | None -> ())
+      | None -> ())
+    keys;
+  n
+
+let remove_document t doc =
+  ignore (delete_subtree t doc.doc_key);
+  t.docs <- List.filter (fun d -> d.doc_id <> doc.doc_id) t.docs
+
+let root_element_key doc t =
+  let scan =
+    child_skip_scan t doc.doc_key ~yield:(fun _ r -> r.Record.kind = Record.Element)
+  in
+  scan ()
+
+(* aggregate per-tag entry counts by one index sweep *)
+let tag_statistics tree =
+  let counts = Hashtbl.create 256 in
+  TagTree.iter
+    (fun (tag, _) () ->
+      Hashtbl.replace counts tag (1 + Option.value ~default:0 (Hashtbl.find_opt counts tag)))
+    tree;
+  Hashtbl.fold (fun tag n acc -> (tag, n) :: acc) counts []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let name_statistics t = tag_statistics t.name_index
+let value_statistics t = tag_statistics t.value_index
+
+(* ---- subtree reconstruction ---- *)
+
+let to_tree t key =
+  match get t key with
+  | None -> None
+  | Some root_record ->
+      (* one clustered scan of the subtree, rebuilding the spec bottom-up
+         via a stack of open elements *)
+      let lo, hi = Flex.subtree_range key in
+      let records =
+        let c = DocTree.seek t.doc_index (key_probe lo) in
+        let rec go acc =
+          match DocTree.next c with
+          | Some (k, r) when Flex.bound_compare_key hi k > 0 -> go ((k, r) :: acc)
+          | Some _ | None -> List.rev acc
+        in
+        go []
+      in
+      let spec_of_leaf (r : Record.t) =
+        match r.kind with
+        | Record.Text -> Some (Xml.Tree.D r.value)
+        | Record.Comment -> Some (Xml.Tree.Cm r.value)
+        | Record.Pi -> Some (Xml.Tree.Proc (r.name, r.value))
+        | Record.Element | Record.Attribute | Record.Document -> None
+      in
+      (* frame: element key, name, collected attrs (rev), children (rev) *)
+      let rec close_to depth stack =
+        match stack with
+        | (k, name, attrs, children) :: (pk, pname, pattrs, pchildren) :: rest
+          when Flex.depth k > depth ->
+            let e = Xml.Tree.E (name, List.rev attrs, List.rev children) in
+            close_to depth ((pk, pname, pattrs, e :: pchildren) :: rest)
+        | _ -> stack
+      in
+      let push stack (k, (r : Record.t)) =
+        (* a record at depth d terminates every open frame at depth >= d *)
+        let stack = close_to (Flex.depth k - 1) stack in
+        match r.kind with
+        | Record.Element | Record.Document -> (k, r.name, [], []) :: stack
+        | Record.Attribute -> (
+            match stack with
+            | (pk, pname, pattrs, pchildren) :: rest ->
+                (pk, pname, (r.name, r.value) :: pattrs, pchildren) :: rest
+            | [] -> stack)
+        | Record.Text | Record.Comment | Record.Pi -> (
+            match (spec_of_leaf r, stack) with
+            | Some spec, (pk, pname, pattrs, pchildren) :: rest ->
+                (pk, pname, pattrs, spec :: pchildren) :: rest
+            | _, _ -> stack)
+      in
+      let stack = List.fold_left push [] records in
+      let stack = close_to (Flex.depth key) stack in
+      (match (root_record.Record.kind, stack) with
+      | Record.Document, [ (_, _, _, children) ] -> Some (Xml.Tree.document (List.rev children))
+      | Record.Element, [ (_, name, attrs, children) ] ->
+          Some (Xml.Tree.document [ Xml.Tree.E (name, List.rev attrs, List.rev children) ])
+      | _ -> None)
+
+let to_xml ?indent t key =
+  match get t key with
+  | None -> None
+  | Some { Record.kind = Record.Document; _ } ->
+      Option.map (Xml.Writer.to_string ?indent) (to_tree t key)
+  | Some { Record.kind = Record.Element; _ } ->
+      Option.map
+        (fun tree -> Xml.Writer.to_string ?indent (Xml.Tree.root_element tree))
+        (to_tree t key)
+  | Some ({ Record.kind = Record.Attribute | Record.Text | Record.Comment | Record.Pi; _ } as r)
+    ->
+      Some r.Record.value
+
+(* ---- integrity validation (test support) ---- *)
+
+let validate t =
+  let fail fmt = Format.kasprintf failwith fmt in
+  (* every clustered record must have exactly its index entries *)
+  let doc_records = ref 0 in
+  List.iter
+    (fun d ->
+      ignore
+        (fold_document t d
+           (fun () k (r : Record.t) ->
+             incr doc_records;
+             if not (Flex.equal k r.key) then fail "record key mismatch at %s" (Flex.to_string k);
+             if not (TagTree.mem t.name_index (tag_of r, k)) then
+               fail "missing name-index entry for %s" (Flex.to_string k);
+             match indexed_value r with
+             | Some v ->
+                 if not (TagTree.mem t.value_index (v, k)) then
+                   fail "missing value-index entry for %s" (Flex.to_string k)
+             | None -> ())
+           ()))
+    t.docs;
+  if !doc_records <> total_records t then
+    fail "documents cover %d records, doc index holds %d" !doc_records (total_records t);
+  (* no dangling name/value entries *)
+  TagTree.iter
+    (fun (tag, k) () ->
+      match get t k with
+      | Some r -> if not (String.equal (tag_of r) tag) then fail "stale name entry %s" tag
+      | None -> fail "dangling name-index entry (%s, %s)" tag (Flex.to_string k))
+    t.name_index;
+  TagTree.iter
+    (fun (v, k) () ->
+      match get t k with
+      | Some r -> (
+          match indexed_value r with
+          | Some v' when String.equal v v' -> ()
+          | _ -> fail "stale value entry %S" v)
+      | None -> fail "dangling value-index entry (%S, %s)" v (Flex.to_string k))
+    t.value_index;
+  (* per-document counters match reality *)
+  List.iter
+    (fun d ->
+      let e = ref 0 and x = ref 0 and a = ref 0 and c = ref 0 and p = ref 0 in
+      iter_document t d (fun _ r ->
+          match r.Record.kind with
+          | Record.Element -> incr e
+          | Record.Text -> incr x
+          | Record.Attribute -> incr a
+          | Record.Comment -> incr c
+          | Record.Pi -> incr p
+          | Record.Document -> ());
+      if !e <> d.element_count then fail "%s: element counter %d <> %d" d.doc_name d.element_count !e;
+      if !x <> d.text_count then fail "%s: text counter" d.doc_name;
+      if !a <> d.attribute_count then fail "%s: attribute counter" d.doc_name;
+      if !c <> d.comment_count then fail "%s: comment counter" d.doc_name;
+      if !p <> d.pi_count then fail "%s: pi counter" d.doc_name)
+    t.docs
+
+(* ---- persistence ----
+
+   Snapshot format (versioned, little-endian):
+     magic "MASSSNAP" + u64 version
+     u64 document count, then per document:
+       string name, string encoded doc key, 5 x u64 kind counters
+     u64 record count, then per record:
+       string encoded key, u8 kind, string name, string value
+   Records are written in document order, so reloading re-inserts them in
+   sorted order (the B+-trees' best case). *)
+
+let snapshot_magic = "MASSSNAP"
+let snapshot_version = 1L
+
+let write_u64 buf n = Buffer.add_int64_le buf (Int64.of_int n)
+
+let write_string buf s =
+  write_u64 buf (String.length s);
+  Buffer.add_string buf s
+
+let kind_code (k : Record.kind) =
+  match k with
+  | Record.Document -> 0
+  | Record.Element -> 1
+  | Record.Attribute -> 2
+  | Record.Text -> 3
+  | Record.Comment -> 4
+  | Record.Pi -> 5
+
+let kind_of_code = function
+  | 0 -> Record.Document
+  | 1 -> Record.Element
+  | 2 -> Record.Attribute
+  | 3 -> Record.Text
+  | 4 -> Record.Comment
+  | 5 -> Record.Pi
+  | c -> failwith (Printf.sprintf "Mass snapshot: bad kind code %d" c)
+
+let save_file t path =
+  let buf = Buffer.create (1 lsl 20) in
+  Buffer.add_string buf snapshot_magic;
+  Buffer.add_int64_le buf snapshot_version;
+  write_u64 buf (List.length t.docs);
+  List.iter
+    (fun d ->
+      write_string buf d.doc_name;
+      write_string buf (Flex.encode d.doc_key);
+      write_u64 buf d.element_count;
+      write_u64 buf d.text_count;
+      write_u64 buf d.attribute_count;
+      write_u64 buf d.comment_count;
+      write_u64 buf d.pi_count)
+    t.docs;
+  write_u64 buf (total_records t);
+  List.iter
+    (fun d ->
+      ignore
+        (fold_document t d
+           (fun () _ (r : Record.t) ->
+             write_string buf (Flex.encode r.key);
+             Buffer.add_uint8 buf (kind_code r.kind);
+             write_string buf r.name;
+             write_string buf r.value)
+           ()))
+    t.docs;
+  let oc = open_out_bin path in
+  Buffer.output_buffer oc buf;
+  close_out oc
+
+exception Corrupt_snapshot of string
+
+let load_file ?pool_pages ?order path =
+  let ic = open_in_bin path in
+  let fail msg =
+    close_in ic;
+    raise (Corrupt_snapshot (Printf.sprintf "%s: %s" path msg))
+  in
+  let read_exact n =
+    match really_input_string ic n with
+    | s -> s
+    | exception End_of_file -> fail "truncated"
+  in
+  let read_u64 () =
+    let s = read_exact 8 in
+    let n = Int64.to_int (String.get_int64_le s 0) in
+    if n < 0 then fail "negative length" else n
+  in
+  let read_string () = read_exact (read_u64 ()) in
+  if not (String.equal (read_exact (String.length snapshot_magic)) snapshot_magic) then
+    fail "bad magic";
+  let version = String.get_int64_le (read_exact 8) 0 in
+  if version <> snapshot_version then fail (Printf.sprintf "unsupported version %Ld" version);
+  let t = create ?pool_pages ?order () in
+  let ndocs = read_u64 () in
+  let docs =
+    List.init ndocs (fun i ->
+        let doc_name = read_string () in
+        let doc_key = Flex.decode (read_string ()) in
+        let element_count = read_u64 () in
+        let text_count = read_u64 () in
+        let attribute_count = read_u64 () in
+        let comment_count = read_u64 () in
+        let pi_count = read_u64 () in
+        { doc_id = i; doc_name; doc_key; element_count; text_count; attribute_count;
+          comment_count; pi_count })
+  in
+  t.docs <- docs;
+  t.next_doc_id <- ndocs;
+  let nrecords = read_u64 () in
+  for _ = 1 to nrecords do
+    let key = Flex.decode (read_string ()) in
+    let kind =
+      match kind_of_code (Char.code (read_exact 1).[0]) with
+      | k -> k
+      | exception Failure msg -> fail msg
+    in
+    let name = read_string () in
+    let value = read_string () in
+    insert_record t { Record.key; kind; name; value }
+  done;
+  (* trailing garbage indicates corruption *)
+  (match input_char ic with
+  | _ -> fail "trailing data"
+  | exception End_of_file -> ());
+  close_in ic;
+  t
+
+(* ---- statistics ---- *)
+
+type statistics = {
+  record_count : int;
+  document_count : int;
+  doc_index_pages : int;
+  name_index_pages : int;
+  value_index_pages : int;
+  doc_index_height : int;
+  tuples_per_page : float;
+  io : Storage.Stats.t;
+}
+
+let io_stats t =
+  let acc = Storage.Stats.create () in
+  let add (s : Storage.Stats.t) =
+    acc.Storage.Stats.logical_reads <- acc.Storage.Stats.logical_reads + s.Storage.Stats.logical_reads;
+    acc.Storage.Stats.physical_reads <- acc.Storage.Stats.physical_reads + s.Storage.Stats.physical_reads;
+    acc.Storage.Stats.page_writes <- acc.Storage.Stats.page_writes + s.Storage.Stats.page_writes;
+    acc.Storage.Stats.evictions <- acc.Storage.Stats.evictions + s.Storage.Stats.evictions;
+    acc.Storage.Stats.allocations <- acc.Storage.Stats.allocations + s.Storage.Stats.allocations
+  in
+  add (DocTree.stats t.doc_index);
+  add (TagTree.stats t.name_index);
+  add (TagTree.stats t.value_index);
+  acc
+
+let reset_io_stats t =
+  Storage.Stats.reset (DocTree.stats t.doc_index);
+  Storage.Stats.reset (TagTree.stats t.name_index);
+  Storage.Stats.reset (TagTree.stats t.value_index)
+
+let statistics t =
+  let records = total_records t in
+  let doc_pages = DocTree.page_count t.doc_index in
+  {
+    record_count = records;
+    document_count = List.length t.docs;
+    doc_index_pages = doc_pages;
+    name_index_pages = TagTree.page_count t.name_index;
+    value_index_pages = TagTree.page_count t.value_index;
+    doc_index_height = DocTree.height t.doc_index;
+    tuples_per_page = (if doc_pages = 0 then 0.0 else float_of_int records /. float_of_int doc_pages);
+    io = io_stats t;
+  }

@@ -1,0 +1,197 @@
+(** MASS — Multi-Axis Storage Structure.
+
+    An XML repository built from three counted B+-trees:
+
+    - the {b clustered document index}: FLEX key → node record, in
+      document order, so every contiguous document region (a subtree, the
+      nodes following a subtree, …) is one index range;
+    - the {b name index}: (tag, FLEX key) → (), where [tag] is the element
+      name, ["@name"] for attributes, ["#text"], ["#comment"] or ["#pi"]
+      for the other kinds — any node-test count, global or subtree-scoped,
+      is one O(log n) counted-range probe;
+    - the {b value index}: (string value, FLEX key) → () over text nodes
+      and attribute values — the paper's text counts [TC] and the
+      [value::'v'] physical location step.
+
+    The store holds any number of documents; each document's records live
+    under a distinct top-level FLEX component, so per-document scoping is
+    subtree scoping (paper §I: costs "over the entire database … or
+    specific to a particular XML document or even a specific point within
+    one document"). *)
+
+type t
+
+type doc = {
+  doc_id : int;
+  doc_name : string;
+  doc_key : Flex.t;  (** key of the per-document Document record *)
+  mutable element_count : int;
+  mutable text_count : int;
+  mutable attribute_count : int;
+  mutable comment_count : int;
+  mutable pi_count : int;
+}
+
+val create : ?pool_pages:int -> ?order:int -> unit -> t
+(** [pool_pages] sizes each index's buffer pool; [order] is the B+-tree
+    node capacity. *)
+
+val load : t -> name:string -> Xml.Tree.t -> doc
+(** Bulk-load a parsed document.  Records are keyed depth-first with
+    components from {!Flex.sequence}, attributes before child nodes
+    (matching XPath document order). *)
+
+val load_string : t -> name:string -> string -> doc
+(** Parse with {!Xml.Parser.parse} and load. *)
+
+val remove_document : t -> doc -> unit
+(** Delete every record and index entry of a document.  Subsequent counts
+    are immediately accurate — the paper's update-robustness argument. *)
+
+val documents : t -> doc list
+val find_document : t -> string -> doc option
+
+val root_element_key : doc -> t -> Flex.t option
+(** Key of the document's root element. *)
+
+(** {1 Record access (data touch, charged to the buffer pool)} *)
+
+val get : t -> Flex.t -> Record.t option
+val get_exn : t -> Flex.t -> Record.t
+val string_value : t -> Flex.t -> string
+(** XPath string-value of the node at the key (concatenated descendant
+    text for elements/documents). *)
+
+(** {1 Counting (index-only, no record access)} *)
+
+val count_test :
+  t -> ?scope:Flex.t -> principal:Record.kind -> Xpath.Ast.node_test -> int
+(** Exact count of nodes satisfying a node test, optionally scoped to the
+    subtree of [scope].  [Wildcard]/[Node_test] scoped counts fall back to
+    the subtree size (a sound upper bound that still avoids data access);
+    their global counts are exact via per-store counters. *)
+
+val text_value_count : t -> ?scope:Flex.t -> string -> int
+(** The paper's TC: occurrences of a literal as a full text-node or
+    attribute value. *)
+
+val subtree_size : t -> Flex.t -> int
+(** Number of records (all kinds) in a subtree, the node included. *)
+
+val total_records : t -> int
+
+val preorder_rank : t -> Flex.t -> int
+(** Store-wide document-order position of a key (index-only probe). *)
+
+val document_rank : t -> Flex.t -> int
+(** Document-order position within the key's own document; the document
+    record ranks 0, matching {!Xml.Tree} preorder ids. *)
+
+(** {1 Cursors}
+
+    A cursor yields FLEX keys on demand ([None] when exhausted).  Keys
+    flow through query pipelines; records are only materialized via
+    {!get} when a predicate or output needs them. *)
+
+type cursor = unit -> Flex.t option
+
+val axis_cursor : t -> Xpath.Ast.axis -> Xpath.Ast.node_test -> Flex.t -> cursor
+(** All 13 axes.  Forward axes yield document order; reverse axes yield
+    reverse document order (XPath proximity order). *)
+
+val test_cursor :
+  ?scope:Flex.t -> t -> principal:Record.kind -> Xpath.Ast.node_test -> cursor
+(** All keys satisfying a node test within a scope, in document order —
+    the posting-list primitive (index-only for named tests; clustered
+    scan with kind filtering for wildcard/node tests). *)
+
+val value_cursor : ?scope:Flex.t -> t -> string -> cursor
+(** Keys of text/attribute nodes whose value equals the literal — the
+    [value::'v'] location step. *)
+
+val value_range_cursor : ?scope:Flex.t -> t -> lo:string option -> hi:string option -> cursor
+(** Keys of text/attribute nodes whose value is within a lexicographic
+    range (inclusive bounds); supports string range predicates. *)
+
+val fold_document : t -> doc -> ('a -> Flex.t -> Record.t -> 'a) -> 'a -> 'a
+(** Sequential scan over every record of a document in document order
+    (attributes included).  Charges the page reads of a full clustered
+    scan — the access path of the scan-based baseline engine. *)
+
+val iter_document : t -> doc -> (Flex.t -> Record.t -> unit) -> unit
+
+(** {1 Dynamic updates}
+
+    Ordered insertion between siblings via {!Flex.between} — exercising
+    FLEX's defining property and the paper's claim that statistics remain
+    exact under updates. *)
+
+val insert_element :
+  t -> parent:Flex.t -> ?after:Flex.t -> string -> (string * string) list -> string option ->
+  Flex.t
+(** [insert_element t ~parent ?after name attrs text] inserts a new
+    element (with optional attributes and a text child) under [parent],
+    after sibling [after] (or as first child).  Returns the new key.
+    @raise Invalid_argument if [parent] is unknown or [after] is not a
+    child of [parent]. *)
+
+val delete_subtree : t -> Flex.t -> int
+(** Remove a node and its subtree from all indexes; returns the number of
+    records removed. *)
+
+val name_statistics : t -> (string * int) list
+(** Every name-index tag with its entry count (element names verbatim,
+    attributes as ["@name"], other kinds as ["#text"] etc.), sorted.
+    One full index sweep — the raw material of a static data dictionary. *)
+
+val value_statistics : t -> (string * int) list
+(** Every indexed text/attribute value with its occurrence count. *)
+
+(** {1 Subtree reconstruction} *)
+
+val to_tree : t -> Flex.t -> Xml.Tree.t option
+(** Rebuild the XML subtree rooted at a key (one clustered scan).
+    Returns a document whose root element is the node; [None] for keys of
+    non-element, non-document kinds or unknown keys. *)
+
+val to_xml : ?indent:int -> t -> Flex.t -> string option
+(** Serialize the node: full subtree markup for elements/documents, the
+    string value for attribute/text/comment/PI nodes. *)
+
+val validate : t -> unit
+(** Cross-check the clustered index, name index, value index and the
+    per-document counters against each other.
+    @raise Failure describing the first inconsistency.  Test support. *)
+
+(** {1 Persistence}
+
+    Versioned binary snapshots of the whole store (all documents, records
+    in document order).  The indexes are rebuilt on load from the sorted
+    record stream. *)
+
+exception Corrupt_snapshot of string
+
+val save_file : t -> string -> unit
+
+val load_file : ?pool_pages:int -> ?order:int -> string -> t
+(** @raise Corrupt_snapshot on malformed input;
+    @raise Sys_error on I/O failure. *)
+
+(** {1 Statistics} *)
+
+type statistics = {
+  record_count : int;
+  document_count : int;
+  doc_index_pages : int;
+  name_index_pages : int;
+  value_index_pages : int;
+  doc_index_height : int;
+  tuples_per_page : float;
+  io : Storage.Stats.t;  (** aggregated across the three indexes *)
+}
+
+val statistics : t -> statistics
+val io_stats : t -> Storage.Stats.t
+(** Aggregate snapshot of the three pagers' counters. *)
+
+val reset_io_stats : t -> unit

@@ -1,0 +1,46 @@
+(** Buffer-pool-managed page store.
+
+    Pages hold arbitrary payloads (B-tree nodes, node-record slabs).  All
+    payloads live in a backing table (the simulated disk); the pool tracks
+    which pages are {e resident}.  Accessing a non-resident page counts a
+    physical read and may evict the least-recently-used resident page
+    (writing it back first if dirty).  This yields realistic relative I/O
+    costs for index probes versus scans without an actual disk. *)
+
+type id = int
+(** Page identifier, dense from 0. *)
+
+type 'a t
+
+val create : ?pool_pages:int -> unit -> 'a t
+(** [create ~pool_pages ()] — a pager whose buffer pool holds at most
+    [pool_pages] resident pages (default 1024 ≈ 4 MiB of 4 KiB pages).
+    @raise Invalid_argument if [pool_pages < 1]. *)
+
+val default_page_bytes : int
+(** Nominal page size used to translate pool sizes to bytes: 4096. *)
+
+val alloc : 'a t -> 'a -> id
+(** Allocate a new page with the given payload; the page enters the pool
+    resident and dirty. *)
+
+val read : 'a t -> id -> 'a
+(** Fetch a page's payload, updating LRU/statistics.
+    @raise Invalid_argument on an unknown id. *)
+
+val write : 'a t -> id -> 'a -> unit
+(** Replace a page's payload, marking it dirty (counts as a logical
+    access). @raise Invalid_argument on an unknown id. *)
+
+val free : 'a t -> id -> unit
+(** Release a page. @raise Invalid_argument on an unknown id. *)
+
+val flush : 'a t -> unit
+(** Write back all dirty resident pages (counts page writes). *)
+
+val page_count : 'a t -> int
+(** Number of live (allocated, not freed) pages. *)
+
+val resident_count : 'a t -> int
+val stats : 'a t -> Stats.t
+(** The pager's live counters (mutated in place by operations). *)

@@ -1,0 +1,44 @@
+type t = {
+  mutable logical_reads : int;
+  mutable physical_reads : int;
+  mutable page_writes : int;
+  mutable evictions : int;
+  mutable allocations : int;
+}
+
+let create () =
+  { logical_reads = 0; physical_reads = 0; page_writes = 0; evictions = 0; allocations = 0 }
+
+let reset t =
+  t.logical_reads <- 0;
+  t.physical_reads <- 0;
+  t.page_writes <- 0;
+  t.evictions <- 0;
+  t.allocations <- 0
+
+let copy t =
+  {
+    logical_reads = t.logical_reads;
+    physical_reads = t.physical_reads;
+    page_writes = t.page_writes;
+    evictions = t.evictions;
+    allocations = t.allocations;
+  }
+
+let diff later earlier =
+  {
+    logical_reads = later.logical_reads - earlier.logical_reads;
+    physical_reads = later.physical_reads - earlier.physical_reads;
+    page_writes = later.page_writes - earlier.page_writes;
+    evictions = later.evictions - earlier.evictions;
+    allocations = later.allocations - earlier.allocations;
+  }
+
+let hit_ratio t =
+  if t.logical_reads = 0 then 1.0
+  else 1.0 -. (float_of_int t.physical_reads /. float_of_int t.logical_reads)
+
+let pp ppf t =
+  Format.fprintf ppf
+    "{ logical=%d physical=%d writes=%d evictions=%d allocs=%d hit=%.3f }"
+    t.logical_reads t.physical_reads t.page_writes t.evictions t.allocations (hit_ratio t)

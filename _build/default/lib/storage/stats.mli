@@ -1,0 +1,28 @@
+(** I/O statistics counters for the simulated paged storage.
+
+    The reproduction runs on a simulated disk (everything is resident in
+    process memory), so wall-clock time alone would understate the I/O
+    behaviour the paper's figures depend on.  These counters make page
+    traffic observable: a {e logical read} is any page access, a
+    {e physical read} is an access to a page not currently resident in
+    the buffer pool. *)
+
+type t = {
+  mutable logical_reads : int;
+  mutable physical_reads : int;
+  mutable page_writes : int;  (** dirty pages written back on eviction/flush *)
+  mutable evictions : int;
+  mutable allocations : int;
+}
+
+val create : unit -> t
+val reset : t -> unit
+val copy : t -> t
+
+val diff : t -> t -> t
+(** [diff later earlier] — counter deltas between two snapshots. *)
+
+val hit_ratio : t -> float
+(** Buffer-pool hit ratio in [0,1]; [1.0] when there were no reads. *)
+
+val pp : Format.formatter -> t -> unit

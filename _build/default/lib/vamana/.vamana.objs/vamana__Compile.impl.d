@@ -1,0 +1,1 @@
+lib/vamana/compile.ml: Ast List Parser Plan Xpath

@@ -1,0 +1,1 @@
+lib/vamana/compile.mli: Plan Xpath

@@ -1,0 +1,1 @@
+lib/vamana/cost.ml: Ast Flex Float Format Hashtbl List Mass Plan Printf String Xpath

@@ -1,0 +1,1 @@
+lib/vamana/cost.mli: Flex Format Hashtbl Mass Plan Xpath

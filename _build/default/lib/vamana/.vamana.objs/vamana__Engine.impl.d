@@ -1,0 +1,1 @@
+lib/vamana/engine.ml: Buffer Compile Cost Exec Flex Format List Logs Mass Nav Optimizer Option Plan Storage Unix Xpath

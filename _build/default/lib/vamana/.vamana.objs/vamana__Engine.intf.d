@@ -1,0 +1,1 @@
+lib/vamana/engine.mli: Flex Mass Optimizer Plan Result Storage Xpath

@@ -1,0 +1,1 @@
+lib/vamana/exec.ml: Ast Flex List Mass Nav Option Plan String Xpath

@@ -1,0 +1,1 @@
+lib/vamana/exec.mli: Flex Mass Plan

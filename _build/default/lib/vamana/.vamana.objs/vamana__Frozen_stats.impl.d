@@ -1,0 +1,1 @@
+lib/vamana/frozen_stats.ml: Cost Hashtbl List Mass Option String Xpath

@@ -1,0 +1,1 @@
+lib/vamana/frozen_stats.mli: Cost Mass

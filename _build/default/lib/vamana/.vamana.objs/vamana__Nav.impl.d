@@ -1,0 +1,1 @@
+lib/vamana/nav.ml: Mass

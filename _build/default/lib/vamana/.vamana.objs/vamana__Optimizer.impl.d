@@ -1,0 +1,1 @@
+lib/vamana/optimizer.ml: Cost List Logs Plan Rewrite

@@ -1,0 +1,1 @@
+lib/vamana/optimizer.mli: Cost Flex Mass Plan Rewrite

@@ -1,0 +1,1 @@
+lib/vamana/plan.ml: Format List Option Printf String Xpath

@@ -1,0 +1,1 @@
+lib/vamana/plan.mli: Format Xpath

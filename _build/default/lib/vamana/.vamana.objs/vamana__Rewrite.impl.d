@@ -1,0 +1,1 @@
+lib/vamana/rewrite.ml: Ast List Plan String Xpath

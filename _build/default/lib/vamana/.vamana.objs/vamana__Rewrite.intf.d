@@ -1,0 +1,1 @@
+lib/vamana/rewrite.mli: Plan

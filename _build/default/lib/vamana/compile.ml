@@ -1,0 +1,105 @@
+open Xpath
+
+let rec uses_last (e : Ast.expr) =
+  match e with
+  | Ast.Call ("last", []) -> true
+  | Ast.Call (_, args) -> List.exists uses_last args
+  | Ast.Binop (_, a, b) -> uses_last a || uses_last b
+  | Ast.Neg a -> uses_last a
+  | Ast.Filter (a, preds) -> uses_last a || List.exists uses_last preds
+  | Ast.Located (a, p) -> uses_last a || path_uses_last p
+  | Ast.Path p -> path_uses_last p
+  | Ast.Literal _ | Ast.Number _ | Ast.Var _ -> false
+
+and path_uses_last p =
+  List.exists (fun s -> List.exists uses_last s.Ast.predicates) p.Ast.steps
+
+(* Any position()/last() use: predicates relying on these need the fully
+   positional generic step evaluation unless they compile to the algebra's
+   Position operator. *)
+let rec uses_positional (e : Ast.expr) =
+  match e with
+  | Ast.Call (("last" | "position"), []) -> true
+  | Ast.Call (_, args) -> List.exists uses_positional args
+  | Ast.Binop (_, a, b) -> uses_positional a || uses_positional b
+  | Ast.Neg a -> uses_positional a
+  | Ast.Filter (a, preds) -> uses_positional a || List.exists uses_positional preds
+  | Ast.Located (a, p) ->
+      uses_positional a
+      || List.exists (fun s -> List.exists uses_positional s.Ast.predicates) p.Ast.steps
+  | Ast.Path p -> List.exists (fun s -> List.exists uses_positional s.Ast.predicates) p.Ast.steps
+  | Ast.Literal _ | Ast.Number _ | Ast.Var _ -> false
+
+(* ---- predicate compilation ---- *)
+
+let rec compile_operand (e : Ast.expr) : Plan.operand option =
+  match e with
+  | Ast.Literal s -> Some (Plan.Literal (Plan.fresh_id (), s))
+  | Ast.Number f -> Some (Plan.Number_operand f)
+  | Ast.Path p when not p.Ast.absolute -> (
+      match compile_relative p.Ast.steps with
+      | Some op -> Some (Plan.Path_operand op)
+      | None -> None)
+  | _ -> None
+
+and compile_predicate (e : Ast.expr) : Plan.pred =
+  if uses_last e then Plan.Generic e
+  else
+    match e with
+    | Ast.Number n -> Plan.Position (Ast.Eq, n)
+    | Ast.Binop (((Ast.Eq | Ast.Neq | Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge) as cmp), a, b) -> (
+        match (a, b) with
+        | Ast.Call ("position", []), Ast.Number n -> Plan.Position (cmp, n)
+        | Ast.Number n, Ast.Call ("position", []) ->
+            let flip : Ast.binop -> Ast.binop = function
+              | Ast.Lt -> Ast.Gt
+              | Ast.Le -> Ast.Ge
+              | Ast.Gt -> Ast.Lt
+              | Ast.Ge -> Ast.Le
+              | other -> other
+            in
+            Plan.Position (flip cmp, n)
+        | _ -> (
+            match (compile_operand a, compile_operand b) with
+            | Some oa, Some ob -> Plan.Binary (Plan.fresh_id (), cmp, oa, ob)
+            | _ -> Plan.Generic e))
+    | Ast.Binop (Ast.And, a, b) -> Plan.And (compile_predicate a, compile_predicate b)
+    | Ast.Binop (Ast.Or, a, b) -> Plan.Or (compile_predicate a, compile_predicate b)
+    | Ast.Call ("not", [ a ]) -> Plan.Not (compile_predicate a)
+    | Ast.Path p when not p.Ast.absolute -> (
+        match compile_relative p.Ast.steps with
+        | Some op -> Plan.Exists op
+        | None -> Plan.Generic e)
+    | _ -> Plan.Generic e
+
+(* A relative step chain compiles leaf-first: the first step is the chain
+   leaf (it receives the outer context), the last step is the chain top. *)
+and compile_step ?context (s : Ast.step) : Plan.op =
+  if List.exists uses_last s.Ast.predicates then Plan.mk ?context (Plan.Step_generic s)
+  else
+    let predicates = List.map compile_predicate s.Ast.predicates in
+    (* a positional expression that did not compile to the algebra's
+       Position operator needs full positional semantics *)
+    let needs_generic =
+      List.exists
+        (function Plan.Generic e -> uses_positional e | _ -> false)
+        predicates
+    in
+    if needs_generic then Plan.mk ?context (Plan.Step_generic s)
+    else Plan.mk ?context ~predicates (Plan.Step (s.Ast.axis, s.Ast.test))
+
+and compile_relative steps : Plan.op option =
+  List.fold_left (fun context s -> Some (compile_step ?context s)) None steps
+
+let compile_path (p : Ast.path) =
+  let chain = compile_relative p.Ast.steps in
+  Plan.mk ?context:chain Plan.Root
+
+let compile_query src =
+  match Parser.parse src with
+  | Ast.Path p -> Ok (compile_path p)
+  | _ -> Error "expression is not a location path; use the generic evaluator"
+  | exception (Parser.Error _ as exn) -> (
+      match Parser.error_to_string exn with
+      | Some msg -> Error msg
+      | None -> Error "parse error")

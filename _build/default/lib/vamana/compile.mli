@@ -1,0 +1,25 @@
+(** XPath AST → default VAMANA physical plan (paper §IV-A, Figure 4).
+
+    Each location step maps to exactly one step operator; the first step
+    becomes the context-chain leaf and the plan is topped with the root
+    operator.  Predicate expressions compile to the specialized predicate
+    operators where the algebra has them (existence paths, binary
+    comparisons against literals, positional filters) and to [Generic]
+    evaluator calls otherwise.  Steps using [last()] compile to
+    [Step_generic] so that full positional semantics are preserved. *)
+
+val compile_path : Xpath.Ast.path -> Plan.op
+(** Build the default plan for a location path.  The returned operator is
+    the plan root ([R]). *)
+
+val compile_query : string -> (Plan.op, string) result
+(** Parse and compile; [Error] carries a human-readable message.  Only
+    plain location paths compile to plans — other expressions must go
+    through the generic evaluator ({!Nav.E.eval}). *)
+
+val uses_last : Xpath.Ast.expr -> bool
+(** Whether an expression depends on [last()] (forces generic step
+    evaluation). *)
+
+val uses_positional : Xpath.Ast.expr -> bool
+(** Whether an expression depends on [position()] or [last()]. *)

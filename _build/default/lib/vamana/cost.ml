@@ -1,0 +1,226 @@
+module Store = Mass.Store
+open Xpath
+
+type stats = {
+  count : int;
+  tc : int option;
+  input : int;
+  output : int;
+  selectivity : float;
+}
+
+type costed = (int, stats) Hashtbl.t
+
+type statistics_source = {
+  node_count : scope:Flex.t option -> principal:Mass.Record.kind -> Xpath.Ast.node_test -> int;
+  value_count : scope:Flex.t option -> string -> int;
+}
+
+let live_statistics store =
+  {
+    node_count = (fun ~scope ~principal test -> Store.count_test store ?scope ~principal test);
+    value_count = (fun ~scope v -> Store.text_value_count store ?scope v);
+  }
+
+let selectivity_of ~input ~output =
+  if output = 0 then Float.infinity
+  else float_of_int input /. float_of_int output
+
+let record x ~(costed : costed) id = Hashtbl.replace costed id x
+
+(* Table I: upper bound on the tuples a step operator emits. *)
+let table_one (axis : Ast.axis) ~count ~input =
+  match axis with
+  | Ast.Child | Ast.Descendant | Ast.Descendant_or_self | Ast.Attribute -> count
+  | Ast.Parent | Ast.Ancestor | Ast.Ancestor_or_self | Ast.Following
+  | Ast.Following_sibling | Ast.Preceding | Ast.Preceding_sibling ->
+      input
+  | Ast.Self -> if count > input then count else input
+  | Ast.Namespace -> 0
+
+let count_for stats ~scope (axis : Ast.axis) test =
+  let principal =
+    match axis with Ast.Attribute -> Mass.Record.Attribute | _ -> Mass.Record.Element
+  in
+  stats.node_count ~scope ~principal test
+
+(* A literal binary predicate comparable through the value index (the
+   paper's case 5): [path = 'literal'] with equality. *)
+let value_comparable (pred : Plan.pred) =
+  match pred with
+  | Plan.Binary (_, Ast.Eq, Plan.Path_operand _, Plan.Literal (_, v))
+  | Plan.Binary (_, Ast.Eq, Plan.Literal (_, v), Plan.Path_operand _) ->
+      Some v
+  | _ -> None
+
+let rec estimate_op stats ~scope ~costed ~leaf_input (op : Plan.op) : stats =
+  match op.kind with
+  | Plan.Root ->
+      let inner =
+        match op.context with
+        | Some c -> estimate_op stats ~scope ~costed ~leaf_input c
+        | None -> { count = 0; tc = None; input = 0; output = 0; selectivity = 1.0 }
+      in
+      let s =
+        { count = inner.output; tc = None; input = inner.output; output = inner.output;
+          selectivity = 1.0 }
+      in
+      record s ~costed op.id;
+      s
+  | Plan.Step (axis, test) ->
+      let count = count_for stats ~scope axis test in
+      let input =
+        match op.context with
+        | Some c -> (estimate_op stats ~scope ~costed ~leaf_input c).output
+        | None -> ( match leaf_input with Some n -> n | None -> count)
+      in
+      let axis_out = table_one axis ~count ~input in
+      let output = estimate_predicates stats ~scope ~costed ~candidates:axis_out op.predicates in
+      let s = { count; tc = None; input; output; selectivity = selectivity_of ~input ~output } in
+      record s ~costed op.id;
+      s
+  | Plan.Value_step (v, _) ->
+      let tc = stats.value_count ~scope v in
+      let input =
+        match op.context with
+        | Some c -> (estimate_op stats ~scope ~costed ~leaf_input c).output
+        | None -> ( match leaf_input with Some n -> n | None -> 1)
+      in
+      let output = estimate_predicates stats ~scope ~costed ~candidates:tc op.predicates in
+      let s =
+        { count = tc; tc = Some tc; input; output; selectivity = selectivity_of ~input ~output }
+      in
+      record s ~costed op.id;
+      s
+  | Plan.Step_generic st ->
+      (* no specialized model: treat like the underlying axis without
+         predicate refinement *)
+      let count = count_for stats ~scope st.Ast.axis st.Ast.test in
+      let input =
+        match op.context with
+        | Some c -> (estimate_op stats ~scope ~costed ~leaf_input c).output
+        | None -> ( match leaf_input with Some n -> n | None -> count)
+      in
+      let output = table_one st.Ast.axis ~count ~input in
+      let s = { count; tc = None; input; output; selectivity = selectivity_of ~input ~output } in
+      record s ~costed op.id;
+      s
+
+(* Returns the refined output bound after applying the predicate cases:
+   case 5 (value-comparable binary: min(candidates, TC)), case 6 (other
+   predicates leave the bound unchanged).  Predicate sub-plans are costed
+   too, with the candidate count as their leaf input (case 3). *)
+and estimate_predicates stats ~scope ~costed ~candidates preds =
+  List.fold_left
+    (fun bound pred ->
+      cost_pred_subplans stats ~scope ~costed ~candidates pred;
+      match value_comparable pred with
+      | Some v ->
+          let tc = stats.value_count ~scope v in
+          min bound tc
+      | None -> (
+          match pred with
+          | Plan.Position ((Ast.Eq : Ast.binop), _) -> min bound candidates
+          | _ -> bound))
+    candidates preds
+
+and cost_pred_subplans stats ~scope ~costed ~candidates (pred : Plan.pred) =
+  match pred with
+  | Plan.Exists sub -> ignore (estimate_op stats ~scope ~costed ~leaf_input:(Some candidates) sub)
+  | Plan.Binary (_, _, a, b) ->
+      cost_operand stats ~scope ~costed ~candidates a;
+      cost_operand stats ~scope ~costed ~candidates b
+  | Plan.And (a, b) | Plan.Or (a, b) ->
+      cost_pred_subplans stats ~scope ~costed ~candidates a;
+      cost_pred_subplans stats ~scope ~costed ~candidates b
+  | Plan.Not a -> cost_pred_subplans stats ~scope ~costed ~candidates a
+  | Plan.Position _ | Plan.Generic _ -> ()
+
+and cost_operand stats ~scope ~costed ~candidates (o : Plan.operand) =
+  match o with
+  | Plan.Path_operand sub ->
+      ignore (estimate_op stats ~scope ~costed ~leaf_input:(Some candidates) sub)
+  | Plan.Literal _ | Plan.Number_operand _ -> ()
+
+let estimate_with stats ~scope plan : costed =
+  let costed = Hashtbl.create 16 in
+  ignore (estimate_op stats ~scope ~costed ~leaf_input:None plan);
+  costed
+
+let estimate ?stats store ~scope plan : costed =
+  let stats = match stats with Some s -> s | None -> live_statistics store in
+  estimate_with stats ~scope plan
+
+let total_output (costed : costed) plan =
+  List.fold_left
+    (fun acc (op : Plan.op) ->
+      match Hashtbl.find_opt costed op.id with Some s -> acc + s.output | None -> acc)
+    0 (Plan.subtree_ops plan)
+
+let ordered_by_selectivity (costed : costed) plan =
+  let ops =
+    Plan.subtree_ops plan
+    |> List.filter (fun (op : Plan.op) ->
+           match op.kind with
+           | Plan.Step _ | Plan.Value_step _ -> true
+           | Plan.Root | Plan.Step_generic _ -> false)
+  in
+  let with_sel =
+    List.filter_map
+      (fun op ->
+        match Hashtbl.find_opt costed op.Plan.id with
+        | Some s -> Some (op, s.selectivity)
+        | None -> None)
+      ops
+  in
+  let max_sel =
+    List.fold_left
+      (fun acc (_, s) -> if Float.is_finite s && s > acc then s else acc)
+      1.0 with_sel
+  in
+  (* scale into [0, 1]; infinite selectivity (empty output) scales to 1 *)
+  let scaled =
+    List.map
+      (fun (op, s) -> (op, if Float.is_finite s then s /. max_sel else 1.0))
+      with_sel
+  in
+  List.stable_sort (fun (_, a) (_, b) -> Float.compare b a) scaled
+
+let pp_annotated (costed : costed) ppf plan =
+  let annot (op : Plan.op) =
+    match Hashtbl.find_opt costed op.id with
+    | Some s ->
+        Printf.sprintf "  {COUNT=%d IN=%d OUT=%d δ=%s}" s.count s.input s.output
+          (if Float.is_finite s.selectivity then Printf.sprintf "%.3g" s.selectivity else "∞")
+    | None -> ""
+  in
+  let rec pp_op ~indent (op : Plan.op) =
+    Format.fprintf ppf "%s%s%s@," (String.make indent ' ') (Plan.kind_to_string op) (annot op);
+    List.iter (pp_pred ~indent:(indent + 2)) op.predicates;
+    match op.context with Some c -> pp_op ~indent:(indent + 2) c | None -> ()
+  and pp_pred ~indent (pred : Plan.pred) =
+    let pad = String.make indent ' ' in
+    match pred with
+    | Plan.Exists sub ->
+        Format.fprintf ppf "%sξ exists@," pad;
+        pp_op ~indent:(indent + 2) sub
+    | Plan.Binary (id, _, a, b) ->
+        Format.fprintf ppf "%sβ%d@," pad id;
+        pp_operand ~indent:(indent + 2) a;
+        pp_operand ~indent:(indent + 2) b
+    | Plan.And (a, b) | Plan.Or (a, b) ->
+        pp_pred ~indent a;
+        pp_pred ~indent b
+    | Plan.Not a -> pp_pred ~indent a
+    | Plan.Position _ | Plan.Generic _ -> Format.fprintf ppf "%s[predicate]@," pad
+  and pp_operand ~indent (o : Plan.operand) =
+    match o with
+    | Plan.Path_operand sub -> pp_op ~indent sub
+    | Plan.Literal (id, v) ->
+        Format.fprintf ppf "%sL%d '%s'@," (String.make indent ' ') id v
+    | Plan.Number_operand f ->
+        Format.fprintf ppf "%s%g@," (String.make indent ' ') f
+  in
+  Format.fprintf ppf "@[<v>";
+  pp_op ~indent:0 plan;
+  Format.fprintf ppf "@]"

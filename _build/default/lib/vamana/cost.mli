@@ -1,0 +1,63 @@
+(** Cost estimation (paper §VI-B and Table I).
+
+    Statistics are taken directly from the MASS indexes — exact counted
+    B+-tree probes, no histograms — so estimates stay accurate under
+    updates.  For each operator the estimator derives:
+
+    - [COUNT]: nodes satisfying the node test (name-index count, scoped
+      to the queried document);
+    - [TC]: occurrences of a literal value (value-index count);
+    - [IN]: tuples the operator will receive — [COUNT] for a context-path
+      leaf, the context child's [OUT] for inner operators, the candidate
+      count for predicate-path leaves;
+    - [OUT]: the Table I upper bound — downward axes are bounded by
+      [COUNT], upward/lateral axes by [IN], [self] by the table's
+      max-like rule; a value-comparable binary predicate caps [OUT] at
+      [min IN TC] (the paper's case 5);
+    - selectivity δ = IN/OUT, the optimizer's ordering key.
+
+    The paper's Figure 7 takes the predicate-path text-step [COUNT] from
+    the candidate element count; we use the document-wide node-test count,
+    which preserves every ordering the heuristics rely on. *)
+
+type stats = {
+  count : int;
+  tc : int option;  (** literal operators only *)
+  input : int;
+  output : int;
+  selectivity : float;  (** IN/OUT; [infinity] when OUT = 0 *)
+}
+
+type costed = (int, stats) Hashtbl.t
+(** Operator id → statistics. *)
+
+type statistics_source = {
+  node_count : scope:Flex.t option -> principal:Mass.Record.kind -> Xpath.Ast.node_test -> int;
+  value_count : scope:Flex.t option -> string -> int;
+}
+(** Where the estimator reads COUNT and TC from.  The engine uses
+    {!live_statistics} (exact, index-backed, always current); alternative
+    sources support experiments — e.g. {!Frozen_stats} models the stale
+    data dictionaries the paper argues against. *)
+
+val live_statistics : Mass.Store.t -> statistics_source
+
+val estimate :
+  ?stats:statistics_source -> Mass.Store.t -> scope:Flex.t option -> Plan.op -> costed
+(** Cost a plan (pass the document key as [scope] for per-document
+    statistics, [None] for store-wide).  [stats] defaults to
+    {!live_statistics}. *)
+
+val estimate_with : statistics_source -> scope:Flex.t option -> Plan.op -> costed
+
+val total_output : costed -> Plan.op -> int
+(** Sum of [OUT] over all operators — the plan-cost measure the optimizer
+    uses to accept or reject a transformation (monotone under the paper's
+    improvement guarantee). *)
+
+val ordered_by_selectivity : costed -> Plan.op -> (Plan.op * float) list
+(** The paper's ordered list [L(P)]: step/value operators sorted by
+    selectivity, most selective first, δ scaled to [0, 1]. *)
+
+val pp_annotated : costed -> Format.formatter -> Plan.op -> unit
+(** Plan tree with COUNT/IN/OUT annotations (paper Figures 6 and 7). *)

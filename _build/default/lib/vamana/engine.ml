@@ -1,0 +1,147 @@
+module Store = Mass.Store
+
+let log_src = Logs.Src.create "vamana.engine" ~doc:"VAMANA engine facade"
+
+module Log = (val Logs.src_log log_src)
+
+type result = {
+  keys : Flex.t list;
+  default_plan : Plan.op;
+  executed_plan : Plan.op;
+  optimizer : Optimizer.outcome option;
+  compile_time : float;
+  optimize_time : float;
+  execute_time : float;
+  io : Storage.Stats.t;
+}
+
+let time f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+let scope_of_context context = if Flex.depth context = 0 then None else Some (Flex.prefix context 1)
+
+(* a top-level union evaluates as independent plans whose result sets
+   merge; each branch is optimized separately *)
+let rec union_branches (e : Xpath.Ast.expr) =
+  match e with
+  | Xpath.Ast.Binop (Xpath.Ast.Union, a, b) -> (
+      match (union_branches a, union_branches b) with
+      | Some xs, Some ys -> Some (xs @ ys)
+      | _ -> None)
+  | Xpath.Ast.Path p -> Some [ p ]
+  | _ -> None
+
+let compile_union src =
+  match Xpath.Parser.parse src with
+  | exception (Xpath.Parser.Error _ as exn) ->
+      Error (Option.value ~default:"parse error" (Xpath.Parser.error_to_string exn))
+  | ast -> (
+      match union_branches ast with
+      | Some paths -> Ok (List.map Compile.compile_path paths)
+      | None -> Error "expression is not a location path or union of paths")
+
+let query ?(optimize = true) store ~context src =
+  match time (fun () -> Compile.compile_query src) with
+  | Error _, _ -> (
+      (* not a single path: try a union of paths *)
+      match time (fun () -> compile_union src) with
+      | Error msg, _ -> Error msg
+      | Ok plans, compile_time ->
+          let scope = scope_of_context context in
+          let outcomes, optimize_time =
+            if optimize then
+              let os, t =
+                time (fun () -> List.map (Optimizer.optimize store ~scope) plans)
+              in
+              (Some os, t)
+            else (None, 0.0)
+          in
+          let executed =
+            match outcomes with
+            | Some os -> List.map (fun (o : Optimizer.outcome) -> o.Optimizer.plan) os
+            | None -> plans
+          in
+          let io_before = Storage.Stats.copy (Store.io_stats store) in
+          let keys, execute_time =
+            time (fun () ->
+                List.sort_uniq Flex.compare
+                  (List.concat_map (fun p -> Exec.run store ~context p) executed))
+          in
+          let io = Storage.Stats.diff (Store.io_stats store) io_before in
+          Ok
+            { keys;
+              default_plan = List.hd plans;
+              executed_plan = List.hd executed;
+              optimizer = Option.map List.hd outcomes;
+              compile_time; optimize_time; execute_time; io })
+  | Ok default_plan, compile_time ->
+      let optimizer, optimize_time =
+        if optimize then
+          let o, t =
+            time (fun () -> Optimizer.optimize store ~scope:(scope_of_context context) default_plan)
+          in
+          (Some o, t)
+        else (None, 0.0)
+      in
+      let executed_plan =
+        match optimizer with Some o -> o.Optimizer.plan | None -> default_plan
+      in
+      let io_before = Storage.Stats.copy (Store.io_stats store) in
+      let keys, execute_time = time (fun () -> Exec.run store ~context executed_plan) in
+      let io = Storage.Stats.diff (Store.io_stats store) io_before in
+      Log.debug (fun m ->
+          m "%s: %d results, compile %.3fms opt %.3fms exec %.3fms, %d page reads" src
+            (List.length keys) (compile_time *. 1000.) (optimize_time *. 1000.)
+            (execute_time *. 1000.) io.Storage.Stats.logical_reads);
+      Ok
+        { keys; default_plan; executed_plan; optimizer; compile_time; optimize_time;
+          execute_time; io }
+
+let query_doc ?optimize store doc src = query ?optimize store ~context:doc.Store.doc_key src
+
+let query_store ?optimize store src =
+  (* one pipeline per document; results concatenate in store order because
+     document roots are ordered FLEX components *)
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | doc :: rest -> (
+        match query_doc ?optimize store doc src with
+        | Ok r -> go ((doc, r) :: acc) rest
+        | Error _ as e -> e)
+  in
+  go [] (Store.documents store)
+
+let eval store ~context src =
+  match Xpath.Parser.parse src with
+  | exception (Xpath.Parser.Error _ as exn) ->
+      Error (Option.value ~default:"parse error" (Xpath.Parser.error_to_string exn))
+  | ast -> (
+      match Nav.E.eval store ~context ast with
+      | v -> Ok v
+      | exception Xpath.Eval.Unsupported msg -> Error msg)
+
+let materialize store keys = List.filter_map (Store.get store) keys
+
+let explain ?(optimize = true) store doc src =
+  match Compile.compile_query src with
+  | Error msg -> Error msg
+  | Ok default_plan ->
+      let scope = Some doc.Store.doc_key in
+      let buf = Buffer.create 512 in
+      let ppf = Format.formatter_of_buffer buf in
+      let costed = Cost.estimate store ~scope default_plan in
+      Format.fprintf ppf "Default plan:@.%a@." (Cost.pp_annotated costed) default_plan;
+      (if optimize then begin
+         let o = Optimizer.optimize store ~scope default_plan in
+         List.iter
+           (fun (t : Optimizer.trace_entry) ->
+             Format.fprintf ppf "applied %s at %s: cost %d -> %d@." t.Optimizer.rule
+               t.Optimizer.target t.Optimizer.cost_before t.Optimizer.cost_after)
+           o.Optimizer.trace;
+         Format.fprintf ppf "Optimized plan (%d iterations):@.%a@." o.Optimizer.iterations
+           (Cost.pp_annotated o.Optimizer.cost) o.Optimizer.plan
+       end);
+      Format.pp_print_flush ppf ();
+      Ok (Buffer.contents buf)

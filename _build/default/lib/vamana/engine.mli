@@ -1,0 +1,48 @@
+(** VAMANA engine facade: compile → (optionally) optimize → execute.
+
+    Results are FLEX keys in document order without duplicates, plus the
+    plans, cost annotations, optimizer trace, timings and buffer-pool I/O
+    deltas — everything the benchmark harness reports. *)
+
+type result = {
+  keys : Flex.t list;  (** document order, duplicate-free *)
+  default_plan : Plan.op;
+  executed_plan : Plan.op;  (** = [default_plan] when optimization is off *)
+  optimizer : Optimizer.outcome option;
+  compile_time : float;  (** seconds *)
+  optimize_time : float;
+  execute_time : float;
+  io : Storage.Stats.t;  (** I/O performed by execution only *)
+}
+
+val query :
+  ?optimize:bool -> Mass.Store.t -> context:Flex.t -> string -> (result, string) Result.t
+(** Run an XPath location path — or a union of location paths — rooted at
+    [context] (normally a document key from {!Mass.Store.documents}).
+    [optimize] defaults to [true] (the paper's VQP-OPT; pass [false] for
+    VQP).  Union branches compile and optimize independently; for a union,
+    the plan/optimizer fields report the first branch. *)
+
+val query_doc :
+  ?optimize:bool -> Mass.Store.t -> Mass.Store.doc -> string -> (result, string) Result.t
+
+val query_store :
+  ?optimize:bool ->
+  Mass.Store.t ->
+  string ->
+  ((Mass.Store.doc * result) list, string) Result.t
+(** Run the query against every document in the store (the paper's
+    whole-database scope); per-document plans are optimized with
+    per-document statistics. *)
+
+val eval :
+  Mass.Store.t -> context:Flex.t -> string -> (Flex.t Xpath.Eval.value, string) Result.t
+(** Evaluate an arbitrary XPath expression (not necessarily a path)
+    through the generic evaluator — e.g. [count(//person)]. *)
+
+val materialize : Mass.Store.t -> Flex.t list -> Mass.Record.t list
+(** Fetch the records for a result (data access, charged to the pool). *)
+
+val explain : ?optimize:bool -> Mass.Store.t -> Mass.Store.doc -> string -> (string, string) Result.t
+(** Cost-annotated plan rendering (paper Figures 6–9 style), including
+    the optimizer trace. *)

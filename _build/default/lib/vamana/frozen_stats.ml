@@ -1,0 +1,52 @@
+type t = {
+  names : (string, int) Hashtbl.t;
+  values : (string, int) Hashtbl.t;
+  updates : int;
+}
+
+let of_assoc pairs =
+  let h = Hashtbl.create (List.length pairs * 2) in
+  List.iter (fun (k, n) -> Hashtbl.replace h k n) pairs;
+  h
+
+let capture store =
+  {
+    names = of_assoc (Mass.Store.name_statistics store);
+    values = of_assoc (Mass.Store.value_statistics store);
+    updates = 0;
+  }
+
+let lookup h k = Option.value ~default:0 (Hashtbl.find_opt h k)
+
+(* mirrors Mass.Store's tag scheme; a dictionary has global counts only,
+   so the scope argument is ignored — exactly the granularity loss the
+   paper points out *)
+let source t : Cost.statistics_source =
+  {
+    Cost.node_count =
+      (fun ~scope ~principal test ->
+        ignore scope;
+        match (test : Xpath.Ast.node_test) with
+        | Xpath.Ast.Name_test n -> (
+            match (principal : Mass.Record.kind) with
+            | Mass.Record.Attribute -> lookup t.names ("@" ^ n)
+            | _ -> lookup t.names n)
+        | Xpath.Ast.Text_test -> lookup t.names "#text"
+        | Xpath.Ast.Comment_test -> lookup t.names "#comment"
+        | Xpath.Ast.Pi_test _ -> lookup t.names "#pi"
+        | Xpath.Ast.Wildcard | Xpath.Ast.Node_test ->
+            Hashtbl.fold
+              (fun tag n acc ->
+                if String.length tag > 0 && tag.[0] <> '@' && tag.[0] <> '#' then acc + n
+                else acc)
+              t.names 0);
+    Cost.value_count =
+      (fun ~scope v ->
+        ignore scope;
+        lookup t.values v);
+  }
+
+let age t ~updates = { t with updates = t.updates + updates }
+let update_count t = t.updates
+let distinct_names t = Hashtbl.length t.names
+let distinct_values t = Hashtbl.length t.values

@@ -1,0 +1,26 @@
+(** A frozen statistics snapshot: the static data dictionary the paper
+    argues against (§I, §II).
+
+    [capture] copies every name-index and value-index count at a moment in
+    time; the resulting {!Cost.statistics_source} keeps answering with
+    those numbers no matter how the store changes afterwards, and — like a
+    real dictionary/histogram — has no subtree granularity (scoped
+    requests fall back to the global figure).  Feeding it to
+    {!Optimizer.optimize} shows how estimate error grows under updates
+    while the live index-backed source stays exact
+    (`bench/main.exe staleness`). *)
+
+type t
+
+val capture : Mass.Store.t -> t
+(** One sweep over both secondary indexes. *)
+
+val source : t -> Cost.statistics_source
+
+val age : t -> updates:int -> t
+(** Bookkeeping helper: same statistics, recorded update count (for
+    reporting only). *)
+
+val update_count : t -> int
+val distinct_names : t -> int
+val distinct_values : t -> int

@@ -1,0 +1,4 @@
+(** Re-export of {!Mass.Nav}: the MASS-backed node space and generic
+    evaluator used for fallback predicate evaluation. *)
+
+include module type of Mass.Nav

@@ -1,0 +1,69 @@
+let log_src = Logs.Src.create "vamana.optimizer" ~doc:"VAMANA cost-driven optimizer"
+
+module Log = (val Logs.src_log log_src)
+
+type trace_entry = {
+  rule : string;
+  target : string;
+  cost_before : int;
+  cost_after : int;
+}
+
+type outcome = {
+  plan : Plan.op;
+  iterations : int;
+  trace : trace_entry list;
+  cost : Cost.costed;
+}
+
+let max_iterations = 16
+
+let optimize ?(rules = Rewrite.cost_rules) ?stats store ~scope plan =
+  let plan = Rewrite.apply_cleanup plan in
+  let rec loop plan iterations trace =
+    if iterations >= max_iterations then finish plan iterations trace
+    else begin
+      let costed = Cost.estimate ?stats store ~scope plan in
+      let current_cost = Cost.total_output costed plan in
+      let ordered = Cost.ordered_by_selectivity costed plan in
+      (* most selective operator first; first admissible rewrite wins *)
+      let candidate =
+        List.fold_left
+          (fun acc ((op : Plan.op), _) ->
+            match acc with
+            | Some _ -> acc
+            | None ->
+                List.fold_left
+                  (fun acc (rule : Rewrite.rule) ->
+                    match acc with
+                    | Some _ -> acc
+                    | None -> (
+                        match rule.Rewrite.apply plan ~target:op.Plan.id with
+                        | None -> None
+                        | Some plan' ->
+                            let plan' = Rewrite.apply_cleanup plan' in
+                            let costed' = Cost.estimate ?stats store ~scope plan' in
+                            let cost' = Cost.total_output costed' plan' in
+                            if cost' <= current_cost then
+                              Some
+                                ( plan',
+                                  { rule = rule.Rewrite.name;
+                                    target = Plan.kind_to_string op;
+                                    cost_before = current_cost;
+                                    cost_after = cost' } )
+                            else None))
+                  None rules)
+          None ordered
+      in
+      match candidate with
+      | Some (plan', entry) ->
+          Log.debug (fun m ->
+              m "applied %s at %s: cost %d -> %d" entry.rule entry.target entry.cost_before
+                entry.cost_after);
+          loop plan' (iterations + 1) (entry :: trace)
+      | None -> finish plan iterations trace
+    end
+  and finish plan iterations trace =
+    { plan; iterations; trace = List.rev trace; cost = Cost.estimate ?stats store ~scope plan }
+  in
+  loop plan 0 []

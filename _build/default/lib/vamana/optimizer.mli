@@ -1,0 +1,40 @@
+(** Cost-driven heuristic optimizer (paper §VI).
+
+    Iterates the paper's three phases — clean-up, cost gathering,
+    rewriting — until no transformation is admitted.  Each iteration costs
+    the plan from live index statistics, orders operators by selectivity,
+    and tries the transformation library on the most selective operator
+    first.  A transformation is admitted only if the re-estimated plan
+    cost (total tuple output) does not increase, which yields the paper's
+    guarantee that the optimized plan is never slower than the default
+    plan. *)
+
+type trace_entry = {
+  rule : string;
+  target : string;  (** display form of the operator rewritten *)
+  cost_before : int;
+  cost_after : int;
+}
+
+type outcome = {
+  plan : Plan.op;
+  iterations : int;
+  trace : trace_entry list;
+  cost : Cost.costed;  (** final plan's annotations *)
+}
+
+val optimize :
+  ?rules:Rewrite.rule list ->
+  ?stats:Cost.statistics_source ->
+  Mass.Store.t ->
+  scope:Flex.t option ->
+  Plan.op ->
+  outcome
+(** [rules] defaults to the full transformation library
+    ({!Rewrite.cost_rules}); restricting it supports ablation studies.
+    [stats] defaults to live index-backed statistics; a frozen source
+    ({!Frozen_stats}) reproduces stale-dictionary behaviour. *)
+
+val max_iterations : int
+(** Safety bound on optimization iterations (the rewrite system
+    terminates structurally; this is belt-and-braces). *)

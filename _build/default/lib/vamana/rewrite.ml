@@ -1,0 +1,320 @@
+open Xpath
+
+type rule = {
+  name : string;
+  description : string;
+  apply : Plan.op -> target:int -> Plan.op option;
+}
+
+(* ---- chain surgery helpers ----
+
+   Rules work on the leaf-first context chain [s1; …; sn; Root]: an
+   operator's context child is the element before it. *)
+
+let leaf_first root = List.rev (Plan.context_chain root)
+
+let rebuild leaf_first_ops =
+  match Plan.rebuild_chain (List.rev leaf_first_ops) with
+  | Some root -> root
+  | None -> invalid_arg "Rewrite: empty chain"
+
+(* Replace the two elements at [i-1, i] with [replacement] (one op). *)
+let splice2 ops i replacement =
+  List.concat
+    (List.mapi
+       (fun j op -> if j = i - 1 then [] else if j = i then [ replacement ] else [ op ])
+       ops)
+
+(* Replace the element at [i] with [replacements]. *)
+let splice1 ops i replacements =
+  List.concat (List.mapi (fun j op -> if j = i then replacements else [ op ]) ops)
+
+let find_target ops target =
+  let rec go i = function
+    | [] -> None
+    | (op : Plan.op) :: _ when op.id = target -> Some i
+    | _ :: rest -> go (i + 1) rest
+  in
+  go 0 ops
+
+(* ---- node-test reasoning ---- *)
+
+let intersect_tests (t1 : Ast.node_test) (t2 : Ast.node_test) =
+  match (t1, t2) with
+  | Ast.Node_test, t | t, Ast.Node_test -> Some t
+  | Ast.Name_test a, Ast.Name_test b -> if String.equal a b then Some t1 else None
+  | Ast.Name_test _, Ast.Wildcard -> Some t1
+  | Ast.Wildcard, Ast.Name_test _ -> Some t2
+  | Ast.Wildcard, Ast.Wildcard -> Some Ast.Wildcard
+  | Ast.Text_test, Ast.Text_test -> Some Ast.Text_test
+  | Ast.Comment_test, Ast.Comment_test -> Some Ast.Comment_test
+  | Ast.Pi_test a, Ast.Pi_test b -> (
+      match (a, b) with
+      | None, x | x, None -> Some (Ast.Pi_test x)
+      | Some x, Some y -> if String.equal x y then Some t1 else None)
+  | _ -> None
+
+(* Can a node matching [feeder] (as the principal element kind) also match
+   [t]?  Used to guard rewrites that would otherwise re-admit the context
+   node itself. *)
+let tests_disjoint (feeder : Ast.node_test) (t : Ast.node_test) =
+  match (feeder, t) with
+  | Ast.Name_test a, Ast.Name_test b -> not (String.equal a b)
+  | (Ast.Text_test | Ast.Comment_test | Ast.Pi_test _), (Ast.Name_test _ | Ast.Wildcard) -> true
+  | (Ast.Name_test _ | Ast.Wildcard), (Ast.Text_test | Ast.Comment_test | Ast.Pi_test _) -> true
+  | _ -> false
+
+(* The context that feeds the chain element at index [i]: either the
+   previous operator's node test, or — for the chain leaf — the engine
+   context, which is always a document record in this engine. *)
+let feeder_cannot_match ops i (t : Ast.node_test) =
+  if i = 0 then
+    (* leaf context = document record: only node() selects it *)
+    (match t with Ast.Node_test -> false | _ -> true)
+  else
+    match (List.nth ops (i - 1) : Plan.op).kind with
+    | Plan.Step (_, feeder) | Plan.Step_generic { Ast.test = feeder; _ } ->
+        tests_disjoint feeder t
+    | Plan.Value_step _ -> true (* text/attribute nodes are never elements *)
+    | Plan.Root -> false
+
+(* ---- the rules ---- *)
+
+(* Positional predicates ([n], position(), and any Generic expression,
+   which may hide position()/last()) are not stable under relocation to a
+   different tuple stream; every rule that moves or re-streams predicates
+   requires them to be positional-free. *)
+let rec positional_free (p : Plan.pred) =
+  match p with
+  | Plan.Position _ | Plan.Generic _ -> false
+  | Plan.And (a, b) | Plan.Or (a, b) -> positional_free a && positional_free b
+  | Plan.Not a -> positional_free a
+  | Plan.Exists _ | Plan.Binary _ -> true
+
+let positional_free_list preds = List.for_all positional_free preds
+
+
+
+let self_merge =
+  let apply root ~target =
+    let ops = leaf_first root in
+    match find_target ops target with
+    | Some i when i > 0 -> (
+        match ((List.nth ops i).kind, (List.nth ops (i - 1) : Plan.op)) with
+        | Plan.Step (Ast.Self, t2), ({ kind = Plan.Step (axis, t1); _ } as below) -> (
+            match intersect_tests t1 t2 with
+            | Some merged when positional_free_list (List.nth ops i).Plan.predicates ->
+                let x = List.nth ops i in
+                let replacement =
+                  { below with
+                    Plan.kind = Plan.Step (axis, merged);
+                    predicates = below.Plan.predicates @ x.Plan.predicates }
+                in
+                Some (rebuild (splice2 ops i replacement))
+            | Some _ | None -> None)
+        | _ -> None)
+    | _ -> None
+  in
+  { name = "self-merge";
+    description = "merge a self:: step into the step below it (Fig. 5)";
+    apply }
+
+let descendant_merge =
+  let apply root ~target =
+    let ops = leaf_first root in
+    match find_target ops target with
+    | Some i when i > 0 -> (
+        match ((List.nth ops i).kind, (List.nth ops (i - 1) : Plan.op)) with
+        | ( Plan.Step (Ast.Child, t),
+            { kind = Plan.Step (Ast.Descendant_or_self, Ast.Node_test); predicates = []; _ } )
+          when positional_free_list (List.nth ops i).Plan.predicates ->
+            let x = List.nth ops i in
+            let replacement =
+              Plan.mk ~predicates:x.Plan.predicates (Plan.Step (Ast.Descendant, t))
+            in
+            Some (rebuild (splice2 ops i replacement))
+        | _ -> None)
+    | _ -> None
+  in
+  { name = "descendant-merge";
+    description = "descendant-or-self::node()/child::t => descendant::t";
+    apply }
+
+let parent_elim =
+  let apply root ~target =
+    let ops = leaf_first root in
+    match find_target ops target with
+    | Some i when i > 0 -> (
+        match ((List.nth ops i).kind, (List.nth ops (i - 1) : Plan.op)) with
+        | Plan.Step (Ast.Parent, tb), { kind = Plan.Step (axa, ta); predicates = preds_a; _ }
+          when (axa = Ast.Child || axa = Ast.Descendant)
+               && positional_free_list preds_a
+               && positional_free_list (List.nth ops i).Plan.predicates ->
+            let x = List.nth ops i in
+            let new_axis = if axa = Ast.Child then Ast.Self else Ast.Descendant_or_self in
+            let exists_sub = Plan.mk ~predicates:preds_a (Plan.Step (Ast.Child, ta)) in
+            let replacement =
+              Plan.mk
+                ~predicates:(x.Plan.predicates @ [ Plan.Exists exists_sub ])
+                (Plan.Step (new_axis, tb))
+            in
+            Some (rebuild (splice2 ops i replacement))
+        | _ -> None)
+    | _ -> None
+  in
+  { name = "parent-elim";
+    description = "descendant::A/parent::B => descendant-or-self::B[child::A] (Fig. 8)";
+    apply }
+
+let ancestor_pushdown =
+  let apply root ~target =
+    let ops = leaf_first root in
+    match find_target ops target with
+    | Some i when i > 0 -> (
+        let x = List.nth ops i in
+        let below = (List.nth ops (i - 1) : Plan.op) in
+        match (x.Plan.kind, below.kind) with
+        | Plan.Step (Ast.Ancestor, tb), Plan.Step (Ast.Child, ta)
+          when i >= 2 && tb <> Ast.Node_test
+               && positional_free_list below.Plan.predicates
+               && positional_free_list x.Plan.predicates ->
+            (* X/child::A/ancestor::B => X[child::A]/ancestor::B, guarded
+               so X's nodes can never be B themselves *)
+            let feeder = (List.nth ops (i - 2) : Plan.op) in
+            let feeder_test =
+              match feeder.kind with
+              | Plan.Step (_, t) | Plan.Step_generic { Ast.test = t; _ } -> Some t
+              | Plan.Value_step _ | Plan.Root -> None
+            in
+            (match feeder_test with
+            | Some ft when tests_disjoint ft tb ->
+                let exists_sub =
+                  Plan.mk ~predicates:below.Plan.predicates (Plan.Step (Ast.Child, ta))
+                in
+                let feeder' =
+                  { feeder with
+                    Plan.predicates = feeder.Plan.predicates @ [ Plan.Exists exists_sub ] }
+                in
+                (* drop the child::A step, folding it into the feeder *)
+                Some (rebuild (splice2 ops (i - 1) feeder'))
+            | _ -> None)
+        | Plan.Step (Ast.Ancestor, tb), Plan.Step (Ast.Descendant, ta)
+          when i = 1 && tb <> Ast.Node_test
+               && positional_free_list below.Plan.predicates
+               && positional_free_list x.Plan.predicates ->
+            (* leaf variant: descendant::A/ancestor::B =>
+               descendant::B[descendant::A] (document context) *)
+            let exists_sub =
+              Plan.mk ~predicates:below.Plan.predicates (Plan.Step (Ast.Descendant, ta))
+            in
+            let replacement =
+              Plan.mk
+                ~predicates:(x.Plan.predicates @ [ Plan.Exists exists_sub ])
+                (Plan.Step (Ast.Descendant, tb))
+            in
+            Some (rebuild (splice2 ops i replacement))
+        | _ -> None)
+    | _ -> None
+  in
+  { name = "ancestor-pushdown";
+    description = "X/child::A/ancestor::B => X[child::A]/ancestor::B (dup-elim, §VIII Q2)";
+    apply }
+
+let child_pushdown =
+  let apply root ~target =
+    let ops = leaf_first root in
+    match find_target ops target with
+    | Some i when i > 0 -> (
+        let x = List.nth ops i in
+        let below = (List.nth ops (i - 1) : Plan.op) in
+        match (x.Plan.kind, below.kind) with
+        | Plan.Step (Ast.Child, ta), Plan.Step ((Ast.Descendant | Ast.Descendant_or_self) as axb, tb)
+          when (axb = Ast.Descendant_or_self || feeder_cannot_match ops (i - 1) tb)
+               && tb <> Ast.Node_test
+               && positional_free_list below.Plan.predicates
+               && positional_free_list x.Plan.predicates ->
+            let exists_sub =
+              Plan.mk ~predicates:below.Plan.predicates (Plan.Step (Ast.Parent, tb))
+            in
+            let replacement =
+              Plan.mk
+                ~predicates:(x.Plan.predicates @ [ Plan.Exists exists_sub ])
+                (Plan.Step (Ast.Descendant, ta))
+            in
+            Some (rebuild (splice2 ops i replacement))
+        | _ -> None)
+    | _ -> None
+  in
+  { name = "child-pushdown";
+    description = "descendant::B/child::A => descendant::A[parent::B] (Fig. 11)";
+    apply }
+
+(* match [text() = 'v'] and [@attr = 'v'] predicate shapes *)
+let value_predicate_shape (pred : Plan.pred) =
+  let operand_source (o : Plan.operand) =
+    match o with
+    | Plan.Path_operand { kind = Plan.Step (Ast.Child, Ast.Text_test); predicates = []; context = None; _ } ->
+        Some Ast.Text_test
+    | Plan.Path_operand { kind = Plan.Step (Ast.Attribute, (Ast.Name_test _ as t)); predicates = []; context = None; _ } ->
+        Some t
+    | _ -> None
+  in
+  match pred with
+  | Plan.Binary (_, Ast.Eq, p, Plan.Literal (_, v)) | Plan.Binary (_, Ast.Eq, Plan.Literal (_, v), p)
+    -> (
+      match operand_source p with Some src -> Some (src, v) | None -> None)
+  | _ -> None
+
+let value_index =
+  let apply root ~target =
+    let ops = leaf_first root in
+    match find_target ops target with
+    | Some i -> (
+        let x = List.nth ops i in
+        match x.Plan.kind with
+        | Plan.Step (((Ast.Descendant | Ast.Descendant_or_self) as _axis), (Ast.Name_test _ as tn))
+          when feeder_cannot_match ops i tn && positional_free_list x.Plan.predicates -> (
+            let rec split seen = function
+              | [] -> None
+              | p :: rest -> (
+                  match value_predicate_shape p with
+                  | Some (src, v) -> Some (src, v, List.rev_append seen rest)
+                  | None -> split (p :: seen) rest)
+            in
+            match split [] x.Plan.predicates with
+            | Some (src, v, other_preds) ->
+                let value_op = Plan.mk (Plan.Value_step (v, Some src)) in
+                let parent_op =
+                  Plan.mk ~predicates:other_preds (Plan.Step (Ast.Parent, tn))
+                in
+                Some (rebuild (splice1 ops i [ value_op; parent_op ]))
+            | None -> None)
+        | _ -> None)
+    | None -> None
+  in
+  { name = "value-index";
+    description = "descendant::n[text()='v'] => value::'v'/parent::n (Fig. 9)";
+    apply }
+
+let cleanup_rules = [ descendant_merge; self_merge ]
+let cost_rules = [ value_index; parent_elim; ancestor_pushdown; child_pushdown ]
+
+let apply_cleanup root =
+  let try_rules plan =
+    let ids = List.map (fun (op : Plan.op) -> op.id) (Plan.context_chain plan) in
+    List.fold_left
+      (fun acc target ->
+        match acc with
+        | Some _ -> acc
+        | None ->
+            List.fold_left
+              (fun acc rule ->
+                match acc with Some _ -> acc | None -> rule.apply plan ~target)
+              None cleanup_rules)
+      None ids
+  in
+  let rec fix plan n =
+    if n = 0 then plan
+    else match try_rules plan with Some plan' -> fix plan' (n - 1) | None -> plan
+  in
+  fix root 32

@@ -1,0 +1,57 @@
+(** Transformation library (paper §VI): equivalence rules over the
+    physical algebra, adapted from the XPath rewriting literature
+    [Olteanu et al., "XPath looking forward"].
+
+    Each rule matches a region of the plan's context chain around a target
+    operator and returns an equivalent plan.  Equivalence is {e node-set}
+    equivalence (pipelines may differ in duplicate multiplicity — the Q2
+    duplicate-elimination effect).  Rules carry the structural guards that
+    make them exact; the optimizer additionally verifies estimated cost
+    before accepting a rewrite. *)
+
+type rule = {
+  name : string;
+  description : string;
+  apply : Plan.op -> target:int -> Plan.op option;
+      (** [apply root ~target] — attempt the rewrite around the context-
+          chain operator with id [target]; [None] if the pattern does not
+          match there. *)
+}
+
+val self_merge : rule
+(** […/axis::t1/self::t2 ⇒ …/axis::(t1 ∩ t2)] — clean-up of self steps
+    (paper Figure 5). *)
+
+val descendant_merge : rule
+(** [descendant-or-self::node()/child::t ⇒ descendant::t] — the classic
+    [//] contraction. *)
+
+val parent_elim : rule
+(** [child::A/parent::B ⇒ self::B［child::A］] and
+    [descendant::A/parent::B ⇒ descendant-or-self::B［child::A］]
+    (paper Figure 8) — reverse-axis elimination. *)
+
+val ancestor_pushdown : rule
+(** [X/child::A/ancestor::B ⇒ X［child::A］/ancestor::B] when the tests of
+    X and B are disjoint (paper §VIII Q2 — duplicate elimination), with a
+    leaf variant [descendant::A/ancestor::B ⇒ descendant::B［descendant::A］]. *)
+
+val child_pushdown : rule
+(** [descendant::B/child::A ⇒ descendant::A［parent::B］] when the outer
+    context cannot match B (paper Figure 11) — pushes a selective step
+    down to the index. *)
+
+val value_index : rule
+(** [descendant::n［text() = 'v'］ ⇒ value::'v'/parent::n] and the
+    attribute-value variant (paper Figure 9) — turns a value comparison
+    into a value-index location step. *)
+
+val cleanup_rules : rule list
+(** Always-beneficial normalizations ({!self_merge}, {!descendant_merge})
+    applied to fixpoint before costing. *)
+
+val cost_rules : rule list
+(** The cost-gated transformations, tried in library order. *)
+
+val apply_cleanup : Plan.op -> Plan.op
+(** Apply {!cleanup_rules} to fixpoint over the whole context chain. *)

@@ -1,0 +1,42 @@
+(** Deterministic XMark-style document generator.
+
+    Reimplementation of the slice of the XMark benchmark schema
+    (Schmidt et al., VLDB 2002) that the paper's workload touches:
+    regions/items, categories, people (name, emailaddress, address with
+    street/city/country/province/zipcode, watches/watch), open auctions
+    (itemref, price, …) and closed auctions.  Element frequencies are
+    calibrated to the counts the paper reports for its 10 MB document —
+    2550 [person], 1256 [address], 4825 [name] — and scale linearly, so
+    plan costs and optimizer decisions reproduce the paper's (paper
+    Figures 6–9 use exactly these numbers).
+
+    The generator is seeded and pure: the same seed and size always
+    produce the same document.  Exactly one person is named
+    "Yung Flach" (the running example Q2) and the [province] elements
+    draw from the US states, so ["Vermont"] is rare but present
+    (benchmark query Q5). *)
+
+type counts = {
+  persons : int;
+  addresses : int;  (** persons with an address child *)
+  names : int;  (** all [name] elements: persons + items + categories *)
+  items : int;
+  categories : int;
+  open_auctions : int;
+  closed_auctions : int;
+}
+
+val plan : megabytes:float -> counts
+(** Element counts generated for a given target size (deterministic,
+    independent of seed). *)
+
+val generate : ?seed:int64 -> float -> Xml.Tree.t
+(** [generate mb] builds an [mb]-megabyte document: the size calibrates
+    both element counts and serialized bytes (filler description text
+    pads the latter). *)
+
+val generate_string : ?seed:int64 -> float -> string
+(** Serialized form of {!generate}. *)
+
+val load : ?seed:int64 -> ?name:string -> Mass.Store.t -> float -> Mass.Store.doc
+(** Generate and bulk-load into a MASS store. *)

@@ -1,0 +1,1 @@
+lib/xml/tree.ml: Array Buffer Format Hashtbl Int List Printf

@@ -1,0 +1,333 @@
+exception Error of { line : int; col : int; msg : string }
+
+type state = { src : string; mutable pos : int; mutable line : int; mutable bol : int }
+
+let fail st fmt =
+  Format.kasprintf
+    (fun msg -> raise (Error { line = st.line; col = st.pos - st.bol + 1; msg }))
+    fmt
+
+let eof st = st.pos >= String.length st.src
+let peek st = if eof st then '\000' else st.src.[st.pos]
+
+let advance st =
+  (if not (eof st) then
+     match st.src.[st.pos] with
+     | '\n' ->
+         st.line <- st.line + 1;
+         st.bol <- st.pos + 1
+     | _ -> ());
+  st.pos <- st.pos + 1
+
+let next st =
+  let c = peek st in
+  if eof st then fail st "unexpected end of input";
+  advance st;
+  c
+
+let looking_at st s =
+  let n = String.length s in
+  st.pos + n <= String.length st.src && String.sub st.src st.pos n = s
+
+let expect st s =
+  if looking_at st s then
+    for _ = 1 to String.length s do
+      advance st
+    done
+  else fail st "expected %S" s
+
+let is_space = function ' ' | '\t' | '\r' | '\n' -> true | _ -> false
+let skip_space st = while (not (eof st)) && is_space (peek st) do advance st done
+
+let is_name_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_' || c = ':'
+  || Char.code c >= 128
+
+let is_name_char c =
+  is_name_start c || (c >= '0' && c <= '9') || c = '-' || c = '.'
+
+let parse_name st =
+  if not (is_name_start (peek st)) then fail st "expected a name";
+  let start = st.pos in
+  while (not (eof st)) && is_name_char (peek st) do
+    advance st
+  done;
+  String.sub st.src start (st.pos - start)
+
+(* Entity and character references.  Appends the expansion to [buf]. *)
+let parse_reference st buf =
+  expect st "&";
+  if peek st = '#' then begin
+    advance st;
+    let hex = peek st = 'x' in
+    if hex then advance st;
+    let start = st.pos in
+    let digit c =
+      if hex then
+        (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
+      else c >= '0' && c <= '9'
+    in
+    while (not (eof st)) && digit (peek st) do
+      advance st
+    done;
+    if st.pos = start then fail st "empty character reference";
+    let digits = String.sub st.src start (st.pos - start) in
+    expect st ";";
+    let code =
+      try int_of_string (if hex then "0x" ^ digits else digits)
+      with Failure _ -> fail st "invalid character reference &#%s;" digits
+    in
+    if code <= 0 || code > 0x10FFFF then fail st "character reference out of range";
+    (* UTF-8 encode *)
+    if code < 0x80 then Buffer.add_char buf (Char.chr code)
+    else if code < 0x800 then begin
+      Buffer.add_char buf (Char.chr (0xC0 lor (code lsr 6)));
+      Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+    end
+    else if code < 0x10000 then begin
+      Buffer.add_char buf (Char.chr (0xE0 lor (code lsr 12)));
+      Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+      Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+    end
+    else begin
+      Buffer.add_char buf (Char.chr (0xF0 lor (code lsr 18)));
+      Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 12) land 0x3F)));
+      Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+      Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+    end
+  end
+  else begin
+    let name = parse_name st in
+    expect st ";";
+    match name with
+    | "amp" -> Buffer.add_char buf '&'
+    | "lt" -> Buffer.add_char buf '<'
+    | "gt" -> Buffer.add_char buf '>'
+    | "quot" -> Buffer.add_char buf '"'
+    | "apos" -> Buffer.add_char buf '\''
+    | other -> fail st "unknown entity &%s; (external entities unsupported)" other
+  end
+
+let parse_attr_value st =
+  let quote = next st in
+  if quote <> '"' && quote <> '\'' then fail st "expected quoted attribute value";
+  let buf = Buffer.create 16 in
+  let rec go () =
+    if eof st then fail st "unterminated attribute value"
+    else
+      match peek st with
+      | c when c = quote -> advance st
+      | '&' ->
+          parse_reference st buf;
+          go ()
+      | '<' -> fail st "'<' not allowed in attribute value"
+      | c ->
+          advance st;
+          Buffer.add_char buf c;
+          go ()
+  in
+  go ();
+  Buffer.contents buf
+
+let parse_comment st =
+  expect st "<!--";
+  let start = st.pos in
+  let rec go () =
+    if eof st then fail st "unterminated comment"
+    else if looking_at st "-->" then begin
+      let s = String.sub st.src start (st.pos - start) in
+      expect st "-->";
+      s
+    end
+    else begin
+      advance st;
+      go ()
+    end
+  in
+  go ()
+
+let parse_pi st =
+  expect st "<?";
+  let target = parse_name st in
+  skip_space st;
+  let start = st.pos in
+  let rec go () =
+    if eof st then fail st "unterminated processing instruction"
+    else if looking_at st "?>" then begin
+      let s = String.sub st.src start (st.pos - start) in
+      expect st "?>";
+      s
+    end
+    else begin
+      advance st;
+      go ()
+    end
+  in
+  (target, go ())
+
+let parse_cdata st buf =
+  expect st "<![CDATA[";
+  let rec go () =
+    if eof st then fail st "unterminated CDATA section"
+    else if looking_at st "]]>" then expect st "]]>"
+    else begin
+      Buffer.add_char buf (peek st);
+      advance st;
+      go ()
+    end
+  in
+  go ()
+
+let skip_doctype st =
+  expect st "<!DOCTYPE";
+  (* skip to matching '>' allowing one level of [...] internal subset *)
+  let rec go depth =
+    if eof st then fail st "unterminated DOCTYPE"
+    else
+      match next st with
+      | '[' -> go (depth + 1)
+      | ']' -> go (depth - 1)
+      | '>' when depth = 0 -> ()
+      | _ -> go depth
+  in
+  go 0
+
+let is_blank s =
+  let ok = ref true in
+  String.iter (fun c -> if not (is_space c) then ok := false) s;
+  !ok
+
+let parse ?(keep_whitespace = false) src =
+  let st = { src; pos = 0; line = 1; bol = 0 } in
+  (* optional BOM *)
+  if looking_at st "\xEF\xBB\xBF" then expect st "\xEF\xBB\xBF";
+  let flush_text buf acc =
+    if Buffer.length buf = 0 then acc
+    else begin
+      let s = Buffer.contents buf in
+      Buffer.clear buf;
+      if (not keep_whitespace) && is_blank s then acc else Tree.D s :: acc
+    end
+  in
+  (* parse element content until the closing tag of [name]; returns specs *)
+  let rec parse_element () =
+    expect st "<";
+    let name = parse_name st in
+    let rec attrs acc =
+      skip_space st;
+      if looking_at st "/>" then begin
+        expect st "/>";
+        (List.rev acc, [])
+      end
+      else if looking_at st ">" then begin
+        expect st ">";
+        (List.rev acc, parse_content name)
+      end
+      else begin
+        let an = parse_name st in
+        skip_space st;
+        expect st "=";
+        skip_space st;
+        let av = parse_attr_value st in
+        if List.mem_assoc an acc then fail st "duplicate attribute %S" an;
+        attrs ((an, av) :: acc)
+      end
+    in
+    let attributes, children = attrs [] in
+    Tree.E (name, attributes, children)
+  and parse_content element_name =
+    let buf = Buffer.create 64 in
+    let rec go acc =
+      if eof st then fail st "unterminated element <%s>" element_name
+      else if looking_at st "</" then begin
+        let acc = flush_text buf acc in
+        expect st "</";
+        let closing = parse_name st in
+        if not (String.equal closing element_name) then
+          fail st "mismatched closing tag </%s> (expected </%s>)" closing element_name;
+        skip_space st;
+        expect st ">";
+        List.rev acc
+      end
+      else if looking_at st "<!--" then begin
+        let acc = flush_text buf acc in
+        let c = parse_comment st in
+        go (Tree.Cm c :: acc)
+      end
+      else if looking_at st "<![CDATA[" then begin
+        parse_cdata st buf;
+        go acc
+      end
+      else if looking_at st "<?" then begin
+        let acc = flush_text buf acc in
+        let t, d = parse_pi st in
+        go (Tree.Proc (t, d) :: acc)
+      end
+      else if looking_at st "<" then begin
+        let acc = flush_text buf acc in
+        go (parse_element () :: acc)
+      end
+      else if looking_at st "&" then begin
+        parse_reference st buf;
+        go acc
+      end
+      else begin
+        Buffer.add_char buf (peek st);
+        advance st;
+        go acc
+      end
+    in
+    go []
+  in
+  (* prolog *)
+  let rec prolog acc =
+    skip_space st;
+    if looking_at st "<?xml" then begin
+      let _ = parse_pi st in
+      prolog acc
+    end
+    else if looking_at st "<?" then begin
+      let t, d = parse_pi st in
+      prolog (Tree.Proc (t, d) :: acc)
+    end
+    else if looking_at st "<!--" then begin
+      let c = parse_comment st in
+      prolog (Tree.Cm c :: acc)
+    end
+    else if looking_at st "<!DOCTYPE" then begin
+      skip_doctype st;
+      prolog acc
+    end
+    else acc
+  in
+  let pre = prolog [] in
+  if eof st then fail st "missing root element";
+  if not (looking_at st "<") then fail st "expected root element";
+  let root = parse_element () in
+  (* epilog *)
+  let rec epilog acc =
+    skip_space st;
+    if eof st then acc
+    else if looking_at st "<!--" then begin
+      let c = parse_comment st in
+      epilog (Tree.Cm c :: acc)
+    end
+    else if looking_at st "<?" then begin
+      let t, d = parse_pi st in
+      epilog (Tree.Proc (t, d) :: acc)
+    end
+    else fail st "content after root element"
+  in
+  let post = epilog [] in
+  Tree.document (List.rev pre @ [ root ] @ List.rev post)
+
+let parse_file ?keep_whitespace path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  parse ?keep_whitespace s
+
+let error_to_string = function
+  | Error { line; col; msg } -> Some (Printf.sprintf "XML parse error at %d:%d: %s" line col msg)
+  | _ -> None

@@ -1,0 +1,23 @@
+(** From-scratch XML 1.0 parser.
+
+    Supports the subset needed for data-oriented documents: prolog, DOCTYPE
+    (skipped, internal subset tolerated, no external entities), elements,
+    attributes (single or double quoted), character data, CDATA sections,
+    comments, processing instructions, predefined entities
+    ([&amp;] [&lt;] [&gt;] [&quot;] [&apos;]) and character references
+    ([&#NN;], [&#xHH;]).  Checks well-formedness: tag balance, single root
+    element, attribute uniqueness. *)
+
+exception Error of { line : int; col : int; msg : string }
+(** Raised on malformed input, with a 1-based source position. *)
+
+val parse : ?keep_whitespace:bool -> string -> Tree.t
+(** Parse a complete document.  Whitespace-only text nodes are dropped
+    unless [keep_whitespace] is [true] (data-oriented default, matching
+    how the paper's engines count nodes). *)
+
+val parse_file : ?keep_whitespace:bool -> string -> Tree.t
+(** Parse the contents of a file. *)
+
+val error_to_string : exn -> string option
+(** Human-readable rendering of {!Error}; [None] for other exceptions. *)

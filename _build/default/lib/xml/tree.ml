@@ -1,0 +1,170 @@
+type kind =
+  | Document
+  | Element of string
+  | Attribute of string * string
+  | Text of string
+  | Comment of string
+  | Pi of string * string
+
+type node = {
+  id : int;
+  kind : kind;
+  mutable parent : node option;
+  mutable children : node array;
+  mutable attributes : node array;
+}
+
+type t = node
+
+type spec =
+  | E of string * (string * string) list * spec list
+  | D of string
+  | Cm of string
+  | Proc of string * string
+
+let mk id kind = { id; kind; parent = None; children = [||]; attributes = [||] }
+
+let document roots =
+  let counter = ref 0 in
+  let next () =
+    let id = !counter in
+    incr counter;
+    id
+  in
+  let rec build spec =
+    match spec with
+    | D s -> mk (next ()) (Text s)
+    | Cm s -> mk (next ()) (Comment s)
+    | Proc (t, d) -> mk (next ()) (Pi (t, d))
+    | E (name, attrs, children) ->
+        let n = mk (next ()) (Element name) in
+        let seen = Hashtbl.create 4 in
+        let attr_nodes =
+          List.map
+            (fun (an, av) ->
+              if Hashtbl.mem seen an then
+                invalid_arg (Printf.sprintf "Tree.document: duplicate attribute %S" an);
+              Hashtbl.add seen an ();
+              let a = mk (next ()) (Attribute (an, av)) in
+              a.parent <- Some n;
+              a)
+            attrs
+        in
+        n.attributes <- Array.of_list attr_nodes;
+        let child_nodes = List.map build children in
+        List.iter (fun c -> c.parent <- Some n) child_nodes;
+        n.children <- Array.of_list child_nodes;
+        n
+  in
+  let doc = mk (next ()) Document in
+  let elements =
+    List.filter (function E _ -> true | _ -> false) roots
+  in
+  (match elements with
+  | [ _ ] -> ()
+  | [] -> invalid_arg "Tree.document: no root element"
+  | _ -> invalid_arg "Tree.document: multiple root elements");
+  List.iter
+    (function
+      | D _ -> invalid_arg "Tree.document: character data at top level"
+      | E _ | Cm _ | Proc _ -> ())
+    roots;
+  let children = List.map build roots in
+  List.iter (fun c -> c.parent <- Some doc) children;
+  doc.children <- Array.of_list children;
+  doc
+
+let rec element_spec n =
+  match n.kind with
+  | Document -> (
+      match Array.to_list n.children with
+      | [ c ] -> element_spec c
+      | cs -> (
+          match List.find_opt (fun c -> match c.kind with Element _ -> true | _ -> false) cs with
+          | Some c -> element_spec c
+          | None -> invalid_arg "Tree.element_spec: empty document"))
+  | Element name ->
+      let attrs =
+        Array.to_list n.attributes
+        |> List.map (fun a ->
+               match a.kind with
+               | Attribute (an, av) -> (an, av)
+               | _ -> assert false)
+      in
+      E (name, attrs, List.map element_spec (Array.to_list n.children))
+  | Text s -> D s
+  | Comment s -> Cm s
+  | Pi (t, d) -> Proc (t, d)
+  | Attribute _ -> invalid_arg "Tree.element_spec: attribute node"
+
+let name n =
+  match n.kind with
+  | Element s | Pi (s, _) -> s
+  | Attribute (s, _) -> s
+  | Document | Text _ | Comment _ -> ""
+
+let string_value n =
+  match n.kind with
+  | Text s | Comment s -> s
+  | Attribute (_, v) -> v
+  | Pi (_, d) -> d
+  | Document | Element _ ->
+      let buf = Buffer.create 16 in
+      let rec go n =
+        match n.kind with
+        | Text s -> Buffer.add_string buf s
+        | Element _ | Document -> Array.iter go n.children
+        | Attribute _ | Comment _ | Pi _ -> ()
+      in
+      go n;
+      Buffer.contents buf
+
+let root_element doc =
+  match doc.kind with
+  | Document -> (
+      let is_elt c = match c.kind with Element _ -> true | _ -> false in
+      match Array.to_list doc.children |> List.find_opt is_elt with
+      | Some e -> e
+      | None -> invalid_arg "Tree.root_element: no root element")
+  | Element _ | Attribute _ | Text _ | Comment _ | Pi _ ->
+      invalid_arg "Tree.root_element: not a document node"
+
+let is_element n = match n.kind with Element _ -> true | _ -> false
+let is_text n = match n.kind with Text _ -> true | _ -> false
+let is_attribute n = match n.kind with Attribute _ -> true | _ -> false
+let doc_order_compare a b = Int.compare a.id b.id
+
+let iter_preorder f doc =
+  let rec go n =
+    f n;
+    Array.iter f n.attributes;
+    Array.iter go n.children
+  in
+  go doc
+
+let fold_preorder f init doc =
+  let acc = ref init in
+  iter_preorder (fun n -> acc := f !acc n) doc;
+  !acc
+
+let descendant_nodes n =
+  let out = ref [] in
+  let rec go n =
+    Array.iter
+      (fun c ->
+        out := c :: !out;
+        go c)
+      n.children
+  in
+  go n;
+  List.rev !out
+
+let node_count doc = fold_preorder (fun n _ -> n + 1) 0 doc
+
+let pp_kind ppf = function
+  | Document -> Format.pp_print_string ppf "document"
+  | Element s -> Format.fprintf ppf "element(%s)" s
+  | Attribute (n, v) -> Format.fprintf ppf "attribute(%s=%S)" n v
+  | Text s -> Format.fprintf ppf "text(%S)" s
+  | Comment s -> Format.fprintf ppf "comment(%S)" s
+  | Pi (t, d) -> Format.fprintf ppf "pi(%s,%S)" t d

@@ -1,0 +1,80 @@
+(** In-memory XML document model (DOM-style).
+
+    Nodes carry parent links and preorder identifiers, which is what the
+    DOM-traversal baseline engine and the MASS bulk loader need.  The model
+    covers the XPath 1.0 node kinds used by the paper: document, element,
+    attribute, text, comment and processing instruction.  Namespaces are
+    out of scope (the paper's engine and workload do not use them);
+    qualified names are kept verbatim. *)
+
+type kind =
+  | Document
+  | Element of string  (** tag name *)
+  | Attribute of string * string  (** name, value *)
+  | Text of string
+  | Comment of string
+  | Pi of string * string  (** target, data *)
+
+type node = private {
+  id : int;  (** preorder position within the document; the document node is 0.  Attribute nodes are numbered after their owner element, before its children. *)
+  kind : kind;
+  mutable parent : node option;
+  mutable children : node array;  (** document and element nodes only *)
+  mutable attributes : node array;  (** element nodes only *)
+}
+
+type t = node
+(** A document is represented by its [Document] node. *)
+
+(** {1 Construction} *)
+
+type spec =
+  | E of string * (string * string) list * spec list
+      (** element: name, attributes, children *)
+  | D of string  (** character data *)
+  | Cm of string  (** comment *)
+  | Proc of string * string  (** processing instruction *)
+
+val document : spec list -> t
+(** [document roots] builds a document from a spec forest, wiring parent
+    links and assigning preorder ids.
+    @raise Invalid_argument if the forest has no or multiple root
+    elements, or text at top level. *)
+
+val element_spec : t -> spec
+(** Convert back to a spec (drops the document node). *)
+
+(** {1 Accessors} *)
+
+val name : node -> string
+(** Element/attribute/PI name; [""] for other kinds. *)
+
+val string_value : node -> string
+(** XPath string-value: concatenated descendant text for document and
+    element nodes; the value itself for attribute, text, comment, PI. *)
+
+val root_element : t -> node
+(** @raise Invalid_argument if applied to a non-document node with no root. *)
+
+val is_element : node -> bool
+val is_text : node -> bool
+val is_attribute : node -> bool
+
+val doc_order_compare : node -> node -> int
+(** Compare by preorder id (valid within one document). *)
+
+(** {1 Traversal} *)
+
+val iter_preorder : (node -> unit) -> t -> unit
+(** Visit every node (including attribute nodes, after their owner
+    element and before its children) in document order. *)
+
+val fold_preorder : ('a -> node -> 'a) -> 'a -> t -> 'a
+
+val descendant_nodes : node -> node list
+(** Proper descendants in document order (attributes excluded, per XPath). *)
+
+val node_count : t -> int
+(** Total number of nodes including the document node and attributes. *)
+
+val pp_kind : Format.formatter -> kind -> unit

@@ -1,0 +1,93 @@
+let escape gen s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match gen c with
+      | Some rep -> Buffer.add_string buf rep
+      | None -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let escape_text =
+  escape (function
+    | '&' -> Some "&amp;"
+    | '<' -> Some "&lt;"
+    | '>' -> Some "&gt;"
+    | _ -> None)
+
+let escape_attr =
+  escape (function
+    | '&' -> Some "&amp;"
+    | '<' -> Some "&lt;"
+    | '"' -> Some "&quot;"
+    | _ -> None)
+
+let to_buffer ?indent buf doc =
+  let pad level =
+    match indent with
+    | Some n ->
+        Buffer.add_char buf '\n';
+        Buffer.add_string buf (String.make (n * level) ' ')
+    | None -> ()
+  in
+  let has_text n =
+    Array.exists (fun (c : Tree.node) -> Tree.is_text c) n.Tree.children
+  in
+  let rec node level inline (n : Tree.node) =
+    match n.kind with
+    | Tree.Document -> Array.iter (node level false) n.children
+    | Tree.Text s -> Buffer.add_string buf (escape_text s)
+    | Tree.Comment s ->
+        if not inline then pad level;
+        Buffer.add_string buf "<!--";
+        Buffer.add_string buf s;
+        Buffer.add_string buf "-->"
+    | Tree.Pi (t, d) ->
+        if not inline then pad level;
+        Buffer.add_string buf "<?";
+        Buffer.add_string buf t;
+        if String.length d > 0 then begin
+          Buffer.add_char buf ' ';
+          Buffer.add_string buf d
+        end;
+        Buffer.add_string buf "?>"
+    | Tree.Attribute (an, av) ->
+        Buffer.add_char buf ' ';
+        Buffer.add_string buf an;
+        Buffer.add_string buf "=\"";
+        Buffer.add_string buf (escape_attr av);
+        Buffer.add_char buf '"'
+    | Tree.Element name ->
+        if not inline then pad level;
+        Buffer.add_char buf '<';
+        Buffer.add_string buf name;
+        Array.iter (node level true) n.attributes;
+        if Array.length n.children = 0 then Buffer.add_string buf "/>"
+        else begin
+          Buffer.add_char buf '>';
+          let keep_inline = has_text n || indent = None in
+          Array.iter (node (level + 1) keep_inline) n.children;
+          if not keep_inline then pad level;
+          Buffer.add_string buf "</";
+          Buffer.add_string buf name;
+          Buffer.add_char buf '>'
+        end
+  in
+  match doc.Tree.kind with
+  | Tree.Document ->
+      Buffer.add_string buf "<?xml version=\"1.0\" encoding=\"UTF-8\"?>";
+      Array.iter (node 0 false) doc.children;
+      if indent <> None then Buffer.add_char buf '\n'
+  | _ -> node 0 true doc
+
+let to_string ?indent doc =
+  let buf = Buffer.create 1024 in
+  to_buffer ?indent buf doc;
+  Buffer.contents buf
+
+let to_file ?indent path doc =
+  let oc = open_out_bin path in
+  let buf = Buffer.create 65536 in
+  to_buffer ?indent buf doc;
+  Buffer.output_buffer oc buf;
+  close_out oc

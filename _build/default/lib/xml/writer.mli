@@ -1,0 +1,16 @@
+(** XML serializer: inverse of {!Parser} for documents the parser accepts. *)
+
+val escape_text : string -> string
+(** Escape ampersand and angle brackets for character-data context. *)
+
+val escape_attr : string -> string
+(** Escape ampersand, left angle bracket and double quote for
+    double-quoted attribute context. *)
+
+val to_buffer : ?indent:int -> Buffer.t -> Tree.t -> unit
+(** Serialize a document (or any subtree) into a buffer.  With [indent],
+    pretty-prints using that many spaces per level; element content that
+    contains text nodes is kept inline to preserve string values. *)
+
+val to_string : ?indent:int -> Tree.t -> string
+val to_file : ?indent:int -> string -> Tree.t -> unit

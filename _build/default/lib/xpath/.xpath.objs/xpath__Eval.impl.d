@@ -1,0 +1,1 @@
+lib/xpath/eval.ml: Ast Buffer Float Format Lazy List Printf String

@@ -1,0 +1,1 @@
+lib/xpath/lexer.ml: Array Char Format List Printf String

@@ -1,0 +1,1 @@
+lib/xpath/parser.ml: Array Ast Format Lexer List Printf

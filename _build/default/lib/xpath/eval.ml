@@ -1,0 +1,342 @@
+type 'node value =
+  | Nodes of 'node list
+  | Num of float
+  | Str of string
+  | Bool of bool
+
+module type NODE_SPACE = sig
+  type t
+  type node
+
+  val compare : node -> node -> int
+  val select : t -> Ast.axis -> Ast.node_test -> node -> node list
+  val string_value : t -> node -> string
+  val name : t -> node -> string
+end
+
+exception Unsupported of string
+
+let unsupported fmt = Format.kasprintf (fun s -> raise (Unsupported s)) fmt
+
+module Make (N : NODE_SPACE) = struct
+  (* ---- node-set helpers ---- *)
+
+  let sort_dedup nodes =
+    let sorted = List.sort_uniq N.compare nodes in
+    sorted
+
+  (* ---- coercions (XPath 1.0 §3.2, §4) ---- *)
+
+  let number_of_string s =
+    let s = String.trim s in
+    if s = "" then Float.nan
+    else match float_of_string_opt s with Some f -> f | None -> Float.nan
+
+  let number_to_string f =
+    if Float.is_nan f then "NaN"
+    else if f = Float.infinity then "Infinity"
+    else if f = Float.neg_infinity then "-Infinity"
+    else if Float.is_integer f && Float.abs f < 1e16 then Printf.sprintf "%.0f" f
+    else Printf.sprintf "%.12g" f
+
+  let to_boolean t = function
+    | Bool b -> b
+    | Num f -> f <> 0.0 && not (Float.is_nan f)
+    | Str s -> String.length s > 0
+    | Nodes ns ->
+        ignore t;
+        ns <> []
+
+  let to_string_value t = function
+    | Str s -> s
+    | Num f -> number_to_string f
+    | Bool b -> if b then "true" else "false"
+    | Nodes [] -> ""
+    | Nodes (n :: _) -> N.string_value t n
+
+  let to_number t v =
+    match v with
+    | Num f -> f
+    | Str s -> number_of_string s
+    | Bool b -> if b then 1.0 else 0.0
+    | Nodes _ -> number_of_string (to_string_value t v)
+
+  (* ---- comparisons (XPath 1.0 §3.4) ---- *)
+
+  let cmp_op : Ast.binop -> (float -> float -> bool) option = function
+    | Ast.Lt -> Some ( < )
+    | Ast.Le -> Some ( <= )
+    | Ast.Gt -> Some ( > )
+    | Ast.Ge -> Some ( >= )
+    | _ -> None
+
+  let equality_on_strings op a b =
+    match (op : Ast.binop) with
+    | Ast.Eq -> String.equal a b
+    | Ast.Neq -> not (String.equal a b)
+    | _ -> assert false
+
+  let equality_on_numbers op a b =
+    match (op : Ast.binop) with
+    | Ast.Eq -> a = b
+    | Ast.Neq -> a <> b
+    | _ -> assert false
+
+  let compare_values t op left right =
+    match cmp_op op with
+    | Some rel -> (
+        (* relational: existential over node-sets, numeric otherwise *)
+        match (left, right) with
+        | Nodes la, Nodes lb ->
+            List.exists
+              (fun a ->
+                let na = number_of_string (N.string_value t a) in
+                List.exists (fun b -> rel na (number_of_string (N.string_value t b))) lb)
+              la
+        | Nodes la, v ->
+            let nv = to_number t v in
+            List.exists (fun a -> rel (number_of_string (N.string_value t a)) nv) la
+        | v, Nodes lb ->
+            let nv = to_number t v in
+            List.exists (fun b -> rel nv (number_of_string (N.string_value t b))) lb
+        | a, b -> rel (to_number t a) (to_number t b))
+    | None -> (
+        (* = and != *)
+        match (left, right) with
+        | Nodes la, Nodes lb ->
+            List.exists
+              (fun a ->
+                let sa = N.string_value t a in
+                List.exists (fun b -> equality_on_strings op sa (N.string_value t b)) lb)
+              la
+        | Nodes ln, (Num _ as v) | (Num _ as v), Nodes ln ->
+            let nv = to_number t v in
+            List.exists
+              (fun n -> equality_on_numbers op (number_of_string (N.string_value t n)) nv)
+              ln
+        | Nodes ln, (Str s) | (Str s), Nodes ln ->
+            List.exists (fun n -> equality_on_strings op (N.string_value t n) s) ln
+        | Nodes _, (Bool _ as v) | (Bool _ as v), Nodes _ ->
+            let b1 = to_boolean t left and b2 = to_boolean t right in
+            ignore v;
+            equality_on_numbers op (if b1 then 1. else 0.) (if b2 then 1. else 0.)
+        | a, b ->
+            if (match a with Bool _ -> true | _ -> false) || (match b with Bool _ -> true | _ -> false)
+            then equality_on_numbers op (if to_boolean t a then 1. else 0.) (if to_boolean t b then 1. else 0.)
+            else if (match a with Num _ -> true | _ -> false) || (match b with Num _ -> true | _ -> false)
+            then equality_on_numbers op (to_number t a) (to_number t b)
+            else equality_on_strings op (to_string_value t a) (to_string_value t b))
+
+  (* ---- evaluation ---- *)
+
+  type ctx = {
+    node : N.node;
+    position : int;
+    size : int Lazy.t;
+    vars : string -> N.node value option;
+  }
+
+  let rec eval_expr t ctx (e : Ast.expr) : N.node value =
+    match e with
+    | Ast.Literal s -> Str s
+    | Ast.Number f -> Num f
+    | Ast.Var v -> (
+        match ctx.vars v with
+        | Some value -> value
+        | None -> unsupported "unbound variable $%s" v)
+    | Ast.Neg e -> Num (-.to_number t (eval_expr t ctx e))
+    | Ast.Path p -> Nodes (path t ~vars:ctx.vars ctx.node p)
+    | Ast.Binop (Ast.Union, a, b) -> (
+        match (eval_expr t ctx a, eval_expr t ctx b) with
+        | Nodes na, Nodes nb -> Nodes (sort_dedup (na @ nb))
+        | _ -> unsupported "union of non-node-sets")
+    | Ast.Binop (Ast.Or, a, b) ->
+        Bool (to_boolean t (eval_expr t ctx a) || to_boolean t (eval_expr t ctx b))
+    | Ast.Binop (Ast.And, a, b) ->
+        Bool (to_boolean t (eval_expr t ctx a) && to_boolean t (eval_expr t ctx b))
+    | Ast.Binop ((Ast.Eq | Ast.Neq | Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge) as op, a, b) ->
+        Bool (compare_values t op (eval_expr t ctx a) (eval_expr t ctx b))
+    | Ast.Binop (Ast.Add, a, b) -> arith t ctx ( +. ) a b
+    | Ast.Binop (Ast.Sub, a, b) -> arith t ctx ( -. ) a b
+    | Ast.Binop (Ast.Mul, a, b) -> arith t ctx ( *. ) a b
+    | Ast.Binop (Ast.Div, a, b) -> arith t ctx ( /. ) a b
+    | Ast.Binop (Ast.Mod, a, b) -> arith t ctx Float.rem a b
+    | Ast.Call (f, args) -> call t ctx f args
+    | Ast.Filter (e, preds) -> (
+        match eval_expr t ctx e with
+        | Nodes ns -> Nodes (apply_predicates t ~vars:ctx.vars ns preds)
+        | _ -> unsupported "predicate applied to a non-node-set")
+    | Ast.Located (e, p) -> (
+        match eval_expr t ctx e with
+        | Nodes ns ->
+            Nodes
+              (sort_dedup
+                 (List.concat_map (fun n -> relative_path t ~vars:ctx.vars n p.Ast.steps) ns))
+        | _ -> unsupported "path applied to a non-node-set")
+
+  and arith t ctx f a b =
+    Num (f (to_number t (eval_expr t ctx a)) (to_number t (eval_expr t ctx b)))
+
+  (* Predicates filter a node list that is already in axis order, so
+     position() is simply the 1-based index (proximity position on reverse
+     axes, per the XPath model). *)
+  and apply_predicates t ~vars nodes preds =
+    List.fold_left
+      (fun ns pred ->
+        let size = lazy (List.length ns) in
+        List.filteri
+          (fun i n ->
+            let ctx = { node = n; position = i + 1; size; vars } in
+            match eval_expr t ctx pred with
+            | Num f -> f = float_of_int ctx.position
+            | v -> to_boolean t v)
+          ns)
+      nodes preds
+
+  and step t ~vars node (s : Ast.step) =
+    let selected = N.select t s.Ast.axis s.Ast.test node in
+    apply_predicates t ~vars selected s.Ast.predicates
+
+  and relative_path t ~vars node steps =
+    match steps with
+    | [] -> [ node ]
+    | s :: rest ->
+        let here = step t ~vars node s in
+        (* document order + set semantics between steps *)
+        sort_dedup (List.concat_map (fun n -> relative_path t ~vars n rest) here)
+
+  and path t ~vars node (p : Ast.path) =
+    let start =
+      if p.Ast.absolute then
+        (* the document node is the top of the ancestor-or-self chain *)
+        match List.rev (N.select t Ast.Ancestor_or_self Ast.Node_test node) with
+        | top :: _ -> top
+        | [] -> node
+      else node
+    in
+    sort_dedup (relative_path t ~vars start p.Ast.steps)
+
+  and call t ctx f args =
+    let arg i =
+      match List.nth_opt args i with
+      | Some a -> eval_expr t ctx a
+      | None -> unsupported "missing argument %d of %s()" (i + 1) f
+    in
+    let optional_nodes () =
+      match args with
+      | [] -> Nodes [ ctx.node ]
+      | a :: _ -> eval_expr t ctx a
+    in
+    let str i = to_string_value t (arg i) in
+    let num i = to_number t (arg i) in
+    match (f, List.length args) with
+    | "position", 0 -> Num (float_of_int ctx.position)
+    | "last", 0 -> Num (float_of_int (Lazy.force ctx.size))
+    | "count", 1 -> (
+        match arg 0 with
+        | Nodes ns -> Num (float_of_int (List.length ns))
+        | _ -> unsupported "count() of a non-node-set")
+    | "not", 1 -> Bool (not (to_boolean t (arg 0)))
+    | "true", 0 -> Bool true
+    | "false", 0 -> Bool false
+    | "boolean", 1 -> Bool (to_boolean t (arg 0))
+    | "number", 0 -> Num (to_number t (Nodes [ ctx.node ]))
+    | "number", 1 -> Num (num 0)
+    | "string", 0 -> Str (N.string_value t ctx.node)
+    | "string", 1 -> Str (str 0)
+    | "concat", n when n >= 2 ->
+        Str (String.concat "" (List.init n str))
+    | "contains", 2 ->
+        let hay = str 0 and needle = str 1 in
+        let nh = String.length hay and nn = String.length needle in
+        let rec find i = i + nn <= nh && (String.sub hay i nn = needle || find (i + 1)) in
+        Bool (nn = 0 || find 0)
+    | "starts-with", 2 ->
+        let s = str 0 and p = str 1 in
+        Bool (String.length p <= String.length s && String.sub s 0 (String.length p) = p)
+    | "string-length", (0 | 1) ->
+        let s = if args = [] then N.string_value t ctx.node else str 0 in
+        Num (float_of_int (String.length s))
+    | "normalize-space", (0 | 1) ->
+        let s = if args = [] then N.string_value t ctx.node else str 0 in
+        let words = String.split_on_char ' ' (String.map (function '\t' | '\n' | '\r' -> ' ' | c -> c) s) in
+        Str (String.concat " " (List.filter (fun w -> w <> "") words))
+    | "name", (0 | 1) | "local-name", (0 | 1) -> (
+        let target =
+          match optional_nodes () with
+          | Nodes (n :: _) -> Some n
+          | Nodes [] -> None
+          | _ -> unsupported "%s() of a non-node-set" f
+        in
+        match target with
+        | None -> Str ""
+        | Some n ->
+            let full = N.name t n in
+            if String.equal f "name" then Str full
+            else
+              Str
+                (match String.rindex_opt full ':' with
+                | Some i -> String.sub full (i + 1) (String.length full - i - 1)
+                | None -> full))
+    | "sum", 1 -> (
+        match arg 0 with
+        | Nodes ns ->
+            Num (List.fold_left (fun acc n -> acc +. number_of_string (N.string_value t n)) 0.0 ns)
+        | _ -> unsupported "sum() of a non-node-set")
+    | "floor", 1 -> Num (Float.floor (num 0))
+    | "ceiling", 1 -> Num (Float.ceil (num 0))
+    | "round", 1 ->
+        let x = num 0 in
+        Num (if Float.is_nan x then x else Float.floor (x +. 0.5))
+    | "substring-before", 2 ->
+        let s = str 0 and sep = str 1 in
+        Str
+          (match find_sub s sep with
+          | Some i -> String.sub s 0 i
+          | None -> "")
+    | "substring-after", 2 ->
+        let s = str 0 and sep = str 1 in
+        Str
+          (match find_sub s sep with
+          | Some i -> String.sub s (i + String.length sep) (String.length s - i - String.length sep)
+          | None -> "")
+    | "substring", (2 | 3) ->
+        let s = str 0 in
+        let start = Float.floor (num 1 +. 0.5) in
+        let len =
+          if List.length args = 3 then Float.floor (num 2 +. 0.5)
+          else Float.infinity
+        in
+        let n = String.length s in
+        let first = max 1 (int_of_float (max start (-1e9))) in
+        let last_excl =
+          if len = Float.infinity then n + 1
+          else int_of_float (min (start +. len) (float_of_int (n + 1)))
+        in
+        if Float.is_nan start || Float.is_nan len || last_excl <= first || first > n then Str ""
+        else Str (String.sub s (first - 1) (min (last_excl - first) (n - first + 1)))
+    | "translate", 3 ->
+        let s = str 0 and from = str 1 and into = str 2 in
+        let buf = Buffer.create (String.length s) in
+        String.iter
+          (fun c ->
+            match String.index_opt from c with
+            | Some i when i < String.length into -> Buffer.add_char buf into.[i]
+            | Some _ -> ()
+            | None -> Buffer.add_char buf c)
+          s;
+        Str (Buffer.contents buf)
+    | _ -> unsupported "function %s/%d" f (List.length args)
+
+  and find_sub s sub =
+    let n = String.length s and m = String.length sub in
+    let rec go i = if i + m > n then None else if String.sub s i m = sub then Some i else go (i + 1) in
+    if m = 0 then Some 0 else go 0
+
+  let no_vars _ = None
+
+  let eval ?(vars = no_vars) t ~context e =
+    eval_expr t { node = context; position = 1; size = lazy 1; vars } e
+
+  let eval_path ?(vars = no_vars) t ~context p = path t ~vars context p
+end

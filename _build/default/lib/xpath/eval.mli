@@ -1,0 +1,57 @@
+(** Generic XPath 1.0 evaluator, parameterized by a node space.
+
+    The evaluator implements the language semantics once — value model,
+    type coercions, comparison rules, the core function library, location
+    paths with positional predicates — while the node space supplies the
+    {e access path}: how an axis is enumerated and how values are fetched.
+    The repository instantiates it three ways: index navigation over MASS,
+    DOM traversal (the Jaxen-like baseline) and full-table scans (the
+    Galax-like baseline), so all engines share one semantics and differ
+    only in data access, which is exactly the dimension the paper's
+    experiments compare. *)
+
+type 'node value =
+  | Nodes of 'node list  (** in document order, duplicate-free *)
+  | Num of float
+  | Str of string
+  | Bool of bool
+
+module type NODE_SPACE = sig
+  type t
+  (** Handle to a node (a FLEX key, a DOM node, …). *)
+
+  type node
+
+  val compare : node -> node -> int
+  (** Document order; also the identity used for set semantics. *)
+
+  val select : t -> Ast.axis -> Ast.node_test -> node -> node list
+  (** Nodes on the axis passing the node test, in {e axis order} (document
+      order for forward axes, reverse document order for reverse axes). *)
+
+  val string_value : t -> node -> string
+  val name : t -> node -> string
+  (** Qualified name ([""] for unnamed kinds). *)
+end
+
+exception Unsupported of string
+(** Raised for language features outside scope (e.g. unknown functions). *)
+
+module Make (N : NODE_SPACE) : sig
+  val eval :
+    ?vars:(string -> N.node value option) -> N.t -> context:N.node -> Ast.expr -> N.node value
+  (** Evaluate an expression with a single context node (position and size
+      1, per the XPath model for the initial context).  [vars] resolves
+      [$name] references (default: none bound, raising {!Unsupported}). *)
+
+  val eval_path :
+    ?vars:(string -> N.node value option) -> N.t -> context:N.node -> Ast.path -> N.node list
+  (** Evaluate a location path; result in document order, duplicate-free. *)
+
+  (** {1 Value coercions} (exposed for engines that mix evaluators) *)
+
+  val to_boolean : N.t -> N.node value -> bool
+  val to_number : N.t -> N.node value -> float
+  val to_string_value : N.t -> N.node value -> string
+  val number_to_string : float -> string
+end

@@ -1,0 +1,191 @@
+type token =
+  | NAME of string
+  | NUM of float
+  | LIT of string
+  | VAR of string
+  | LPAREN
+  | RPAREN
+  | LBRACK
+  | RBRACK
+  | DOT
+  | DOTDOT
+  | AT
+  | COMMA
+  | COLONCOLON
+  | SLASH
+  | DSLASH
+  | PIPE
+  | PLUS
+  | MINUS
+  | EQ
+  | NEQ
+  | LT
+  | LE
+  | GT
+  | GE
+  | STAR
+  | MUL
+  | AND
+  | OR
+  | DIV
+  | MOD
+  | EOF
+
+exception Error of { pos : int; msg : string }
+
+let fail pos fmt = Format.kasprintf (fun msg -> raise (Error { pos; msg })) fmt
+
+let is_name_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_' || Char.code c >= 128
+
+let is_name_char c = is_name_start c || (c >= '0' && c <= '9') || c = '-' || c = '.'
+let is_digit c = c >= '0' && c <= '9'
+
+(* Per XPath 1.0 §3.7: an operator reading of '*'/and/or/div/mod is forced
+   when the preceding token can end an operand. *)
+let operand_ended = function
+  | Some (NAME _ | NUM _ | LIT _ | VAR _ | RPAREN | RBRACK | DOT | DOTDOT | STAR) -> true
+  | Some
+      ( LPAREN | LBRACK | AT | COMMA | COLONCOLON | SLASH | DSLASH | PIPE | PLUS | MINUS
+      | EQ | NEQ | LT | LE | GT | GE | MUL | AND | OR | DIV | MOD | EOF )
+  | None ->
+      false
+
+let tokenize src =
+  let n = String.length src in
+  let out = ref [] in
+  let prev = ref None in
+  let emit pos tok =
+    out := (tok, pos) :: !out;
+    prev := Some tok
+  in
+  let pos = ref 0 in
+  let peek_at i = if i < n then Some src.[i] else None in
+  while !pos < n do
+    let p = !pos in
+    let c = src.[p] in
+    if c = ' ' || c = '\t' || c = '\n' || c = '\r' then incr pos
+    else if c = '(' then (emit p LPAREN; incr pos)
+    else if c = ')' then (emit p RPAREN; incr pos)
+    else if c = '[' then (emit p LBRACK; incr pos)
+    else if c = ']' then (emit p RBRACK; incr pos)
+    else if c = '@' then (emit p AT; incr pos)
+    else if c = ',' then (emit p COMMA; incr pos)
+    else if c = '|' then (emit p PIPE; incr pos)
+    else if c = '+' then (emit p PLUS; incr pos)
+    else if c = '-' then (emit p MINUS; incr pos)
+    else if c = '=' then (emit p EQ; incr pos)
+    else if c = '!' then
+      if peek_at (p + 1) = Some '=' then (emit p NEQ; pos := p + 2)
+      else fail p "expected '=' after '!'"
+    else if c = '<' then
+      if peek_at (p + 1) = Some '=' then (emit p LE; pos := p + 2) else (emit p LT; incr pos)
+    else if c = '>' then
+      if peek_at (p + 1) = Some '=' then (emit p GE; pos := p + 2) else (emit p GT; incr pos)
+    else if c = '/' then
+      if peek_at (p + 1) = Some '/' then (emit p DSLASH; pos := p + 2)
+      else (emit p SLASH; incr pos)
+    else if c = ':' then
+      if peek_at (p + 1) = Some ':' then (emit p COLONCOLON; pos := p + 2)
+      else fail p "unexpected ':'"
+    else if c = '*' then begin
+      if operand_ended !prev then emit p MUL else emit p STAR;
+      incr pos
+    end
+    else if c = '$' then begin
+      let start = p + 1 in
+      let e = ref start in
+      while !e < n && is_name_char src.[!e] do incr e done;
+      if !e = start then fail p "expected a name after '$'";
+      emit p (VAR (String.sub src start (!e - start)));
+      pos := !e
+    end
+    else if c = '"' || c = '\'' then begin
+      let e = ref (p + 1) in
+      while !e < n && src.[!e] <> c do incr e done;
+      if !e >= n then fail p "unterminated literal";
+      emit p (LIT (String.sub src (p + 1) (!e - p - 1)));
+      pos := !e + 1
+    end
+    else if is_digit c || (c = '.' && (match peek_at (p + 1) with Some d -> is_digit d | None -> false))
+    then begin
+      let e = ref p in
+      while !e < n && is_digit src.[!e] do incr e done;
+      if !e < n && src.[!e] = '.' then begin
+        incr e;
+        while !e < n && is_digit src.[!e] do incr e done
+      end;
+      let s = String.sub src p (!e - p) in
+      (match float_of_string_opt s with
+      | Some f -> emit p (NUM f)
+      | None -> fail p "malformed number %S" s);
+      pos := !e
+    end
+    else if c = '.' then
+      if peek_at (p + 1) = Some '.' then (emit p DOTDOT; pos := p + 2)
+      else (emit p DOT; incr pos)
+    else if is_name_start c then begin
+      let e = ref p in
+      while !e < n && is_name_char src.[!e] do incr e done;
+      (* QName: a single ':' followed by a name (but not '::') *)
+      if !e < n && src.[!e] = ':' && peek_at (!e + 1) <> Some ':' then begin
+        incr e;
+        if !e < n && (is_name_start src.[!e] || src.[!e] = '*') then begin
+          if src.[!e] = '*' then incr e
+          else while !e < n && is_name_char src.[!e] do incr e done
+        end
+        else fail !e "expected a local name after ':'"
+      end;
+      let name = String.sub src p (!e - p) in
+      (* the axis keyword position: name followed by '::' never reads as an
+         operator *)
+      let followed_by_axis_sep = !e + 1 < n && src.[!e] = ':' && src.[!e + 1] = ':' in
+      let tok =
+        if operand_ended !prev && not followed_by_axis_sep then
+          match name with
+          | "and" -> AND
+          | "or" -> OR
+          | "div" -> DIV
+          | "mod" -> MOD
+          | _ -> NAME name
+        else NAME name
+      in
+      emit p tok;
+      pos := !e
+    end
+    else fail p "unexpected character %C" c
+  done;
+  emit n EOF;
+  Array.of_list (List.rev !out)
+
+let token_to_string = function
+  | NAME s -> s
+  | NUM f -> Printf.sprintf "%g" f
+  | LIT s -> Printf.sprintf "'%s'" s
+  | VAR s -> "$" ^ s
+  | LPAREN -> "("
+  | RPAREN -> ")"
+  | LBRACK -> "["
+  | RBRACK -> "]"
+  | DOT -> "."
+  | DOTDOT -> ".."
+  | AT -> "@"
+  | COMMA -> ","
+  | COLONCOLON -> "::"
+  | SLASH -> "/"
+  | DSLASH -> "//"
+  | PIPE -> "|"
+  | PLUS -> "+"
+  | MINUS -> "-"
+  | EQ -> "="
+  | NEQ -> "!="
+  | LT -> "<"
+  | LE -> "<="
+  | GT -> ">"
+  | GE -> ">="
+  | STAR | MUL -> "*"
+  | AND -> "and"
+  | OR -> "or"
+  | DIV -> "div"
+  | MOD -> "mod"
+  | EOF -> "<eof>"

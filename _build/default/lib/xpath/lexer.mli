@@ -1,0 +1,48 @@
+(** XPath 1.0 lexer.
+
+    Implements the specification's lexical disambiguation rule (§3.7):
+    after a token that can end an operand, [*] lexes as the multiply
+    operator and the names [and], [or], [div], [mod] lex as operators;
+    elsewhere [*] is the wildcard node test and those names are ordinary
+    names. *)
+
+type token =
+  | NAME of string  (** NCName / QName *)
+  | NUM of float
+  | LIT of string  (** quoted literal, quotes stripped *)
+  | VAR of string  (** [$name] — recognized so the parser can reject it with a useful error *)
+  | LPAREN
+  | RPAREN
+  | LBRACK
+  | RBRACK
+  | DOT
+  | DOTDOT
+  | AT
+  | COMMA
+  | COLONCOLON
+  | SLASH
+  | DSLASH
+  | PIPE
+  | PLUS
+  | MINUS
+  | EQ
+  | NEQ
+  | LT
+  | LE
+  | GT
+  | GE
+  | STAR  (** wildcard node test *)
+  | MUL  (** multiply operator *)
+  | AND
+  | OR
+  | DIV
+  | MOD
+  | EOF
+
+exception Error of { pos : int; msg : string }
+(** Lexical error with a 0-based character offset. *)
+
+val tokenize : string -> (token * int) array
+(** Token stream with source offsets, ending in [EOF]. *)
+
+val token_to_string : token -> string

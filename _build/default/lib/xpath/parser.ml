@@ -1,0 +1,246 @@
+exception Error of { pos : int; msg : string }
+
+let fail pos fmt = Format.kasprintf (fun msg -> raise (Error { pos; msg })) fmt
+
+type state = { toks : (Lexer.token * int) array; mutable i : int }
+
+let peek st = fst st.toks.(st.i)
+let peek2 st = if st.i + 1 < Array.length st.toks then fst st.toks.(st.i + 1) else Lexer.EOF
+let pos st = snd st.toks.(st.i)
+let advance st = st.i <- st.i + 1
+
+let expect st tok =
+  if peek st = tok then advance st
+  else fail (pos st) "expected %s, found %s" (Lexer.token_to_string tok)
+         (Lexer.token_to_string (peek st))
+
+let node_type_names = [ "text"; "node"; "comment"; "processing-instruction" ]
+
+(* ---- steps and node tests ---- *)
+
+let parse_node_test st : Ast.node_test =
+  match peek st with
+  | Lexer.STAR ->
+      advance st;
+      Ast.Wildcard
+  | Lexer.NAME name when peek2 st = Lexer.LPAREN && List.mem name node_type_names ->
+      advance st;
+      expect st Lexer.LPAREN;
+      let test =
+        match name with
+        | "text" -> Ast.Text_test
+        | "node" -> Ast.Node_test
+        | "comment" -> Ast.Comment_test
+        | "processing-instruction" -> (
+            match peek st with
+            | Lexer.LIT target ->
+                advance st;
+                Ast.Pi_test (Some target)
+            | _ -> Ast.Pi_test None)
+        | _ -> assert false
+      in
+      expect st Lexer.RPAREN;
+      test
+  | Lexer.NAME name ->
+      advance st;
+      Ast.Name_test name
+  | t -> fail (pos st) "expected a node test, found %s" (Lexer.token_to_string t)
+
+let rec parse_step st : Ast.step =
+  match peek st with
+  | Lexer.DOT ->
+      advance st;
+      Ast.step Ast.Self Ast.Node_test
+  | Lexer.DOTDOT ->
+      advance st;
+      Ast.step Ast.Parent Ast.Node_test
+  | Lexer.AT ->
+      advance st;
+      let test = parse_node_test st in
+      let predicates = parse_predicates st in
+      { Ast.axis = Ast.Attribute; test; predicates }
+  | Lexer.NAME name when peek2 st = Lexer.COLONCOLON -> (
+      match Ast.axis_of_name name with
+      | Some axis ->
+          advance st;
+          advance st;
+          let test = parse_node_test st in
+          let predicates = parse_predicates st in
+          { Ast.axis; test; predicates }
+      | None -> fail (pos st) "unknown axis %S" name)
+  | _ ->
+      let test = parse_node_test st in
+      let predicates = parse_predicates st in
+      { Ast.axis = Ast.Child; test; predicates }
+
+and parse_predicates st =
+  if peek st = Lexer.LBRACK then begin
+    advance st;
+    let e = parse_or st in
+    expect st Lexer.RBRACK;
+    e :: parse_predicates st
+  end
+  else []
+
+and parse_relative_path st : Ast.step list =
+  let s = parse_step st in
+  match peek st with
+  | Lexer.SLASH ->
+      advance st;
+      s :: parse_relative_path st
+  | Lexer.DSLASH ->
+      advance st;
+      s :: Ast.step Ast.Descendant_or_self Ast.Node_test :: parse_relative_path st
+  | _ -> [ s ]
+
+and parse_location_path st : Ast.path =
+  match peek st with
+  | Lexer.SLASH ->
+      advance st;
+      let steps =
+        match peek st with
+        | Lexer.NAME _ | Lexer.STAR | Lexer.AT | Lexer.DOT | Lexer.DOTDOT ->
+            parse_relative_path st
+        | _ -> []
+      in
+      { Ast.absolute = true; steps }
+  | Lexer.DSLASH ->
+      advance st;
+      let steps = parse_relative_path st in
+      { Ast.absolute = true; steps = Ast.step Ast.Descendant_or_self Ast.Node_test :: steps }
+  | _ -> { Ast.absolute = false; steps = parse_relative_path st }
+
+(* ---- expressions ---- *)
+
+and starts_location_path st =
+  match peek st with
+  | Lexer.SLASH | Lexer.DSLASH | Lexer.STAR | Lexer.AT | Lexer.DOT | Lexer.DOTDOT -> true
+  | Lexer.NAME name ->
+      if peek2 st = Lexer.LPAREN then List.mem name node_type_names else true
+  | _ -> false
+
+and parse_primary st : Ast.expr =
+  match peek st with
+  | Lexer.LPAREN ->
+      advance st;
+      let e = parse_or st in
+      expect st Lexer.RPAREN;
+      e
+  | Lexer.LIT s ->
+      advance st;
+      Ast.Literal s
+  | Lexer.NUM f ->
+      advance st;
+      Ast.Number f
+  | Lexer.VAR v ->
+      advance st;
+      Ast.Var v
+  | Lexer.NAME f when peek2 st = Lexer.LPAREN ->
+      advance st;
+      expect st Lexer.LPAREN;
+      let arguments =
+        if peek st = Lexer.RPAREN then []
+        else begin
+          let rec more acc =
+            if peek st = Lexer.COMMA then begin
+              advance st;
+              more (parse_or st :: acc)
+            end
+            else List.rev acc
+          in
+          more [ parse_or st ]
+        end
+      in
+      expect st Lexer.RPAREN;
+      Ast.Call (f, arguments)
+  | t -> fail (pos st) "expected an expression, found %s" (Lexer.token_to_string t)
+
+and parse_path_expr st : Ast.expr =
+  let is_filter_start =
+    match peek st with
+    | Lexer.LPAREN | Lexer.LIT _ | Lexer.NUM _ | Lexer.VAR _ -> true
+    | Lexer.NAME name when peek2 st = Lexer.LPAREN -> not (List.mem name node_type_names)
+    | _ -> false
+  in
+  if is_filter_start then begin
+    let prim = parse_primary st in
+    let preds = parse_predicates st in
+    let filtered = if preds = [] then prim else Ast.Filter (prim, preds) in
+    match peek st with
+    | Lexer.SLASH ->
+        advance st;
+        Ast.Located (filtered, { Ast.absolute = false; steps = parse_relative_path st })
+    | Lexer.DSLASH ->
+        advance st;
+        Ast.Located
+          ( filtered,
+            { Ast.absolute = false;
+              steps = Ast.step Ast.Descendant_or_self Ast.Node_test :: parse_relative_path st
+            } )
+    | _ -> filtered
+  end
+  else if starts_location_path st then Ast.Path (parse_location_path st)
+  else fail (pos st) "expected a path or expression, found %s" (Lexer.token_to_string (peek st))
+
+and parse_union st =
+  let e = parse_path_expr st in
+  if peek st = Lexer.PIPE then begin
+    advance st;
+    Ast.Binop (Ast.Union, e, parse_union st)
+  end
+  else e
+
+and parse_unary st =
+  if peek st = Lexer.MINUS then begin
+    advance st;
+    Ast.Neg (parse_unary st)
+  end
+  else parse_union st
+
+and binary_level ops sub st =
+  let rec loop acc =
+    match List.assoc_opt (peek st) ops with
+    | Some op ->
+        advance st;
+        loop (Ast.Binop (op, acc, sub st))
+    | None -> acc
+  in
+  loop (sub st)
+
+and parse_multiplicative st =
+  binary_level [ (Lexer.MUL, Ast.Mul); (Lexer.DIV, Ast.Div); (Lexer.MOD, Ast.Mod) ]
+    parse_unary st
+
+and parse_additive st =
+  binary_level [ (Lexer.PLUS, Ast.Add); (Lexer.MINUS, Ast.Sub) ] parse_multiplicative st
+
+and parse_relational st =
+  binary_level
+    [ (Lexer.LT, Ast.Lt); (Lexer.LE, Ast.Le); (Lexer.GT, Ast.Gt); (Lexer.GE, Ast.Ge) ]
+    parse_additive st
+
+and parse_equality st =
+  binary_level [ (Lexer.EQ, Ast.Eq); (Lexer.NEQ, Ast.Neq) ] parse_relational st
+
+and parse_and st = binary_level [ (Lexer.AND, Ast.And) ] parse_equality st
+and parse_or st = binary_level [ (Lexer.OR, Ast.Or) ] parse_and st
+
+let parse src =
+  let toks =
+    try Lexer.tokenize src
+    with Lexer.Error { pos; msg } -> raise (Error { pos; msg })
+  in
+  let st = { toks; i = 0 } in
+  let e = parse_or st in
+  if peek st <> Lexer.EOF then
+    fail (pos st) "trailing input starting with %s" (Lexer.token_to_string (peek st));
+  e
+
+let parse_path src =
+  match parse src with
+  | Ast.Path p -> p
+  | _ -> raise (Error { pos = 0; msg = "expression is not a plain location path" })
+
+let error_to_string = function
+  | Error { pos; msg } -> Some (Printf.sprintf "XPath error at offset %d: %s" pos msg)
+  | _ -> None

@@ -1,0 +1,17 @@
+(** Recursive-descent XPath 1.0 parser. *)
+
+exception Error of { pos : int; msg : string }
+(** Syntax error with a 0-based character offset into the source. *)
+
+val parse : string -> Ast.expr
+(** Parse a complete XPath expression.
+    @raise Error on malformed input.  Variable references parse to
+    {!Ast.Var}; binding them is the caller's concern (the XQuery layer
+    supplies an environment; bare engine queries reject them at
+    evaluation time). *)
+
+val parse_path : string -> Ast.path
+(** Parse an expression that must be a location path.
+    @raise Error if the expression is not a plain location path. *)
+
+val error_to_string : exn -> string option

@@ -1,0 +1,442 @@
+module Store = Mass.Store
+module E = Mass.Nav.E
+open Xpath
+
+type value = Flex.t Xpath.Eval.value
+
+type item =
+  | Nodes of Flex.t list
+  | Atomic of string
+  | Constructed of Xml.Tree.spec
+
+exception Error of string
+
+let error fmt = Format.kasprintf (fun s -> raise (Error s)) fmt
+
+(* ---- surface syntax ----
+
+   The FLWOR shell is scanned at character level; embedded expressions are
+   handed to the XPath parser.  Clause keywords must appear as standalone
+   words at bracket depth 0 outside string literals. *)
+
+type clause =
+  | For of string * Ast.expr
+  | Let of string * Ast.expr
+  | Where of Ast.expr
+  | Order_by of Ast.expr * bool (* descending *)
+
+type constructor =
+  | Element of string * (string * string) list * content list
+  | Splice of Ast.expr
+
+and content = Text of string | Embedded of Ast.expr | Child of constructor
+
+type query = { clauses : clause list; return : constructor }
+
+let keywords = [ "for"; "let"; "where"; "order"; "return"; "descending" ]
+
+let is_word_char c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') || c = '-' || c = '_'
+
+type scanner = { src : string; mutable pos : int }
+
+let skip_ws sc =
+  while
+    sc.pos < String.length sc.src
+    && (match sc.src.[sc.pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false)
+  do
+    sc.pos <- sc.pos + 1
+  done
+
+let looking_at_word sc word =
+  let n = String.length word in
+  sc.pos + n <= String.length sc.src
+  && String.sub sc.src sc.pos n = word
+  && (sc.pos + n = String.length sc.src || not (is_word_char sc.src.[sc.pos + n]))
+  && (sc.pos = 0 || not (is_word_char sc.src.[sc.pos - 1]))
+
+let expect_word sc word =
+  skip_ws sc;
+  if looking_at_word sc word then sc.pos <- sc.pos + String.length word
+  else error "expected '%s' at offset %d" word sc.pos
+
+let parse_varname sc =
+  skip_ws sc;
+  if sc.pos >= String.length sc.src || sc.src.[sc.pos] <> '$' then
+    error "expected a variable at offset %d" sc.pos;
+  sc.pos <- sc.pos + 1;
+  let start = sc.pos in
+  while sc.pos < String.length sc.src && is_word_char sc.src.[sc.pos] do
+    sc.pos <- sc.pos + 1
+  done;
+  if sc.pos = start then error "empty variable name at offset %d" start;
+  String.sub sc.src start (sc.pos - start)
+
+(* the expression text extends to the next top-level clause keyword *)
+let scan_expr_text sc =
+  skip_ws sc;
+  let start = sc.pos in
+  let depth = ref 0 in
+  let quote = ref None in
+  let stop = ref None in
+  while !stop = None && sc.pos < String.length sc.src do
+    let c = sc.src.[sc.pos] in
+    (match !quote with
+    | Some q -> if c = q then quote := None
+    | None -> (
+        match c with
+        | '\'' | '"' -> quote := Some c
+        | '(' | '[' -> incr depth
+        | ')' | ']' -> decr depth
+        | ',' -> if !depth = 0 then stop := Some sc.pos
+        | _ ->
+            if !depth = 0 && List.exists (looking_at_word sc) keywords then stop := Some sc.pos));
+    if !stop = None then sc.pos <- sc.pos + 1
+  done;
+  let fin = match !stop with Some p -> p | None -> sc.pos in
+  let text = String.trim (String.sub sc.src start (fin - start)) in
+  if text = "" then error "empty expression at offset %d" start;
+  text
+
+let parse_xpath text =
+  match Parser.parse text with
+  | e -> e
+  | exception (Parser.Error _ as exn) ->
+      error "in %S: %s" text (Option.value ~default:"parse error" (Parser.error_to_string exn))
+
+(* ---- element constructors ---- *)
+
+let parse_name sc =
+  let start = sc.pos in
+  while sc.pos < String.length sc.src && is_word_char sc.src.[sc.pos] do
+    sc.pos <- sc.pos + 1
+  done;
+  if sc.pos = start then error "expected a name at offset %d" start;
+  String.sub sc.src start (sc.pos - start)
+
+(* a braced expression, tracking nesting and quotes *)
+let scan_braced sc =
+  (* sc.pos is at '{' *)
+  sc.pos <- sc.pos + 1;
+  let start = sc.pos in
+  let depth = ref 1 in
+  let quote = ref None in
+  while !depth > 0 do
+    if sc.pos >= String.length sc.src then error "unterminated '{' at offset %d" (start - 1);
+    let c = sc.src.[sc.pos] in
+    (match !quote with
+    | Some q -> if c = q then quote := None
+    | None -> (
+        match c with
+        | '\'' | '"' -> quote := Some c
+        | '{' -> incr depth
+        | '}' -> decr depth
+        | _ -> ()));
+    sc.pos <- sc.pos + 1
+  done;
+  String.trim (String.sub sc.src start (sc.pos - 1 - start))
+
+let rec parse_constructor sc =
+  skip_ws sc;
+  if sc.pos < String.length sc.src && sc.src.[sc.pos] = '<' then begin
+    sc.pos <- sc.pos + 1;
+    let name = parse_name sc in
+    (* static attributes: name="value" *)
+    let rec attrs acc =
+      skip_ws sc;
+      if sc.pos < String.length sc.src && sc.src.[sc.pos] = '>' then begin
+        sc.pos <- sc.pos + 1;
+        List.rev acc
+      end
+      else if sc.pos + 1 < String.length sc.src && String.sub sc.src sc.pos 2 = "/>" then begin
+        sc.pos <- sc.pos + 2;
+        raise Exit (* signal empty element via exception to the caller below *)
+      end
+      else begin
+        let an = parse_name sc in
+        skip_ws sc;
+        if sc.pos >= String.length sc.src || sc.src.[sc.pos] <> '=' then
+          error "expected '=' in attribute at offset %d" sc.pos;
+        sc.pos <- sc.pos + 1;
+        skip_ws sc;
+        let q = sc.src.[sc.pos] in
+        if q <> '"' && q <> '\'' then error "expected a quoted attribute value at offset %d" sc.pos;
+        sc.pos <- sc.pos + 1;
+        let start = sc.pos in
+        while sc.pos < String.length sc.src && sc.src.[sc.pos] <> q do
+          sc.pos <- sc.pos + 1
+        done;
+        if sc.pos >= String.length sc.src then error "unterminated attribute value";
+        let av = String.sub sc.src start (sc.pos - start) in
+        sc.pos <- sc.pos + 1;
+        attrs ((an, av) :: acc)
+      end
+    in
+    match attrs [] with
+    | exception Exit -> Element (name, [], [])
+    | attributes ->
+        let rec contents acc =
+          if sc.pos >= String.length sc.src then error "unterminated element <%s>" name
+          else if sc.pos + 1 < String.length sc.src && String.sub sc.src sc.pos 2 = "</" then begin
+            sc.pos <- sc.pos + 2;
+            let closing = parse_name sc in
+            if closing <> name then error "mismatched </%s>, expected </%s>" closing name;
+            skip_ws sc;
+            if sc.pos >= String.length sc.src || sc.src.[sc.pos] <> '>' then
+              error "expected '>' after </%s" closing;
+            sc.pos <- sc.pos + 1;
+            List.rev acc
+          end
+          else if sc.src.[sc.pos] = '{' then begin
+            let text = scan_braced sc in
+            contents (Embedded (parse_xpath text) :: acc)
+          end
+          else if sc.src.[sc.pos] = '<' then contents (Child (parse_constructor sc) :: acc)
+          else begin
+            let start = sc.pos in
+            while
+              sc.pos < String.length sc.src
+              && sc.src.[sc.pos] <> '<'
+              && sc.src.[sc.pos] <> '{'
+            do
+              sc.pos <- sc.pos + 1
+            done;
+            let text = String.sub sc.src start (sc.pos - start) in
+            if String.trim text = "" then contents acc else contents (Text text :: acc)
+          end
+        in
+        Element (name, attributes, contents [])
+  end
+  else begin
+    (* a bare expression return *)
+    let rest = String.trim (String.sub sc.src sc.pos (String.length sc.src - sc.pos)) in
+    sc.pos <- String.length sc.src;
+    Splice (parse_xpath rest)
+  end
+
+(* ---- FLWOR parsing ---- *)
+
+let parse_query src =
+  let sc = { src; pos = 0 } in
+  skip_ws sc;
+  if not (looking_at_word sc "for" || looking_at_word sc "let") then
+    { clauses = []; return = Splice (parse_xpath (String.trim src)) }
+  else begin
+    let clauses = ref [] in
+    let rec loop () =
+      skip_ws sc;
+      if looking_at_word sc "for" then begin
+        expect_word sc "for";
+        let rec vars () =
+          let v = parse_varname sc in
+          expect_word sc "in";
+          let e = parse_xpath (scan_expr_text sc) in
+          clauses := For (v, e) :: !clauses;
+          skip_ws sc;
+          if sc.pos < String.length sc.src && sc.src.[sc.pos] = ',' then begin
+            sc.pos <- sc.pos + 1;
+            vars ()
+          end
+        in
+        vars ();
+        loop ()
+      end
+      else if looking_at_word sc "let" then begin
+        expect_word sc "let";
+        let v = parse_varname sc in
+        skip_ws sc;
+        if sc.pos + 1 < String.length sc.src && String.sub sc.src sc.pos 2 = ":=" then
+          sc.pos <- sc.pos + 2
+        else error "expected ':=' at offset %d" sc.pos;
+        let e = parse_xpath (scan_expr_text sc) in
+        clauses := Let (v, e) :: !clauses;
+        loop ()
+      end
+      else if looking_at_word sc "where" then begin
+        expect_word sc "where";
+        let e = parse_xpath (scan_expr_text sc) in
+        clauses := Where e :: !clauses;
+        loop ()
+      end
+      else if looking_at_word sc "order" then begin
+        expect_word sc "order";
+        expect_word sc "by";
+        let e = parse_xpath (scan_expr_text sc) in
+        skip_ws sc;
+        let descending =
+          if looking_at_word sc "descending" then begin
+            expect_word sc "descending";
+            true
+          end
+          else false
+        in
+        clauses := Order_by (e, descending) :: !clauses;
+        loop ()
+      end
+      else if looking_at_word sc "return" then begin
+        expect_word sc "return";
+        let c = parse_constructor sc in
+        skip_ws sc;
+        if sc.pos < String.length sc.src then
+          error "trailing input at offset %d" sc.pos;
+        { clauses = List.rev !clauses; return = c }
+      end
+      else error "expected a clause keyword at offset %d" sc.pos
+    in
+    loop ()
+  end
+
+let parse src = ignore (parse_query src)
+
+(* ---- evaluation ---- *)
+
+type env = (string * value) list
+
+let eval_expr store ~context (env : env) e =
+  let vars v = List.assoc_opt v env in
+  match E.eval ~vars store ~context e with
+  | v -> v
+  | exception Xpath.Eval.Unsupported msg -> error "%s" msg
+
+(* For-clause paths rooted in a variable are the paper's XQuery
+   integration point: the relative path compiles to one optimized VAMANA
+   plan whose leaf is re-rooted at every binding (§V-B dynamic context
+   setting, driven from the enclosing expression). *)
+type for_source =
+  | Plan_rooted_at of string * Vamana.Exec.iterator
+  | General of Ast.expr
+
+type prepared = PFor of string * for_source | PLet of string * Ast.expr | PWhere of Ast.expr
+
+let prepare_for_source store ~context e =
+  match e with
+  | Ast.Located (Ast.Var v, rel) when List.for_all (fun (s : Ast.step) -> s.Ast.predicates = []) rel.Ast.steps
+    -> (
+      match Vamana.Compile.compile_query (Ast.path_to_string { rel with Ast.absolute = false }) with
+      | Ok plan ->
+          let scope = if Flex.depth context = 0 then None else Some (Flex.prefix context 1) in
+          let optimized = (Vamana.Optimizer.optimize store ~scope plan).Vamana.Optimizer.plan in
+          Plan_rooted_at (v, Vamana.Exec.build store ~context optimized)
+      | Error _ -> General e)
+  | _ -> General e
+
+let nodes_of store = function
+  | Xpath.Eval.Nodes ns -> ns
+  | v -> error "for-clause expression is not a node-set (%s)" (E.to_string_value store v)
+
+(* plans and iterators are built once; bindings re-root them *)
+let prepare_clauses store ~context clauses =
+  List.filter_map
+    (fun clause ->
+      match clause with
+      | For (v, e) -> Some (PFor (v, prepare_for_source store ~context e))
+      | Let (v, e) -> Some (PLet (v, e))
+      | Where e -> Some (PWhere e)
+      | Order_by _ -> None)
+    clauses
+
+let rec eval_clauses store ~context clauses (env : env) (emit : env -> unit) =
+  match clauses with
+  | [] -> emit env
+  | PFor (v, source) :: rest -> (
+      match source with
+      | Plan_rooted_at (var, it) ->
+          let root =
+            match List.assoc_opt var env with
+            | Some (Xpath.Eval.Nodes [ n ]) -> n
+            | Some _ -> error "variable $%s is not a single node" var
+            | None -> error "unbound variable $%s" var
+          in
+          Vamana.Exec.reset it root;
+          let rec drain () =
+            match Vamana.Exec.next it with
+            | Some k ->
+                eval_clauses store ~context rest ((v, Xpath.Eval.Nodes [ k ]) :: env) emit;
+                drain ()
+            | None -> ()
+          in
+          drain ()
+      | General e ->
+          List.iter
+            (fun n ->
+              eval_clauses store ~context rest ((v, Xpath.Eval.Nodes [ n ]) :: env) emit)
+            (nodes_of store (eval_expr store ~context env e)))
+  | PLet (v, e) :: rest ->
+      eval_clauses store ~context rest ((v, eval_expr store ~context env e) :: env) emit
+  | PWhere e :: rest ->
+      if E.to_boolean store (eval_expr store ~context env e) then
+        eval_clauses store ~context rest env emit
+
+let order_spec clauses =
+  List.find_map (function Order_by (e, desc) -> Some (e, desc) | _ -> None) clauses
+
+let rec build_constructor store ~context env c : Xml.Tree.spec =
+  match c with
+  | Element (name, attrs, contents) ->
+      let children =
+        List.concat_map
+          (fun content ->
+            match content with
+            | Text s -> [ Xml.Tree.D s ]
+            | Child c -> [ build_constructor store ~context env c ]
+            | Embedded e -> splice store (eval_expr store ~context env e))
+          contents
+      in
+      Xml.Tree.E (name, attrs, children)
+  | Splice _ -> error "internal: splice at element position"
+
+and splice store (v : value) : Xml.Tree.spec list =
+  match v with
+  | Xpath.Eval.Nodes ns ->
+      List.concat_map
+        (fun k ->
+          match Store.get store k with
+          | Some { Mass.Record.kind = Mass.Record.Element | Mass.Record.Document; _ } -> (
+              match Store.to_tree store k with
+              | Some tree -> [ Xml.Tree.element_spec tree ]
+              | None -> [])
+          | Some r -> [ Xml.Tree.D r.Mass.Record.value ]
+          | None -> [])
+        ns
+  | other -> [ Xml.Tree.D (E.to_string_value store other) ]
+
+let run store ~context src =
+  let q = parse_query src in
+  let prepared = prepare_clauses store ~context q.clauses in
+  let tuples = ref [] in
+  eval_clauses store ~context prepared [] (fun env -> tuples := env :: !tuples);
+  let tuples = List.rev !tuples in
+  let tuples =
+    match order_spec q.clauses with
+    | None -> tuples
+    | Some (key_expr, descending) ->
+        let keyed =
+          List.map (fun env -> (E.to_string_value store (eval_expr store ~context env key_expr), env)) tuples
+        in
+        let sorted = List.stable_sort (fun (a, _) (b, _) -> String.compare a b) keyed in
+        let sorted = if descending then List.rev sorted else sorted in
+        List.map snd sorted
+  in
+  List.map
+    (fun env ->
+      match q.return with
+      | Splice e -> (
+          match eval_expr store ~context env e with
+          | Xpath.Eval.Nodes ns -> Nodes ns
+          | other -> Atomic (E.to_string_value store other))
+      | Element _ as c -> Constructed (build_constructor store ~context env c))
+    tuples
+
+let run_to_xml store ~context src =
+  let items = run store ~context src in
+  let render = function
+    | Atomic s -> s
+    | Nodes ns ->
+        String.concat "\n"
+          (List.filter_map (fun k -> Store.to_xml store k) ns)
+    | Constructed spec -> (
+        match Xml.Tree.document [ spec ] with
+        | doc -> Xml.Writer.to_string (Xml.Tree.root_element doc)
+        | exception Invalid_argument _ -> "")
+  in
+  String.concat "\n" (List.map render items)

@@ -1,0 +1,47 @@
+(** XQuery-lite: a FLWOR subset over the VAMANA engine.
+
+    The paper positions VAMANA as the XPath substrate of an XQuery
+    processor: "in an XQuery expression the leaf operator could receive
+    context nodes from another expression" (§V-B) and "for an XQuery
+    expression that typically contains multiple XPath expressions, the
+    context node could be provided from another XPath expression" (§VII).
+    This module realizes that composition: each [for] clause compiles its
+    path to one optimized VAMANA plan whose leaf is then {e re-rooted at
+    every binding} of the enclosing clauses — the engine's dynamic context
+    setting, driven from above.
+
+    Supported grammar (a practical FLWOR core):
+
+    {v
+    query   ::= flwor | Expr
+    flwor   ::= (ForClause | LetClause)+ ("where" Expr)?
+                ("order" "by" Expr ("descending")?)? "return" constructor
+    ForClause ::= "for" "$"name "in" Expr
+    LetClause ::= "let" "$"name ":=" Expr
+    constructor ::= "<"name">" (text | "{" Expr "}" | constructor)* "</"name">"
+                  | Expr
+    v}
+
+    where [Expr] is any XPath 1.0 expression, with [$name] variables
+    resolving to the FLWOR bindings. *)
+
+type value = Flex.t Xpath.Eval.value
+
+type item =
+  | Nodes of Flex.t list  (** a node-set result *)
+  | Atomic of string  (** an atomic value, rendered as a string *)
+  | Constructed of Xml.Tree.spec  (** an element built by a constructor *)
+
+exception Error of string
+
+val parse : string -> unit
+(** Validate a query's syntax. @raise Error on malformed input. *)
+
+val run : Mass.Store.t -> context:Flex.t -> string -> item list
+(** Evaluate a query; one item per [return] evaluation (per binding tuple
+    for FLWOR queries, exactly one for plain expressions).
+    @raise Error on syntax or evaluation failure. *)
+
+val run_to_xml : Mass.Store.t -> context:Flex.t -> string -> string
+(** Evaluate and serialize: constructed elements as markup, node-sets as
+    their subtree markup, atomics as text; items separated by newlines. *)

@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Baselines Dom_engine Join_engine List Mass Printf QCheck QCheck_alcotest Scan_engine String Test_vamana Vamana Xml Xpath

@@ -1,0 +1,1 @@
+test/test_btree.ml: Alcotest Btree Format Int List Map Printf QCheck QCheck_alcotest Storage String

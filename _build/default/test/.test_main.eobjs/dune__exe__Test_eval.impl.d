@@ -1,0 +1,1 @@
+test/test_eval.ml: Alcotest Baselines Flex Float List Mass Xml Xpath

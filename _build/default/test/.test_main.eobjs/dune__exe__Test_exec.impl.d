@@ -1,0 +1,1 @@
+test/test_exec.ml: Alcotest Compile Exec Flex List Mass Optimizer Plan Printf Storage Vamana Xmark Xpath

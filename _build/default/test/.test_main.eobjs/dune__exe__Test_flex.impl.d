@@ -1,0 +1,1 @@
+test/test_flex.ml: Alcotest Array Flex Fun List Option Printf QCheck QCheck_alcotest Stdlib String

@@ -1,0 +1,1 @@
+test/test_frozen_stats.ml: Alcotest Compile Cost Engine Exec Frozen_stats Hashtbl List Mass Optimizer Plan Printf Rewrite Vamana

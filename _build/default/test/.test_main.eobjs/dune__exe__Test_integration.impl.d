@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Baselines Filename Flex Fun List Mass Option String Sys Vamana Xmark Xml Xpath Xquery

@@ -1,0 +1,1 @@
+test/test_mass.ml: Alcotest Array Baselines Flex Hashtbl List Mass Option Printf QCheck QCheck_alcotest Record Storage Store String Xml Xpath

@@ -1,0 +1,1 @@
+test/test_reconstruct.ml: Alcotest Filename Flex Fun List Mass Option QCheck QCheck_alcotest Sys Test_vamana Vamana Xmark Xml

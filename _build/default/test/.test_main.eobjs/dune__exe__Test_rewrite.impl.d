@@ -1,0 +1,1 @@
+test/test_rewrite.ml: Alcotest Compile Exec Flex List Mass Plan Printf QCheck QCheck_alcotest Rewrite String Test_vamana Vamana Xpath

@@ -1,0 +1,1 @@
+test/test_snapshot.ml: Alcotest Bytes Filename Flex Fun List Mass Option String Sys Vamana Xmark Xpath

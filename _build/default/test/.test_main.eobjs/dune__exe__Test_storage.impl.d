@@ -1,0 +1,1 @@
+test/test_storage.ml: Alcotest Array Fun List Pager Printf QCheck QCheck_alcotest Stats Storage

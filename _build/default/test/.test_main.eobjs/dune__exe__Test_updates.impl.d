@@ -1,0 +1,1 @@
+test/test_updates.ml: Alcotest Flex Hashtbl List Mass Option Printf QCheck QCheck_alcotest String Vamana Xpath

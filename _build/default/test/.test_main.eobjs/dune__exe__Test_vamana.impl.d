@@ -1,0 +1,1 @@
+test/test_vamana.ml: Alcotest Compile Cost Engine Exec Flex Hashtbl List Mass Nav Optimizer Option Plan Printf QCheck QCheck_alcotest Rewrite Storage String Vamana Xml Xpath

@@ -1,0 +1,1 @@
+test/test_xmark.ml: Alcotest List Mass Printf String Vamana Xmark Xml Xpath

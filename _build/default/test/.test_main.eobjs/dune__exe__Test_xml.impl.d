@@ -1,0 +1,1 @@
+test/test_xml.ml: Alcotest Array List Parser Printf QCheck QCheck_alcotest String Tree Writer Xml

@@ -1,0 +1,1 @@
+test/test_xpath.ml: Alcotest Ast List Parser Printf QCheck QCheck_alcotest Xpath

@@ -1,0 +1,178 @@
+(* Cross-engine agreement: VAMANA (default and optimized plans), the DOM
+   traversal engine, the sequential-scan engine, and the structural-join
+   engine must return the same node sets on their common query surface. *)
+
+module Store = Mass.Store
+open Baselines
+
+let auction_doc = Test_vamana.auction_doc
+
+let setup () =
+  let store = Store.create () in
+  let tree = Xml.Parser.parse auction_doc in
+  let doc = Store.load store ~name:"auction.xml" tree in
+  (store, tree, doc)
+
+(* queries every engine supports (no positional predicates; join engine
+   additionally lacks sibling/following/preceding axes) *)
+let common_queries =
+  [ "//person/address";
+    "//watches/watch/ancestor::person";
+    "/descendant::name/parent::*/self::person/address";
+    "//province[text()='Vermont']/ancestor::person";
+    "//person";
+    "//person[address]/name";
+    "//person[address/city='Monroe']";
+    "//person[@id='person1']/name";
+    "//watch/@open_auction";
+    "//item/description/..";
+    "//address/*";
+    "//person[name = 'Bob Stone' and not(address)]";
+    "/site/people/person/address/province";
+    "//address/ancestor-or-self::person";
+    "//text()" ]
+
+(* queries with sibling/ordering axes: all engines except the join engine *)
+let sibling_queries =
+  [ "//itemref/following-sibling::price/parent::*";
+    "//name[text()='Yung Flach']/following-sibling::emailaddress";
+    "//city/preceding-sibling::street";
+    "//province/preceding::emailaddress";
+    "//name/following::price" ]
+
+let vamana_ranks ~optimize store doc src =
+  match Vamana.Engine.query ~optimize store ~context:doc.Store.doc_key src with
+  | Ok r -> List.map (Store.document_rank store) r.Vamana.Engine.keys
+  | Error e -> Alcotest.fail (src ^ ": vamana: " ^ e)
+
+let ranks_to_string rs = String.concat "," (List.map string_of_int rs)
+
+let test_all_engines_agree () =
+  let store, tree, doc = setup () in
+  let dom = Dom_engine.create tree in
+  let scan = Scan_engine.create store doc in
+  let join = Join_engine.create store doc in
+  List.iter
+    (fun src ->
+      let expected = vamana_ranks ~optimize:false store doc src in
+      let check name = function
+        | Ok ranks ->
+            Alcotest.(check string)
+              (Printf.sprintf "%s (%s)" src name)
+              (ranks_to_string expected) (ranks_to_string ranks)
+        | Error e -> Alcotest.fail (Printf.sprintf "%s (%s): %s" src name e)
+      in
+      check "vamana-opt" (Ok (vamana_ranks ~optimize:true store doc src));
+      check "dom" (Dom_engine.query_ranks dom src);
+      check "scan" (Scan_engine.query_ranks scan src);
+      check "join" (Join_engine.query_ranks join src))
+    common_queries
+
+let test_sibling_queries () =
+  let store, tree, doc = setup () in
+  let dom = Dom_engine.create tree in
+  let scan = Scan_engine.create store doc in
+  let join = Join_engine.create store doc in
+  List.iter
+    (fun src ->
+      let expected = vamana_ranks ~optimize:true store doc src in
+      (match Dom_engine.query_ranks dom src with
+      | Ok ranks ->
+          Alcotest.(check string) (src ^ " (dom)") (ranks_to_string expected)
+            (ranks_to_string ranks)
+      | Error e -> Alcotest.fail (src ^ " dom: " ^ e));
+      (match Scan_engine.query_ranks scan src with
+      | Ok ranks ->
+          Alcotest.(check string) (src ^ " (scan)") (ranks_to_string expected)
+            (ranks_to_string ranks)
+      | Error e -> Alcotest.fail (src ^ " scan: " ^ e));
+      (* the paper: eXist fails on these axes *)
+      match Join_engine.query_ranks join src with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail (src ^ ": join engine should reject sibling/ordering axes"))
+    sibling_queries
+
+let test_dom_budget () =
+  let tree = Xml.Parser.parse "<r><a/><b/><c/></r>" in
+  match Dom_engine.create ~node_budget:3 tree with
+  | exception Dom_engine.Document_too_large { nodes; budget } ->
+      Alcotest.(check bool) "reports sizes" true (nodes > budget)
+  | _ -> Alcotest.fail "expected Document_too_large"
+
+let test_join_cap () =
+  let store, _, doc = setup () in
+  match Join_engine.create ~record_cap:10 store doc with
+  | exception Join_engine.Document_too_large { records; cap } ->
+      Alcotest.(check bool) "reports sizes" true (records > cap)
+  | _ -> Alcotest.fail "expected Document_too_large"
+
+let test_positional_rejection () =
+  let store, _, doc = setup () in
+  let scan = Scan_engine.create store doc in
+  let join = Join_engine.create store doc in
+  List.iter
+    (fun src ->
+      (match Scan_engine.query scan src with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail (src ^ ": scan engine should reject positional predicates"));
+      match Join_engine.query join src with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail (src ^ ": join engine should reject positional predicates"))
+    [ "//person[2]"; "//person[position() > 1]"; "//person[last()]" ]
+
+let test_dom_full_semantics () =
+  (* the DOM engine supports what the index engines specialize away *)
+  let _, tree, _ = setup () in
+  let dom = Dom_engine.create tree in
+  (match Dom_engine.query_ranks dom "//person[2]/name" with
+  | Ok [ _ ] -> ()
+  | Ok other -> Alcotest.fail (Printf.sprintf "expected 1 result, got %d" (List.length other))
+  | Error e -> Alcotest.fail e);
+  match Dom_engine.eval dom "count(//person)" with
+  | Ok (Xpath.Eval.Num f) -> Alcotest.(check (float 0.)) "count" 3.0 f
+  | Ok _ | Error _ -> Alcotest.fail "count failed"
+
+(* random-document cross-engine property *)
+let prop_cross_engine =
+  QCheck.Test.make ~name:"engines agree on random documents" ~count:30
+    (QCheck.make Test_vamana.gen_tree) (fun tree ->
+      let store = Store.create () in
+      let doc = Store.load store ~name:"gen" tree in
+      (* rebuild the DOM from the same spec to keep ids aligned *)
+      let dom = Dom_engine.create tree in
+      let scan = Scan_engine.create store doc in
+      let join = Join_engine.create store doc in
+      let queries =
+        [ "//person/address"; "//name"; "//person[name]"; "//city/ancestor::person";
+          "//person//city"; "//city[text()='Monroe']/ancestor::person"; "//person[@id='i']";
+          "//address/city/.." ]
+      in
+      List.for_all
+        (fun src ->
+          let expected = vamana_ranks ~optimize:true store doc src in
+          let ok name = function
+            | Ok ranks ->
+                ranks = expected
+                ||
+                (Printf.eprintf "DISAGREE %s (%s): expected %s got %s\n" src name
+                   (ranks_to_string expected) (ranks_to_string ranks);
+                 false)
+            | Error e ->
+                Printf.eprintf "ERROR %s (%s): %s\n" src name e;
+                false
+          in
+          ok "dom" (Dom_engine.query_ranks dom src)
+          && ok "scan" (Scan_engine.query_ranks scan src)
+          && ok "join" (Join_engine.query_ranks join src)
+          && ok "vqp" (Ok (vamana_ranks ~optimize:false store doc src)))
+        queries)
+
+let suite =
+  ( "baselines",
+    [ Alcotest.test_case "all engines agree (common surface)" `Quick test_all_engines_agree;
+      Alcotest.test_case "sibling axes: join engine rejects" `Quick test_sibling_queries;
+      Alcotest.test_case "dom node budget" `Quick test_dom_budget;
+      Alcotest.test_case "join record cap" `Quick test_join_cap;
+      Alcotest.test_case "positional rejection" `Quick test_positional_rejection;
+      Alcotest.test_case "dom full semantics" `Quick test_dom_full_semantics;
+      QCheck_alcotest.to_alcotest prop_cross_engine ] )

@@ -1,0 +1,226 @@
+(* Tests for the counted B+-tree, including a model-based property suite. *)
+
+module IntKey = struct
+  type t = int
+
+  let compare = Int.compare
+  let pp = Format.pp_print_int
+end
+
+module T = Btree.Make (IntKey)
+
+let mk ?(order = 4) entries =
+  let t = T.create ~order () in
+  List.iter (fun (k, v) -> T.insert t k v) entries;
+  t
+
+let test_empty () =
+  let t = T.create () in
+  Alcotest.(check int) "length" 0 (T.length t);
+  Alcotest.(check int) "height" 1 (T.height t);
+  Alcotest.(check bool) "find" true (T.find t 3 = None);
+  Alcotest.(check bool) "min" true (T.min_binding t = None);
+  Alcotest.(check bool) "max" true (T.max_binding t = None);
+  T.check_invariants t
+
+let test_insert_find () =
+  let t = mk (List.init 100 (fun i -> (i * 3, string_of_int i))) in
+  T.check_invariants t;
+  Alcotest.(check int) "length" 100 (T.length t);
+  Alcotest.(check bool) "height grew" true (T.height t > 1);
+  for i = 0 to 99 do
+    Alcotest.(check (option string)) "present" (Some (string_of_int i)) (T.find t (i * 3));
+    Alcotest.(check (option string)) "absent" None (T.find t ((i * 3) + 1))
+  done
+
+let test_upsert () =
+  let t = mk [ (1, "a"); (2, "b") ] in
+  T.insert t 1 "z";
+  Alcotest.(check int) "length unchanged" 2 (T.length t);
+  Alcotest.(check (option string)) "replaced" (Some "z") (T.find t 1);
+  T.check_invariants t
+
+let test_delete () =
+  let t = mk (List.init 50 (fun i -> (i, i))) in
+  Alcotest.(check bool) "delete present" true (T.delete t 25);
+  Alcotest.(check bool) "delete absent" false (T.delete t 25);
+  Alcotest.(check int) "length" 49 (T.length t);
+  Alcotest.(check (option int)) "gone" None (T.find t 25);
+  T.check_invariants t;
+  (* empty out a whole region; cursors must skip the empty leaves *)
+  for i = 10 to 20 do
+    ignore (T.delete t i)
+  done;
+  T.check_invariants t;
+  let c = T.seek_key t 9 in
+  Alcotest.(check (option (pair int int))) "9 present" (Some (9, 9)) (T.next c);
+  Alcotest.(check (option (pair int int))) "jumps region" (Some (21, 21)) (T.next c)
+
+let test_ordered_iteration () =
+  let entries = List.init 200 (fun i -> (i * 7 mod 401, i)) in
+  let t = mk entries in
+  let keys = List.map fst (T.to_list t) in
+  let sorted = List.sort_uniq Int.compare (List.map fst entries) in
+  Alcotest.(check (list int)) "iteration sorted" sorted keys
+
+let test_cursor_bidirectional () =
+  let t = mk (List.init 30 (fun i -> (i, i))) in
+  let c = T.seek_key t 10 in
+  Alcotest.(check (option (pair int int))) "next" (Some (10, 10)) (T.next c);
+  Alcotest.(check (option (pair int int))) "next again" (Some (11, 11)) (T.next c);
+  Alcotest.(check (option (pair int int))) "back" (Some (11, 11)) (T.prev c);
+  Alcotest.(check (option (pair int int))) "back again" (Some (10, 10)) (T.prev c);
+  Alcotest.(check (option (pair int int))) "back once more" (Some (9, 9)) (T.prev c);
+  let c = T.seek_min t in
+  Alcotest.(check (option (pair int int))) "prev at min" None (T.prev c);
+  let c = T.seek_max t in
+  Alcotest.(check (option (pair int int))) "next at max" None (T.next c);
+  Alcotest.(check (option (pair int int))) "prev at max" (Some (29, 29)) (T.prev c)
+
+let test_peek () =
+  let t = mk [ (1, 1); (2, 2) ] in
+  let c = T.seek_min t in
+  Alcotest.(check (option (pair int int))) "peek" (Some (1, 1)) (T.peek c);
+  Alcotest.(check (option (pair int int))) "peek does not advance" (Some (1, 1)) (T.next c)
+
+let test_rank_count () =
+  let t = mk (List.init 100 (fun i -> (2 * i, i))) in
+  (* keys 0,2,...,198 *)
+  Alcotest.(check int) "rank of 50-bound" 25 (T.rank t (fun k -> Int.compare k 50));
+  Alcotest.(check int) "rank of odd bound" 26 (T.rank t (fun k -> Int.compare k 51));
+  Alcotest.(check int) "count [10,20)" 5
+    (T.count_range t ~lo:(fun k -> Int.compare k 10) ~hi:(fun k -> Int.compare k 20));
+  Alcotest.(check int) "count everything" 100
+    (T.count_range t ~lo:(fun _ -> 0) ~hi:(fun _ -> -1));
+  Alcotest.(check int) "count empty range" 0
+    (T.count_range t ~lo:(fun k -> Int.compare k 20) ~hi:(fun k -> Int.compare k 10))
+
+let test_count_without_data_reads () =
+  (* counting must touch O(height) pages, far fewer than iterating *)
+  let t = mk ~order:8 (List.init 5000 (fun i -> (i, i))) in
+  let s0 = (T.stats t).Storage.Stats.logical_reads in
+  let n = T.count_range t ~lo:(fun k -> Int.compare k 100) ~hi:(fun k -> Int.compare k 4900) in
+  let reads = (T.stats t).Storage.Stats.logical_reads - s0 in
+  Alcotest.(check int) "count correct" 4800 n;
+  Alcotest.(check bool)
+    (Printf.sprintf "count touched %d pages (<= 2*height+2)" reads)
+    true
+    (reads <= (2 * T.height t) + 2)
+
+let test_seek_probe () =
+  let t = mk (List.init 50 (fun i -> (3 * i, i))) in
+  (* probe for first key >= 50 -> 51 *)
+  let c = T.seek t (fun k -> Int.compare k 50) in
+  Alcotest.(check (option (pair int int))) "first >= 50" (Some (51, 17)) (T.next c)
+
+(* ---- model-based property tests ---- *)
+
+module IntMap = Map.Make (Int)
+
+type op = Insert of int * int | Delete of int | Find of int
+
+let gen_ops =
+  let open QCheck.Gen in
+  let key = int_range 0 120 in
+  let op =
+    frequency
+      [ (5, map2 (fun k v -> Insert (k, v)) key (int_range 0 1000));
+        (2, map (fun k -> Delete k) key);
+        (2, map (fun k -> Find k) key) ]
+  in
+  list_size (int_range 1 400) op
+
+let print_ops ops =
+  String.concat ";"
+    (List.map
+       (function
+         | Insert (k, v) -> Printf.sprintf "I(%d,%d)" k v
+         | Delete k -> Printf.sprintf "D%d" k
+         | Find k -> Printf.sprintf "F%d" k)
+       ops)
+
+let prop_model =
+  QCheck.Test.make ~name:"btree agrees with Map under random ops" ~count:150
+    (QCheck.make ~print:print_ops gen_ops) (fun ops ->
+      let t = T.create ~order:4 () in
+      let model = ref IntMap.empty in
+      List.for_all
+        (fun op ->
+          (match op with
+          | Insert (k, v) ->
+              T.insert t k v;
+              model := IntMap.add k v !model
+          | Delete k ->
+              let removed = T.delete t k in
+              let expected = IntMap.mem k !model in
+              model := IntMap.remove k !model;
+              if removed <> expected then failwith "delete result mismatch"
+          | Find _ -> ());
+          match op with
+          | Find k -> T.find t k = IntMap.find_opt k !model
+          | _ -> true)
+        ops
+      &&
+      (T.check_invariants t;
+       T.to_list t = IntMap.bindings !model
+       && T.length t = IntMap.cardinal !model))
+
+let prop_rank_model =
+  QCheck.Test.make ~name:"rank/count agree with model" ~count:100
+    (QCheck.make ~print:print_ops gen_ops) (fun ops ->
+      let t = T.create ~order:4 () in
+      let model = ref IntMap.empty in
+      List.iter
+        (function
+          | Insert (k, v) ->
+              T.insert t k v;
+              model := IntMap.add k v !model
+          | Delete k ->
+              ignore (T.delete t k);
+              model := IntMap.remove k !model
+          | Find _ -> ())
+        ops;
+      List.for_all
+        (fun b ->
+          let expected = IntMap.cardinal (IntMap.filter (fun k _ -> k < b) !model) in
+          T.rank t (fun k -> Int.compare k b) = expected)
+        [ 0; 1; 17; 60; 121; 1000 ])
+
+let prop_cursor_model =
+  QCheck.Test.make ~name:"cursor forward+backward scan matches model" ~count:100
+    (QCheck.make ~print:print_ops gen_ops) (fun ops ->
+      let t = T.create ~order:4 () in
+      let model = ref IntMap.empty in
+      List.iter
+        (function
+          | Insert (k, v) ->
+              T.insert t k v;
+              model := IntMap.add k v !model
+          | Delete k ->
+              ignore (T.delete t k);
+              model := IntMap.remove k !model
+          | Find _ -> ())
+        ops;
+      let forward = T.to_list t in
+      let backward =
+        let c = T.seek_max t in
+        let rec go acc = match T.prev c with Some e -> go (e :: acc) | None -> acc in
+        go []
+      in
+      forward = IntMap.bindings !model && backward = forward)
+
+let suite =
+  ( "btree",
+    [ Alcotest.test_case "empty tree" `Quick test_empty;
+      Alcotest.test_case "insert and find" `Quick test_insert_find;
+      Alcotest.test_case "upsert" `Quick test_upsert;
+      Alcotest.test_case "delete" `Quick test_delete;
+      Alcotest.test_case "ordered iteration" `Quick test_ordered_iteration;
+      Alcotest.test_case "cursor bidirectional" `Quick test_cursor_bidirectional;
+      Alcotest.test_case "peek" `Quick test_peek;
+      Alcotest.test_case "rank and count" `Quick test_rank_count;
+      Alcotest.test_case "count is index-only" `Quick test_count_without_data_reads;
+      Alcotest.test_case "seek by probe" `Quick test_seek_probe;
+      QCheck_alcotest.to_alcotest prop_model;
+      QCheck_alcotest.to_alcotest prop_rank_model;
+      QCheck_alcotest.to_alcotest prop_cursor_model ] )

@@ -1,0 +1,202 @@
+(* Tests for the generic XPath evaluator: value coercions, comparison
+   semantics, and the core function library (XPath 1.0 §3.4, §4). *)
+
+module Store = Mass.Store
+module E = Mass.Nav.E
+
+let doc_src =
+  {xml|<inventory>
+  <item sku="A1"><name>bolt</name><qty>12</qty><price>0.25</price></item>
+  <item sku="B2"><name>nut</name><qty>40</qty><price>0.10</price></item>
+  <item sku="C3"><name>washer  plate</name><qty>0</qty><price>1.50</price></item>
+  <note>  spaced   text  </note>
+</inventory>|xml}
+
+let setup () =
+  let store = Store.create () in
+  let doc = Store.load_string store ~name:"inv.xml" doc_src in
+  (store, doc.Store.doc_key)
+
+let eval src =
+  let store, ctx = setup () in
+  (store, E.eval store ~context:ctx (Xpath.Parser.parse src))
+
+let check_num name src expected =
+  match eval src with
+  | store, v ->
+      ignore store;
+      (match v with
+      | Xpath.Eval.Num f -> Alcotest.(check (float 1e-9)) name expected f
+      | _ -> Alcotest.fail (name ^ ": expected a number"))
+
+let check_str name src expected =
+  match eval src with
+  | _, Xpath.Eval.Str s -> Alcotest.(check string) name expected s
+  | _, _ -> Alcotest.fail (name ^ ": expected a string")
+
+let check_bool name src expected =
+  match eval src with
+  | store, v -> Alcotest.(check bool) name expected (E.to_boolean store v)
+
+let test_numbers () =
+  check_num "count" "count(//item)" 3.0;
+  check_num "sum" "sum(//qty)" 52.0;
+  check_num "arith" "1 + 2 * 3 - 4" 3.0;
+  check_num "div" "7 div 2" 3.5;
+  check_num "mod" "7 mod 2" 1.0;
+  check_num "neg" "-(2 + 3)" (-5.0);
+  check_num "floor" "floor(2.7)" 2.0;
+  check_num "ceiling" "ceiling(2.1)" 3.0;
+  check_num "round up" "round(2.5)" 3.0;
+  check_num "round down" "round(2.4)" 2.0;
+  check_num "round negative" "round(-2.5)" (-2.0);
+  check_num "number of string" "number('42.5')" 42.5;
+  check_num "number coerces node" "number(//item[1]/qty)" 12.0;
+  check_num "string-length" "string-length('hello')" 5.0
+
+let test_nan_propagation () =
+  let store, v = eval "number('not a number')" in
+  ignore store;
+  (match v with
+  | Xpath.Eval.Num f -> Alcotest.(check bool) "NaN" true (Float.is_nan f)
+  | _ -> Alcotest.fail "expected number");
+  (* NaN compares false with everything *)
+  check_bool "NaN = NaN is false" "number('x') = number('y')" false;
+  check_bool "NaN < 1 is false" "number('x') < 1" false
+
+let test_strings () =
+  check_str "concat" "concat('a', 'b', 'c')" "abc";
+  check_str "substring" "substring('12345', 2, 3)" "234";
+  check_str "substring from" "substring('12345', 2)" "2345";
+  (* spec edge cases *)
+  check_str "substring rounding" "substring('12345', 1.5, 2.6)" "234";
+  check_str "substring clamps" "substring('12345', 0, 3)" "12";
+  check_str "substring-before" "substring-before('1999/04/01', '/')" "1999";
+  check_str "substring-after" "substring-after('1999/04/01', '/')" "04/01";
+  check_str "substring-before absent" "substring-before('abc', 'z')" "";
+  check_str "translate" "translate('bar', 'abc', 'ABC')" "BAr";
+  check_str "translate removes" "translate('--aaa--', 'abc-', 'ABC')" "AAA";
+  check_str "normalize-space" "normalize-space('  a   b  ')" "a b";
+  check_str "normalize-space of node" "normalize-space(//note)" "spaced text";
+  check_str "string of number" "string(12)" "12";
+  check_str "string of decimal" "string(1.5)" "1.5";
+  check_str "string of node" "string(//item[1]/name)" "bolt"
+
+let test_booleans () =
+  check_bool "true()" "true()" true;
+  check_bool "false()" "false()" false;
+  check_bool "not" "not(1 = 2)" true;
+  check_bool "boolean of empty nodeset" "boolean(//missing)" false;
+  check_bool "boolean of nodeset" "boolean(//item)" true;
+  check_bool "boolean of zero" "boolean(0)" false;
+  check_bool "boolean of empty string" "boolean('')" false;
+  check_bool "boolean of string" "boolean('x')" true;
+  check_bool "contains" "contains('database', 'tab')" true;
+  check_bool "contains empty needle" "contains('x', '')" true;
+  check_bool "starts-with" "starts-with('database', 'data')" true;
+  check_bool "starts-with false" "starts-with('database', 'base')" false
+
+let test_name_functions () =
+  check_str "name()" "name(//item[1])" "item";
+  check_str "local-name()" "local-name(//item[1])" "item";
+  check_str "name of attribute" "name(//item[1]/@sku)" "sku";
+  check_str "name of empty" "name(//missing)" ""
+
+let test_comparison_semantics () =
+  (* node-set vs literal: existential *)
+  check_bool "any qty = 40" "//qty = 40" true;
+  check_bool "any qty = 41" "//qty = 41" false;
+  (* both = and != can hold simultaneously over node-sets *)
+  check_bool "exists qty = 12" "//qty = 12" true;
+  check_bool "exists qty != 12" "//qty != 12" true;
+  (* relational comparisons coerce to numbers *)
+  check_bool "price < 1" "//item[1]/price < 1" true;
+  check_bool "string numeric compare" "'10' > '9'" true;
+  (* node-set vs node-set *)
+  check_bool "nodeset eq nodeset" "//item[1]/qty = //qty" true;
+  (* boolean coercion wins *)
+  check_bool "nodeset = true()" "//missing = false()" true
+
+let test_union () =
+  let store, ctx = setup () in
+  match E.eval store ~context:ctx (Xpath.Parser.parse "//name | //qty") with
+  | Xpath.Eval.Nodes ns ->
+      Alcotest.(check int) "union size" 6 (List.length ns);
+      (* document order, no duplicates *)
+      let sorted = List.sort_uniq Flex.compare ns in
+      Alcotest.(check bool) "sorted unique" true (List.equal Flex.equal sorted ns)
+  | _ -> Alcotest.fail "expected node-set"
+
+let test_positional () =
+  let store, ctx = setup () in
+  let names src =
+    match E.eval store ~context:ctx (Xpath.Parser.parse src) with
+    | Xpath.Eval.Nodes ns -> List.map (Store.string_value store) ns
+    | _ -> Alcotest.fail "expected node-set"
+  in
+  Alcotest.(check (list string)) "[1]" [ "bolt" ] (names "//item[1]/name");
+  Alcotest.(check (list string)) "[last()]" [ "washer  plate" ] (names "//item[last()]/name");
+  Alcotest.(check (list string)) "[position()>1]" [ "nut"; "washer  plate" ]
+    (names "//item[position() > 1]/name");
+  (* positional predicates on a reverse axis count in proximity order *)
+  Alcotest.(check (list string)) "reverse axis position"
+    [ "nut" ]
+    (names "//item[3]/preceding-sibling::item[1]/name");
+  Alcotest.(check (list string)) "filter expr position" [ "nut" ] (names "(//item)[2]/name")
+
+let test_unsupported () =
+  let store, ctx = setup () in
+  (match E.eval store ~context:ctx (Xpath.Parser.parse "unknown-fn(1)") with
+  | exception Xpath.Eval.Unsupported _ -> ()
+  | _ -> Alcotest.fail "expected Unsupported");
+  match E.eval store ~context:ctx (Xpath.Parser.parse "'a'[1]") with
+  | exception Xpath.Eval.Unsupported _ -> ()
+  | _ -> Alcotest.fail "expected Unsupported for predicate on string"
+
+let test_number_formatting () =
+  Alcotest.(check string) "integer" "12" (E.number_to_string 12.0);
+  Alcotest.(check string) "negative" "-3" (E.number_to_string (-3.0));
+  Alcotest.(check string) "decimal" "1.5" (E.number_to_string 1.5);
+  Alcotest.(check string) "NaN" "NaN" (E.number_to_string Float.nan);
+  Alcotest.(check string) "inf" "Infinity" (E.number_to_string Float.infinity);
+  Alcotest.(check string) "-inf" "-Infinity" (E.number_to_string Float.neg_infinity);
+  Alcotest.(check string) "zero" "0" (E.number_to_string 0.0)
+
+(* the DOM instantiation of the evaluator must agree on pure functions *)
+let test_cross_space_agreement () =
+  let tree = Xml.Parser.parse doc_src in
+  let dom = Baselines.Dom_engine.create tree in
+  let store, ctx = setup () in
+  List.iter
+    (fun src ->
+      let mass_v =
+        E.to_string_value store (E.eval store ~context:ctx (Xpath.Parser.parse src))
+      in
+      match Baselines.Dom_engine.eval dom src with
+      | Ok v ->
+          let dom_v =
+            match v with
+            | Xpath.Eval.Str s -> s
+            | Xpath.Eval.Num f -> E.number_to_string f
+            | Xpath.Eval.Bool b -> string_of_bool b
+            | Xpath.Eval.Nodes _ -> "nodes"
+          in
+          let mass_v = if mass_v = "true" || mass_v = "false" then mass_v else mass_v in
+          Alcotest.(check string) src dom_v mass_v
+      | Error e -> Alcotest.fail (src ^ ": " ^ e))
+    [ "count(//item)"; "sum(//qty)"; "string(//item[2]/name)"; "normalize-space(//note)";
+      "concat(name(//item[1]), '-', string(//item[1]/@sku))"; "string-length(string(//note))" ]
+
+let suite =
+  ( "eval",
+    [ Alcotest.test_case "numeric functions" `Quick test_numbers;
+      Alcotest.test_case "NaN propagation" `Quick test_nan_propagation;
+      Alcotest.test_case "string functions" `Quick test_strings;
+      Alcotest.test_case "boolean functions" `Quick test_booleans;
+      Alcotest.test_case "name functions" `Quick test_name_functions;
+      Alcotest.test_case "comparison semantics" `Quick test_comparison_semantics;
+      Alcotest.test_case "union" `Quick test_union;
+      Alcotest.test_case "positional predicates" `Quick test_positional;
+      Alcotest.test_case "unsupported constructs" `Quick test_unsupported;
+      Alcotest.test_case "number formatting" `Quick test_number_formatting;
+      Alcotest.test_case "cross-space agreement" `Quick test_cross_space_agreement ] )

@@ -1,0 +1,209 @@
+(* Unit and property tests for FLEX structural keys. *)
+
+let key cs = Flex.of_components cs
+
+let check_order a b =
+  Alcotest.(check bool)
+    (Printf.sprintf "%s < %s" (Flex.to_string a) (Flex.to_string b))
+    true
+    (Flex.compare a b < 0)
+
+let test_document_order () =
+  (* pre-order of the paper's Figure 10 fragment *)
+  let site = key [ "b" ] in
+  let person = key [ "b"; "d"; "y" ] in
+  let name = key [ "b"; "d"; "y"; "b" ] in
+  let email = key [ "b"; "d"; "y"; "c" ] in
+  let address = key [ "b"; "d"; "y"; "d" ] in
+  let street = key [ "b"; "d"; "y"; "d"; "b" ] in
+  let person2 = key [ "b"; "d"; "z" ] in
+  check_order Flex.document site;
+  check_order site person;
+  check_order person name;
+  check_order name email;
+  check_order email address;
+  check_order address street;
+  check_order street person2;
+  (* sibling vs deeper earlier sibling: a.d.y.c.a < a.d.z *)
+  check_order street person2;
+  (* a.d < a.dd style: longer component sorts after the shorter-component
+     subtree *)
+  check_order (key [ "b"; "d"; "x" ]) (key [ "b"; "dd" ])
+
+let test_component_validity () =
+  Alcotest.(check bool) "empty invalid" false (Flex.is_valid_component "");
+  Alcotest.(check bool) "trailing a invalid" false (Flex.is_valid_component "ba");
+  Alcotest.(check bool) "uppercase invalid" false (Flex.is_valid_component "B");
+  Alcotest.(check bool) "digit invalid" false (Flex.is_valid_component "b1");
+  Alcotest.(check bool) "b valid" true (Flex.is_valid_component "b");
+  Alcotest.(check bool) "ab valid" true (Flex.is_valid_component "ab");
+  Alcotest.check_raises "of_components rejects" (Invalid_argument "Flex: invalid component \"xa\"")
+    (fun () -> ignore (key [ "xa" ]))
+
+let test_ancestry () =
+  let a = key [ "b"; "d" ] in
+  let b = key [ "b"; "d"; "y"; "c" ] in
+  Alcotest.(check bool) "ancestor" true (Flex.is_ancestor a b);
+  Alcotest.(check bool) "not self" false (Flex.is_ancestor a a);
+  Alcotest.(check bool) "or-self" true (Flex.is_ancestor_or_self a a);
+  Alcotest.(check bool) "document ancestor of all" true (Flex.is_ancestor Flex.document b);
+  Alcotest.(check bool) "sibling not ancestor" false
+    (Flex.is_ancestor (key [ "b"; "d" ]) (key [ "b"; "dd" ]));
+  Alcotest.(check string) "common ancestor" "b.d"
+    (Flex.to_string (Flex.common_ancestor b (key [ "b"; "d"; "z" ])));
+  Alcotest.(check string) "parent" "b.d.y"
+    (Flex.to_string (Option.get (Flex.parent (key [ "b"; "d"; "y"; "c" ]))));
+  Alcotest.(check bool) "document has no parent" true (Flex.parent Flex.document = None);
+  Alcotest.(check string) "prefix depth 1" "b" (Flex.to_string (Flex.prefix b 1))
+
+let test_between_basic () =
+  let checks =
+    [ (Some "b", Some "c"); (Some "b", Some "bc"); (None, Some "b");
+      (Some "z", None); (None, None); (Some "b", Some "d");
+      (Some "bz", Some "c"); (Some "n", Some "nb") ]
+  in
+  List.iter
+    (fun (lo, hi) ->
+      let m = Flex.between lo hi in
+      Alcotest.(check bool)
+        (Printf.sprintf "valid between %s %s -> %s"
+           (Option.value lo ~default:"-inf") (Option.value hi ~default:"+inf") m)
+        true
+        (Flex.is_valid_component m
+        && (match lo with None -> true | Some l -> String.compare l m < 0)
+        && match hi with None -> true | Some h -> String.compare m h < 0))
+    checks;
+  Alcotest.check_raises "between rejects lo >= hi"
+    (Invalid_argument "Flex.between: \"c\" >= \"c\"") (fun () ->
+      ignore (Flex.between (Some "c") (Some "c")))
+
+let test_sequence () =
+  List.iter
+    (fun n ->
+      let cs = Flex.sequence n in
+      Alcotest.(check int) (Printf.sprintf "sequence %d length" n) n (List.length cs);
+      List.iter
+        (fun c ->
+          Alcotest.(check bool) ("valid " ^ c) true (Flex.is_valid_component c))
+        cs;
+      let rec sorted = function
+        | a :: (b :: _ as rest) -> String.compare a b < 0 && sorted rest
+        | _ -> true
+      in
+      Alcotest.(check bool) (Printf.sprintf "sequence %d sorted" n) true (sorted cs))
+    [ 0; 1; 2; 25; 26; 624; 625; 626; 1000 ]
+
+let test_bounds () =
+  let k = key [ "b"; "d" ] in
+  let desc = key [ "b"; "d"; "y" ] in
+  let sib = key [ "b"; "dd" ] in
+  let before = key [ "b"; "c" ] in
+  let lo, hi = Flex.subtree_range k in
+  Alcotest.(check bool) "self in subtree" true (Flex.key_in_range ~lo ~hi k);
+  Alcotest.(check bool) "descendant in subtree" true (Flex.key_in_range ~lo ~hi desc);
+  Alcotest.(check bool) "sibling out" false (Flex.key_in_range ~lo ~hi sib);
+  Alcotest.(check bool) "earlier out" false (Flex.key_in_range ~lo ~hi before);
+  let lo, hi = Flex.descendants_range k in
+  Alcotest.(check bool) "self not in descendants" false (Flex.key_in_range ~lo ~hi k);
+  Alcotest.(check bool) "descendant in descendants" true (Flex.key_in_range ~lo ~hi desc);
+  Alcotest.(check bool) "sibling not in descendants" false (Flex.key_in_range ~lo ~hi sib)
+
+let test_serialization () =
+  let k = key [ "b"; "d"; "y"; "c" ] in
+  Alcotest.(check string) "to_string" "b.d.y.c" (Flex.to_string k);
+  Alcotest.(check bool) "of_string roundtrip" true (Flex.equal k (Flex.of_string "b.d.y.c"));
+  Alcotest.(check string) "document prints as /" "/" (Flex.to_string Flex.document);
+  Alcotest.(check bool) "document roundtrip" true
+    (Flex.equal Flex.document (Flex.of_string "/"));
+  Alcotest.(check bool) "encode/decode roundtrip" true (Flex.equal k (Flex.decode (Flex.encode k)))
+
+(* ---- properties ---- *)
+
+let gen_component =
+  let open QCheck.Gen in
+  let* n = int_range 1 4 in
+  let* body = string_size (return (n - 1)) ~gen:(char_range 'a' 'z') in
+  let* last = char_range 'b' 'z' in
+  return (body ^ String.make 1 last)
+
+let gen_key =
+  let open QCheck.Gen in
+  let* d = int_range 0 6 in
+  let* cs = list_size (return d) gen_component in
+  return (Flex.of_components cs)
+
+let arb_key = QCheck.make ~print:Flex.to_string gen_key
+
+let prop_compare_total_order =
+  QCheck.Test.make ~name:"flex compare is antisymmetric and transitive-ish" ~count:500
+    (QCheck.triple arb_key arb_key arb_key) (fun (a, b, c) ->
+      let sign x = Stdlib.compare x 0 in
+      sign (Flex.compare a b) = -sign (Flex.compare b a)
+      && (Flex.compare a b >= 0 || Flex.compare b c >= 0 || Flex.compare a c < 0))
+
+let prop_encode_order_preserving =
+  QCheck.Test.make ~name:"encode preserves order" ~count:500 (QCheck.pair arb_key arb_key)
+    (fun (a, b) ->
+      Stdlib.compare (Flex.compare a b) 0
+      = Stdlib.compare (String.compare (Flex.encode a) (Flex.encode b)) 0)
+
+let prop_ancestor_matches_range =
+  QCheck.Test.make ~name:"subtree range = ancestor-or-self" ~count:500
+    (QCheck.pair arb_key arb_key) (fun (a, k) ->
+      let lo, hi = Flex.subtree_range a in
+      Flex.key_in_range ~lo ~hi k = Flex.is_ancestor_or_self a k)
+
+let prop_between =
+  let gen =
+    let open QCheck.Gen in
+    let* a = gen_component in
+    let* b = gen_component in
+    return (a, b)
+  in
+  QCheck.Test.make ~name:"between lies strictly between" ~count:1000
+    (QCheck.make ~print:(fun (a, b) -> a ^ " .. " ^ b) gen) (fun (a, b) ->
+      let c = String.compare a b in
+      QCheck.assume (c <> 0);
+      let lo, hi = if c < 0 then (a, b) else (b, a) in
+      let m = Flex.between (Some lo) (Some hi) in
+      Flex.is_valid_component m && String.compare lo m < 0 && String.compare m hi < 0)
+
+let prop_between_iterated =
+  (* repeatedly splitting the same interval must keep producing fresh keys *)
+  QCheck.Test.make ~name:"between supports repeated splitting" ~count:50 QCheck.unit
+    (fun () ->
+      let rec go lo hi n =
+        n = 0
+        ||
+        let m = Flex.between lo hi in
+        (match lo with None -> true | Some l -> String.compare l m < 0)
+        && (match hi with None -> true | Some h -> String.compare m h < 0)
+        && go lo (Some m) (n - 1)
+      in
+      go (Some "b") (Some "c") 60)
+
+let prop_sequence_between_compatible =
+  QCheck.Test.make ~name:"sequence components admit between-insertion" ~count:20
+    (QCheck.make ~print:string_of_int (QCheck.Gen.int_range 2 80)) (fun n ->
+      let cs = Array.of_list (Flex.sequence n) in
+      Array.for_all
+        (fun i ->
+          let m = Flex.between (Some cs.(i)) (Some cs.(i + 1)) in
+          String.compare cs.(i) m < 0 && String.compare m cs.(i + 1) < 0)
+        (Array.init (n - 1) Fun.id))
+
+let props =
+  List.map QCheck_alcotest.to_alcotest
+    [ prop_compare_total_order; prop_encode_order_preserving; prop_ancestor_matches_range;
+      prop_between; prop_between_iterated; prop_sequence_between_compatible ]
+
+let suite =
+  ( "flex",
+    [ Alcotest.test_case "document order" `Quick test_document_order;
+      Alcotest.test_case "component validity" `Quick test_component_validity;
+      Alcotest.test_case "ancestry" `Quick test_ancestry;
+      Alcotest.test_case "between basic" `Quick test_between_basic;
+      Alcotest.test_case "sequence" `Quick test_sequence;
+      Alcotest.test_case "bounds" `Quick test_bounds;
+      Alcotest.test_case "serialization" `Quick test_serialization ]
+    @ props )

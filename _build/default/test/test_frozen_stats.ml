@@ -1,0 +1,94 @@
+(* Tests for the frozen-dictionary statistics source: exact at capture,
+   stale after updates, while the live source stays exact (the paper's
+   update-robustness argument, quantified). *)
+
+module Store = Mass.Store
+open Vamana
+
+let setup () =
+  let store = Store.create () in
+  let doc =
+    Store.load_string store ~name:"t.xml"
+      "<site><people><person><name>A</name></person><person><name>B</name></person></people></site>"
+  in
+  (store, doc)
+
+let estimate_out stats ~scope q =
+  match Compile.compile_query q with
+  | Error e -> Alcotest.fail e
+  | Ok plan ->
+      let plan = Rewrite.apply_cleanup plan in
+      let costed = Cost.estimate_with stats ~scope plan in
+      (Hashtbl.find costed plan.Plan.id).Cost.output
+
+let test_exact_at_capture () =
+  let store, doc = setup () in
+  let frozen = Frozen_stats.source (Frozen_stats.capture store) in
+  let live = Cost.live_statistics store in
+  let scope = Some doc.Store.doc_key in
+  List.iter
+    (fun q ->
+      Alcotest.(check int) (q ^ " agrees at capture")
+        (estimate_out live ~scope q) (estimate_out frozen ~scope q))
+    [ "//person"; "//name"; "//name[text()='A']" ]
+
+let test_stale_after_updates () =
+  let store, doc = setup () in
+  let frozen = Frozen_stats.source (Frozen_stats.capture store) in
+  let live = Cost.live_statistics store in
+  let scope = Some doc.Store.doc_key in
+  let people =
+    match Engine.query_doc store doc "/site/people" with
+    | Ok r -> List.hd r.Engine.keys
+    | Error e -> Alcotest.fail e
+  in
+  for i = 1 to 10 do
+    ignore (Store.insert_element store ~parent:people "person" [] (Some (Printf.sprintf "p%d" i)))
+  done;
+  Alcotest.(check int) "frozen still reports 2" 2 (estimate_out frozen ~scope "//person");
+  Alcotest.(check int) "live reports 12" 12 (estimate_out live ~scope "//person");
+  let actual =
+    match Engine.query_doc store doc "//person" with
+    | Ok r -> List.length r.Engine.keys
+    | Error e -> Alcotest.fail e
+  in
+  Alcotest.(check int) "live estimate equals actual" actual (estimate_out live ~scope "//person")
+
+let test_optimizer_with_frozen_stats () =
+  (* the optimizer still terminates and produces a correct (if possibly
+     slower) plan when steered by stale statistics *)
+  let store, doc = setup () in
+  let frozen = Frozen_stats.capture store in
+  let people =
+    match Engine.query_doc store doc "/site/people" with
+    | Ok r -> List.hd r.Engine.keys
+    | Error e -> Alcotest.fail e
+  in
+  for i = 1 to 5 do
+    ignore (Store.insert_element store ~parent:people "person" [] (Some (Printf.sprintf "x%d" i)))
+  done;
+  match Compile.compile_query "//person[text()='x3']" with
+  | Error e -> Alcotest.fail e
+  | Ok plan ->
+      let o =
+        Optimizer.optimize ~stats:(Frozen_stats.source frozen) store
+          ~scope:(Some doc.Store.doc_key) plan
+      in
+      let keys = Exec.run store ~context:doc.Store.doc_key o.Optimizer.plan in
+      Alcotest.(check int) "stale-planned query still correct" 1 (List.length keys)
+
+let test_bookkeeping () =
+  let store, _ = setup () in
+  let f = Frozen_stats.capture store in
+  Alcotest.(check int) "no updates recorded" 0 (Frozen_stats.update_count f);
+  let f = Frozen_stats.age f ~updates:7 in
+  Alcotest.(check int) "updates recorded" 7 (Frozen_stats.update_count f);
+  Alcotest.(check bool) "names counted" true (Frozen_stats.distinct_names f > 0);
+  Alcotest.(check bool) "values counted" true (Frozen_stats.distinct_values f > 0)
+
+let suite =
+  ( "frozen_stats",
+    [ Alcotest.test_case "exact at capture" `Quick test_exact_at_capture;
+      Alcotest.test_case "stale after updates" `Quick test_stale_after_updates;
+      Alcotest.test_case "optimizer with frozen stats" `Quick test_optimizer_with_frozen_stats;
+      Alcotest.test_case "bookkeeping" `Quick test_bookkeeping ] )

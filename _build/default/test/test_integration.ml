@@ -1,0 +1,131 @@
+(* End-to-end integration: the paper's benchmark queries on a generated
+   XMark document, all engines compared, union queries, and the full
+   pipeline (generate → serialize → parse → load → query → reconstruct). *)
+
+module Store = Mass.Store
+
+let megabytes = 0.5
+
+let setup () =
+  let store = Store.create () in
+  let tree = Xmark.generate megabytes in
+  let doc = Store.load store ~name:"auction.xml" tree in
+  (store, tree, doc)
+
+let paper_queries =
+  [ "//person/address";
+    "//watches/watch/ancestor::person";
+    "/descendant::name/parent::*/self::person/address";
+    "//itemref/following-sibling::price/parent::*";
+    "//province[text()='Vermont']/ancestor::person" ]
+
+let test_cross_engine_on_xmark () =
+  let store, tree, doc = setup () in
+  let dom = Baselines.Dom_engine.create tree in
+  let scan = Baselines.Scan_engine.create store doc in
+  let join = Baselines.Join_engine.create store doc in
+  List.iter
+    (fun q ->
+      let vamana =
+        match Vamana.Engine.query_doc store doc q with
+        | Ok r -> List.map (Store.document_rank store) r.Vamana.Engine.keys
+        | Error e -> Alcotest.fail (q ^ ": " ^ e)
+      in
+      Alcotest.(check bool) (q ^ " selects nodes") true (vamana <> []);
+      (match Baselines.Dom_engine.query_ranks dom q with
+      | Ok ranks -> Alcotest.(check (list int)) (q ^ " dom") vamana ranks
+      | Error e -> Alcotest.fail (q ^ " dom: " ^ e));
+      (match Baselines.Scan_engine.query_ranks scan q with
+      | Ok ranks -> Alcotest.(check (list int)) (q ^ " scan") vamana ranks
+      | Error e -> Alcotest.fail (q ^ " scan: " ^ e));
+      match Baselines.Join_engine.query_ranks join q with
+      | Ok ranks -> Alcotest.(check (list int)) (q ^ " join") vamana ranks
+      | Error _ -> () (* sibling axes unsupported, per the paper *))
+    paper_queries
+
+let test_union_queries () =
+  let store, _, doc = setup () in
+  let run q =
+    match Vamana.Engine.query_doc store doc q with
+    | Ok r -> r.Vamana.Engine.keys
+    | Error e -> Alcotest.fail (q ^ ": " ^ e)
+  in
+  let a = run "//itemref" and b = run "//price" in
+  let u = run "//itemref | //price" in
+  Alcotest.(check int) "union cardinality" (List.length a + List.length b) (List.length u);
+  let merged = List.sort_uniq Flex.compare (a @ b) in
+  Alcotest.(check bool) "union is the merged set" true (List.equal Flex.equal merged u);
+  (* unions agree with the generic evaluator *)
+  (match Vamana.Engine.eval store ~context:doc.Store.doc_key "//itemref | //price" with
+  | Ok (Xpath.Eval.Nodes ns) -> Alcotest.(check bool) "matches evaluator" true (List.equal Flex.equal ns u)
+  | Ok _ | Error _ -> Alcotest.fail "evaluator union failed");
+  (* three-way unions and optimization both work *)
+  let t = run "//city | //province | //zipcode" in
+  Alcotest.(check bool) "three-way union" true (List.length t > 0);
+  match Vamana.Engine.query_doc ~optimize:false store doc "//itemref | //price" with
+  | Ok r -> Alcotest.(check bool) "unoptimized union agrees" true (List.equal Flex.equal u r.Vamana.Engine.keys)
+  | Error e -> Alcotest.fail e
+
+let test_full_pipeline_roundtrip () =
+  (* generate → serialize → parse → load → query → reconstruct → parse *)
+  let source = Xmark.generate_string 0.1 in
+  let store = Store.create () in
+  let doc = Store.load store ~name:"roundtrip.xml" (Xml.Parser.parse source) in
+  let person =
+    match Vamana.Engine.query_doc store doc "//person[@id='person0']" with
+    | Ok r -> List.hd r.Vamana.Engine.keys
+    | Error e -> Alcotest.fail e
+  in
+  match Store.to_xml store person with
+  | Some xml ->
+      let reparsed = Xml.Parser.parse xml in
+      Alcotest.(check string) "reconstructed person parses back" "person"
+        (Xml.Tree.name (Xml.Tree.root_element reparsed));
+      Alcotest.(check bool) "contains Yung Flach" true
+        (Xml.Tree.string_value (Xml.Tree.root_element reparsed)
+         |> fun s ->
+         let rec find i =
+           i + 10 <= String.length s && (String.sub s i 10 = "Yung Flach" || find (i + 1))
+         in
+         find 0)
+  | None -> Alcotest.fail "reconstruction failed"
+
+let test_snapshot_pipeline () =
+  let store, _, doc = setup () in
+  let path = Filename.temp_file "vamana_integration" ".snap" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Store.save_file store path;
+      let store2 = Store.load_file path in
+      let doc2 = Option.get (Store.find_document store2 "auction.xml") in
+      List.iter
+        (fun q ->
+          let run s d =
+            match Vamana.Engine.query_doc s d q with
+            | Ok r -> List.map Flex.to_string r.Vamana.Engine.keys
+            | Error e -> Alcotest.fail e
+          in
+          Alcotest.(check (list string)) (q ^ " after snapshot") (run store doc) (run store2 doc2))
+        paper_queries;
+      ignore (Store.validate store2))
+
+let test_xquery_on_xmark () =
+  let store, _, doc = setup () in
+  let out =
+    Xquery.run_to_xml store ~context:doc.Store.doc_key
+      "for $p in //person where $p/address/province = 'Vermont' return <v>{$p/name/text()}</v>"
+  in
+  Alcotest.(check bool) "Yung Flach reported" true
+    (let rec find i =
+       i + 10 <= String.length out && (String.sub out i 10 = "Yung Flach" || find (i + 1))
+     in
+     find 0)
+
+let suite =
+  ( "integration",
+    [ Alcotest.test_case "cross-engine on XMark" `Quick test_cross_engine_on_xmark;
+      Alcotest.test_case "union queries" `Quick test_union_queries;
+      Alcotest.test_case "full pipeline roundtrip" `Quick test_full_pipeline_roundtrip;
+      Alcotest.test_case "snapshot pipeline" `Quick test_snapshot_pipeline;
+      Alcotest.test_case "xquery on XMark" `Quick test_xquery_on_xmark ] )

@@ -1,0 +1,100 @@
+(* Tests for subtree reconstruction (Store.to_tree / to_xml) and store
+   integrity validation. *)
+
+module Store = Mass.Store
+
+let src =
+  {xml|<site><person id="p1"><name>Ann</name><!--note--><?pi data?><address><city>Boston</city></address></person><person id="p2"/></site>|xml}
+
+let setup () =
+  let store = Store.create () in
+  let doc = Store.load_string store ~name:"t.xml" src in
+  (store, doc)
+
+let find store doc q =
+  match Vamana.Engine.query_doc store doc q with
+  | Ok r -> r.Vamana.Engine.keys
+  | Error e -> Alcotest.fail e
+
+let test_roundtrip_document () =
+  let store, doc = setup () in
+  match Store.to_tree store doc.Store.doc_key with
+  | Some tree ->
+      let reparsed = Xml.Parser.parse src in
+      Alcotest.(check bool) "document spec equal" true
+        (Xml.Tree.element_spec tree = Xml.Tree.element_spec reparsed)
+  | None -> Alcotest.fail "to_tree returned None for document"
+
+let test_element_subtree () =
+  let store, doc = setup () in
+  let person = List.hd (find store doc "//person[@id='p1']") in
+  match Store.to_xml store person with
+  | Some xml ->
+      Alcotest.(check string) "subtree markup"
+        "<person id=\"p1\"><name>Ann</name><!--note--><?pi data?><address><city>Boston</city></address></person>"
+        xml
+  | None -> Alcotest.fail "to_xml returned None"
+
+let test_empty_element () =
+  let store, doc = setup () in
+  let p2 = List.hd (find store doc "//person[@id='p2']") in
+  Alcotest.(check (option string)) "self-closing" (Some "<person id=\"p2\"/>")
+    (Store.to_xml store p2)
+
+let test_leaf_kinds () =
+  let store, doc = setup () in
+  let text = List.hd (find store doc "//name/text()") in
+  Alcotest.(check (option string)) "text value" (Some "Ann") (Store.to_xml store text);
+  let attr = List.hd (find store doc "//person[@id='p1']/@id") in
+  Alcotest.(check (option string)) "attr value" (Some "p1") (Store.to_xml store attr)
+
+let test_unknown_key () =
+  let store, _ = setup () in
+  Alcotest.(check (option string)) "unknown key" None
+    (Store.to_xml store (Flex.of_components [ "zz"; "zz" ]))
+
+let test_validate_clean_stores () =
+  let store, _ = setup () in
+  Store.validate store;
+  (* still valid after updates and a second document *)
+  let d2 = Store.load_string store ~name:"u.xml" "<r><a/></r>" in
+  let root = Option.get (Store.root_element_key d2 store) in
+  let k = Store.insert_element store ~parent:root "b" [ ("x", "1") ] (Some "v") in
+  Store.validate store;
+  ignore (Store.delete_subtree store k);
+  Store.validate store;
+  Store.remove_document store d2;
+  Store.validate store
+
+let test_validate_after_xmark_and_snapshot () =
+  let store = Store.create () in
+  let _ = Xmark.load store 0.3 in
+  Store.validate store;
+  let path = Filename.temp_file "vamana_validate" ".snap" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Store.save_file store path;
+      let store2 = Store.load_file path in
+      Store.validate store2)
+
+(* reconstruction roundtrips on random documents *)
+let prop_reconstruct_roundtrip =
+  QCheck.Test.make ~name:"to_tree inverts load" ~count:60 (QCheck.make Test_vamana.gen_tree)
+    (fun tree ->
+      let store = Store.create () in
+      let doc = Store.load store ~name:"gen" tree in
+      match Store.to_tree store doc.Store.doc_key with
+      | Some rebuilt -> Xml.Tree.element_spec rebuilt = Xml.Tree.element_spec tree
+      | None -> false)
+
+let suite =
+  ( "reconstruct",
+    [ Alcotest.test_case "document roundtrip" `Quick test_roundtrip_document;
+      Alcotest.test_case "element subtree" `Quick test_element_subtree;
+      Alcotest.test_case "empty element" `Quick test_empty_element;
+      Alcotest.test_case "leaf kinds" `Quick test_leaf_kinds;
+      Alcotest.test_case "unknown key" `Quick test_unknown_key;
+      Alcotest.test_case "validate clean stores" `Quick test_validate_clean_stores;
+      Alcotest.test_case "validate xmark and snapshot" `Quick test_validate_after_xmark_and_snapshot;
+      QCheck_alcotest.to_alcotest prop_reconstruct_roundtrip ] )

@@ -1,0 +1,113 @@
+(* Tests for the paged buffer-pool storage. *)
+
+open Storage
+
+let test_alloc_read () =
+  let p = Pager.create ~pool_pages:4 () in
+  let a = Pager.alloc p "a" and b = Pager.alloc p "b" in
+  Alcotest.(check string) "read a" "a" (Pager.read p a);
+  Alcotest.(check string) "read b" "b" (Pager.read p b);
+  Alcotest.(check int) "page count" 2 (Pager.page_count p);
+  Alcotest.(check int) "allocations" 2 (Pager.stats p).Stats.allocations;
+  Alcotest.(check int) "no physical reads while resident" 0
+    (Pager.stats p).Stats.physical_reads
+
+let test_write_and_free () =
+  let p = Pager.create () in
+  let a = Pager.alloc p 1 in
+  Pager.write p a 42;
+  Alcotest.(check int) "updated payload" 42 (Pager.read p a);
+  Pager.free p a;
+  Alcotest.(check int) "freed" 0 (Pager.page_count p);
+  Alcotest.check_raises "read after free" (Invalid_argument "Pager: unknown page 0")
+    (fun () -> ignore (Pager.read p a))
+
+let test_eviction_counts () =
+  let p = Pager.create ~pool_pages:2 () in
+  let ids = List.init 3 (fun i -> Pager.alloc p i) in
+  (* allocating 3 pages with pool 2 must have evicted one *)
+  Alcotest.(check int) "resident bounded" 2 (Pager.resident_count p);
+  Alcotest.(check int) "one eviction" 1 (Pager.stats p).Stats.evictions;
+  (* dirty page written on eviction *)
+  Alcotest.(check int) "dirty writeback" 1 (Pager.stats p).Stats.page_writes;
+  (* touching the evicted page is a physical read *)
+  let before = (Pager.stats p).Stats.physical_reads in
+  ignore (Pager.read p (List.nth ids 0));
+  Alcotest.(check int) "miss on evicted page" (before + 1) (Pager.stats p).Stats.physical_reads
+
+let test_lru_order () =
+  let p = Pager.create ~pool_pages:2 () in
+  let a = Pager.alloc p "a" and b = Pager.alloc p "b" in
+  ignore (Pager.read p a);
+  (* a is now most recent; allocating c evicts b *)
+  let _c = Pager.alloc p "c" in
+  let misses_before = (Pager.stats p).Stats.physical_reads in
+  ignore (Pager.read p a);
+  Alcotest.(check int) "a still resident" misses_before (Pager.stats p).Stats.physical_reads;
+  ignore (Pager.read p b);
+  Alcotest.(check int) "b was evicted" (misses_before + 1) (Pager.stats p).Stats.physical_reads
+
+let test_hit_ratio () =
+  let p = Pager.create ~pool_pages:8 () in
+  let a = Pager.alloc p 0 in
+  for _ = 1 to 9 do
+    ignore (Pager.read p a)
+  done;
+  let s = Pager.stats p in
+  Alcotest.(check int) "logical reads" 9 s.Stats.logical_reads;
+  Alcotest.(check (float 1e-9)) "hit ratio 1.0" 1.0 (Stats.hit_ratio s)
+
+let test_flush () =
+  let p = Pager.create ~pool_pages:8 () in
+  let a = Pager.alloc p 0 in
+  Pager.write p a 1;
+  Pager.flush p;
+  let w = (Pager.stats p).Stats.page_writes in
+  Alcotest.(check bool) "flush wrote dirty page" true (w >= 1);
+  Pager.flush p;
+  Alcotest.(check int) "second flush writes nothing" w (Pager.stats p).Stats.page_writes
+
+let test_stats_diff () =
+  let p = Pager.create ~pool_pages:1 () in
+  let a = Pager.alloc p 0 and b = Pager.alloc p 1 in
+  let snap = Stats.copy (Pager.stats p) in
+  ignore (Pager.read p a);
+  ignore (Pager.read p b);
+  let d = Stats.diff (Pager.stats p) snap in
+  Alcotest.(check int) "delta logical" 2 d.Stats.logical_reads;
+  Alcotest.(check bool) "delta physical positive" true (d.Stats.physical_reads >= 1)
+
+(* property: under any access pattern, resident pages never exceed pool
+   size and hit ratio stays within [0,1] *)
+let prop_pool_invariants =
+  let gen =
+    let open QCheck.Gen in
+    let* pool = int_range 1 5 in
+    let* npages = int_range 1 10 in
+    let* ops = list_size (int_range 1 200) (int_range 0 (npages - 1)) in
+    return (pool, npages, ops)
+  in
+  QCheck.Test.make ~name:"pool never exceeds capacity" ~count:200
+    (QCheck.make ~print:(fun (p, n, ops) ->
+         Printf.sprintf "pool=%d pages=%d ops=%d" p n (List.length ops))
+       gen)
+    (fun (pool, npages, ops) ->
+      let p = Pager.create ~pool_pages:pool () in
+      let ids = Array.init npages (fun i -> Pager.alloc p i) in
+      List.iter (fun i -> ignore (Pager.read p ids.(i))) ops;
+      let s = Pager.stats p in
+      Pager.resident_count p <= pool
+      && Stats.hit_ratio s >= 0.0
+      && Stats.hit_ratio s <= 1.0
+      && List.for_all (fun i -> Pager.read p ids.(i) = i) (List.init npages Fun.id))
+
+let suite =
+  ( "storage",
+    [ Alcotest.test_case "alloc and read" `Quick test_alloc_read;
+      Alcotest.test_case "write and free" `Quick test_write_and_free;
+      Alcotest.test_case "eviction counting" `Quick test_eviction_counts;
+      Alcotest.test_case "lru order" `Quick test_lru_order;
+      Alcotest.test_case "hit ratio" `Quick test_hit_ratio;
+      Alcotest.test_case "flush" `Quick test_flush;
+      Alcotest.test_case "stats diff" `Quick test_stats_diff;
+      QCheck_alcotest.to_alcotest prop_pool_invariants ] )

@@ -1,0 +1,87 @@
+(* Tests for the XMark-style generator: determinism, calibration, and the
+   structural features the paper's queries depend on. *)
+
+module Store = Mass.Store
+
+let count store test =
+  Store.count_test store ~principal:Mass.Record.Element (Xpath.Ast.Name_test test)
+
+let test_calibration_10mb_counts () =
+  (* the paper's 10 MB document: 2550 person, 1256 address, 4825 name *)
+  let c = Xmark.plan ~megabytes:10.0 in
+  Alcotest.(check int) "persons" 2550 c.Xmark.persons;
+  Alcotest.(check int) "addresses" 1256 c.Xmark.addresses;
+  Alcotest.(check int) "names" 4825 c.Xmark.names
+
+let test_generated_counts_match_plan () =
+  let megabytes = 0.5 in
+  let c = Xmark.plan ~megabytes in
+  let store = Store.create () in
+  let _doc = Xmark.load store megabytes in
+  Alcotest.(check int) "person elements" c.Xmark.persons (count store "person");
+  Alcotest.(check int) "address elements" c.Xmark.addresses (count store "address");
+  Alcotest.(check int) "name elements" c.Xmark.names (count store "name");
+  Alcotest.(check int) "item elements" c.Xmark.items (count store "item");
+  Alcotest.(check int) "category elements" c.Xmark.categories (count store "category");
+  Alcotest.(check int) "open auctions" c.Xmark.open_auctions (count store "open_auction");
+  Alcotest.(check int) "closed auctions" c.Xmark.closed_auctions (count store "closed_auction");
+  (* every closed auction has an itemref followed by a price sibling (Q4) *)
+  Alcotest.(check bool) "itemrefs present" true (count store "itemref" >= c.Xmark.closed_auctions);
+  Alcotest.(check int) "prices" c.Xmark.closed_auctions (count store "price")
+
+let test_determinism () =
+  let a = Xmark.generate_string ~seed:7L 0.05 in
+  let b = Xmark.generate_string ~seed:7L 0.05 in
+  let c = Xmark.generate_string ~seed:8L 0.05 in
+  Alcotest.(check bool) "same seed, same doc" true (String.equal a b);
+  Alcotest.(check bool) "different seed, different doc" false (String.equal a c)
+
+let test_single_yung_flach () =
+  let store = Store.create () in
+  let _ = Xmark.load store 0.5 in
+  Alcotest.(check int) "exactly one Yung Flach" 1 (Store.text_value_count store "Yung Flach")
+
+let test_queries_have_results () =
+  let store = Store.create () in
+  let doc = Xmark.load store 0.5 in
+  List.iter
+    (fun src ->
+      match Vamana.Engine.query store ~context:doc.Store.doc_key src with
+      | Ok r ->
+          Alcotest.(check bool) (src ^ " nonempty") true (List.length r.Vamana.Engine.keys > 0)
+      | Error e -> Alcotest.fail (src ^ ": " ^ e))
+    [ "//person/address";
+      "//watches/watch/ancestor::person";
+      "/descendant::name/parent::*/self::person/address";
+      "//itemref/following-sibling::price/parent::*";
+      "//province[text()='Vermont']/ancestor::person";
+      "//name[text()='Yung Flach']/following-sibling::emailaddress" ]
+
+let test_size_scaling () =
+  let small = String.length (Xmark.generate_string 0.1) in
+  let large = String.length (Xmark.generate_string 0.4) in
+  Alcotest.(check bool)
+    (Printf.sprintf "0.4MB doc (%d bytes) is ~4x the 0.1MB doc (%d bytes)" large small)
+    true
+    (float_of_int large > 2.5 *. float_of_int small
+    && float_of_int large < 6.0 *. float_of_int small);
+  (* serialized size lands within a reasonable factor of the label *)
+  Alcotest.(check bool)
+    (Printf.sprintf "0.4MB doc is %d bytes" large)
+    true
+    (large > 100_000 && large < 1_600_000)
+
+let test_parse_roundtrip () =
+  let s = Xmark.generate_string 0.05 in
+  let doc = Xml.Parser.parse s in
+  Alcotest.(check string) "root is site" "site" (Xml.Tree.name (Xml.Tree.root_element doc))
+
+let suite =
+  ( "xmark",
+    [ Alcotest.test_case "paper calibration at 10MB" `Quick test_calibration_10mb_counts;
+      Alcotest.test_case "generated counts match plan" `Quick test_generated_counts_match_plan;
+      Alcotest.test_case "determinism" `Quick test_determinism;
+      Alcotest.test_case "single Yung Flach" `Quick test_single_yung_flach;
+      Alcotest.test_case "paper queries have results" `Quick test_queries_have_results;
+      Alcotest.test_case "size scaling" `Quick test_size_scaling;
+      Alcotest.test_case "parse roundtrip" `Quick test_parse_roundtrip ] )

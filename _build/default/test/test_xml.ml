@@ -1,0 +1,216 @@
+(* Tests for the XML data model, parser and writer. *)
+
+open Xml
+
+let person_doc =
+  {xml|<?xml version="1.0"?>
+<site>
+  <person id="person144">
+    <name>Yung Flach</name>
+    <emailaddress>Flach@auth.gr</emailaddress>
+    <address>
+      <street>92 Pfisterer St</street>
+      <city>Monroe</city>
+      <country>United States</country>
+      <zipcode>12</zipcode>
+    </address>
+    <watches>
+      <watch open_auction="open_auction108"/>
+      <watch open_auction="open_auction94"/>
+      <watch open_auction="open_auction110"/>
+    </watches>
+  </person>
+</site>|xml}
+
+let count_kind pred doc =
+  Tree.fold_preorder (fun n node -> if pred node then n + 1 else n) 0 doc
+
+let test_parse_paper_fragment () =
+  let doc = Parser.parse person_doc in
+  let elements n = match n.Tree.kind with Tree.Element _ -> true | _ -> false in
+  Alcotest.(check int) "element count" 13 (count_kind elements doc);
+  let watches = count_kind (fun n -> Tree.name n = "watch" && Tree.is_element n) doc in
+  Alcotest.(check int) "watch count" 3 watches;
+  let attrs = count_kind Tree.is_attribute doc in
+  Alcotest.(check int) "attribute count" 4 attrs;
+  let root = Tree.root_element doc in
+  Alcotest.(check string) "root name" "site" (Tree.name root)
+
+let test_string_value () =
+  let doc = Parser.parse person_doc in
+  let person = List.find (fun n -> Tree.name n = "person") (Tree.descendant_nodes doc) in
+  let name = List.find (fun n -> Tree.name n = "name") (Tree.descendant_nodes person) in
+  Alcotest.(check string) "name value" "Yung Flach" (Tree.string_value name);
+  let address = List.find (fun n -> Tree.name n = "address") (Tree.descendant_nodes person) in
+  Alcotest.(check string) "address concat" "92 Pfisterer StMonroeUnited States12"
+    (Tree.string_value address)
+
+let test_preorder_ids () =
+  let doc = Parser.parse person_doc in
+  let last = ref (-1) in
+  Tree.iter_preorder
+    (fun n ->
+      Alcotest.(check bool) "ids strictly increase" true (n.Tree.id > !last);
+      last := n.Tree.id)
+    doc;
+  Alcotest.(check int) "node_count matches max id" (!last + 1) (Tree.node_count doc)
+
+let test_parent_links () =
+  let doc = Parser.parse person_doc in
+  Tree.iter_preorder
+    (fun n ->
+      match n.Tree.parent with
+      | None -> Alcotest.(check bool) "only document lacks parent" true (n.Tree.kind = Tree.Document)
+      | Some p ->
+          let in_children = Array.exists (fun c -> c == n) p.Tree.children in
+          let in_attrs = Array.exists (fun c -> c == n) p.Tree.attributes in
+          Alcotest.(check bool) "child listed under parent" true (in_children || in_attrs))
+    doc
+
+let test_entities_and_cdata () =
+  let doc =
+    Parser.parse
+      "<r a='x&amp;y'>one &lt;two&gt; &#65;&#x42; <![CDATA[<raw & stuff>]]> &quot;q&apos;</r>"
+  in
+  let root = Tree.root_element doc in
+  Alcotest.(check string) "text expansion" "one <two> AB <raw & stuff> \"q'"
+    (Tree.string_value root);
+  match root.Tree.attributes with
+  | [| a |] -> Alcotest.(check string) "attr expansion" "x&y" (Tree.string_value a)
+  | _ -> Alcotest.fail "expected one attribute"
+
+let test_comments_pis_doctype () =
+  let doc =
+    Parser.parse
+      "<?xml version=\"1.0\"?><!DOCTYPE site [<!ELEMENT site ANY>]><!-- hi --><r><?p data?><!--in--></r>"
+  in
+  let root = Tree.root_element doc in
+  Alcotest.(check int) "two children" 2 (Array.length root.Tree.children);
+  (match root.Tree.children.(0).Tree.kind with
+  | Tree.Pi (t, d) ->
+      Alcotest.(check string) "pi target" "p" t;
+      Alcotest.(check string) "pi data" "data" d
+  | _ -> Alcotest.fail "expected PI");
+  match root.Tree.children.(1).Tree.kind with
+  | Tree.Comment c -> Alcotest.(check string) "comment" "in" c
+  | _ -> Alcotest.fail "expected comment"
+
+let test_whitespace_modes () =
+  let src = "<a>\n  <b/>\n</a>" in
+  let trimmed = Parser.parse src in
+  Alcotest.(check int) "whitespace dropped" 1
+    (Array.length (Tree.root_element trimmed).Tree.children);
+  let kept = Parser.parse ~keep_whitespace:true src in
+  Alcotest.(check int) "whitespace kept" 3
+    (Array.length (Tree.root_element kept).Tree.children)
+
+let check_parse_error src =
+  match Parser.parse src with
+  | exception Parser.Error _ -> ()
+  | _ -> Alcotest.fail (Printf.sprintf "expected parse error for %S" src)
+
+let test_malformed () =
+  List.iter check_parse_error
+    [ "<a><b></a>";          (* mismatched close *)
+      "<a>";                 (* unterminated *)
+      "<a x='1' x='2'/>";    (* duplicate attribute *)
+      "text only";           (* no root *)
+      "<a/><b/>";            (* two roots *)
+      "<a>&unknown;</a>";    (* undefined entity *)
+      "<a b=c/>";            (* unquoted attribute *)
+      "<a><![CDATA[x</a>";   (* unterminated CDATA *)
+      "";                    (* empty input *)
+      "<a>&#;</a>" ]         (* empty char ref *)
+
+let test_error_position () =
+  match Parser.parse "<a>\n<b></c>\n</a>" with
+  | exception Parser.Error { line; col = _; msg = _ } ->
+      Alcotest.(check int) "error line" 2 line
+  | _ -> Alcotest.fail "expected error"
+
+let test_roundtrip () =
+  let doc = Parser.parse person_doc in
+  let out = Writer.to_string doc in
+  let doc2 = Parser.parse out in
+  Alcotest.(check bool) "roundtrip spec equality" true
+    (Tree.element_spec doc = Tree.element_spec doc2);
+  (* pretty-printing also roundtrips *)
+  let doc3 = Parser.parse (Writer.to_string ~indent:2 doc) in
+  Alcotest.(check bool) "pretty roundtrip" true
+    (Tree.element_spec doc = Tree.element_spec doc3)
+
+let test_escaping () =
+  Alcotest.(check string) "text" "a&amp;b&lt;c&gt;d" (Writer.escape_text "a&b<c>d");
+  Alcotest.(check string) "attr" "a&amp;&quot;b&lt;" (Writer.escape_attr "a&\"b<");
+  let doc = Tree.document [ Tree.E ("r", [ ("k", "a\"&<") ], [ Tree.D "x<&>y" ]) ] in
+  let doc2 = Parser.parse (Writer.to_string doc) in
+  Alcotest.(check bool) "escaped roundtrip" true
+    (Tree.element_spec doc = Tree.element_spec doc2)
+
+(* property: generated random documents roundtrip through writer+parser *)
+let gen_text =
+  QCheck.Gen.string_size ~gen:(QCheck.Gen.oneofl [ 'a'; 'b'; '&'; '<'; '>'; '"'; ' '; 'z' ])
+    (QCheck.Gen.int_range 1 10)
+
+let gen_name_str =
+  let open QCheck.Gen in
+  let* c = char_range 'a' 'z' in
+  let* rest = string_size ~gen:(char_range 'a' 'z') (int_range 0 5) in
+  return (String.make 1 c ^ rest)
+
+let gen_spec =
+  let open QCheck.Gen in
+  fix
+    (fun self depth ->
+      if depth = 0 then
+        let* s = gen_text in
+        (* avoid whitespace-only text: parser drops it by default *)
+        return (Tree.D ("x" ^ s))
+      else
+        let* name = gen_name_str in
+        let* nattrs = int_range 0 2 in
+        let* attr_names = list_size (return nattrs) gen_name_str in
+        let attr_names = List.sort_uniq String.compare attr_names in
+        let* attrs =
+          flatten_l (List.map (fun an -> map (fun v -> (an, v)) gen_text) attr_names)
+        in
+        let* nchildren = int_range 0 3 in
+        let* children = list_size (return nchildren) (self (depth - 1)) in
+        return (Tree.E (name, attrs, children)))
+    3
+
+(* Adjacent text nodes merge on reparse; normalize before comparing. *)
+let rec normalize_spec = function
+  | Tree.E (n, attrs, children) ->
+      let rec merge = function
+        | Tree.D a :: Tree.D b :: rest -> merge (Tree.D (a ^ b) :: rest)
+        | x :: rest -> normalize_spec x :: merge rest
+        | [] -> []
+      in
+      Tree.E (n, attrs, merge children)
+  | other -> other
+
+let prop_roundtrip =
+  QCheck.Test.make ~name:"write/parse roundtrip on random documents" ~count:200
+    (QCheck.make gen_spec) (fun spec ->
+      match spec with
+      | Tree.E _ ->
+          let doc = Tree.document [ spec ] in
+          let doc2 = Parser.parse (Writer.to_string doc) in
+          normalize_spec (Tree.element_spec doc) = normalize_spec (Tree.element_spec doc2)
+      | _ -> QCheck.assume_fail ())
+
+let suite =
+  ( "xml",
+    [ Alcotest.test_case "parse paper fragment" `Quick test_parse_paper_fragment;
+      Alcotest.test_case "string value" `Quick test_string_value;
+      Alcotest.test_case "preorder ids" `Quick test_preorder_ids;
+      Alcotest.test_case "parent links" `Quick test_parent_links;
+      Alcotest.test_case "entities and cdata" `Quick test_entities_and_cdata;
+      Alcotest.test_case "comments pis doctype" `Quick test_comments_pis_doctype;
+      Alcotest.test_case "whitespace modes" `Quick test_whitespace_modes;
+      Alcotest.test_case "malformed inputs" `Quick test_malformed;
+      Alcotest.test_case "error position" `Quick test_error_position;
+      Alcotest.test_case "roundtrip" `Quick test_roundtrip;
+      Alcotest.test_case "escaping" `Quick test_escaping;
+      QCheck_alcotest.to_alcotest prop_roundtrip ] )

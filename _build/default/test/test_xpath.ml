@@ -1,0 +1,199 @@
+(* Tests for the XPath lexer and parser. *)
+
+open Xpath
+
+let parse = Parser.parse
+let to_string = Ast.expr_to_string
+
+let check_roundtrip src expected =
+  let e = parse src in
+  Alcotest.(check string) src expected (to_string e);
+  (* the canonical form must reparse to an equal AST *)
+  let e2 = parse (to_string e) in
+  Alcotest.(check bool) ("reparse " ^ src) true (Ast.equal_expr e e2)
+
+let test_paper_queries () =
+  (* the five benchmark queries of §VIII plus the two running examples *)
+  check_roundtrip "//person/address"
+    "/descendant-or-self::node()/child::person/child::address";
+  check_roundtrip "//watches/watch/ancestor::person"
+    "/descendant-or-self::node()/child::watches/child::watch/ancestor::person";
+  check_roundtrip "/descendant::name/parent::*/self::person/address"
+    "/descendant::name/parent::*/self::person/child::address";
+  check_roundtrip "//itemref/following-sibling::price/parent::*"
+    "/descendant-or-self::node()/child::itemref/following-sibling::price/parent::*";
+  check_roundtrip "//province[text()='Vermont']/ancestor::person"
+    "/descendant-or-self::node()/child::province[child::text() = 'Vermont']/ancestor::person";
+  check_roundtrip "//name[text()='Yung Flach']/following-sibling::emailaddress"
+    "/descendant-or-self::node()/child::name[child::text() = 'Yung Flach']/following-sibling::emailaddress"
+
+let test_all_axes () =
+  List.iter
+    (fun axis ->
+      let name = Ast.axis_name axis in
+      let src = Printf.sprintf "%s::foo" name in
+      match parse src with
+      | Ast.Path { absolute = false; steps = [ { Ast.axis = a; test = Name_test "foo"; predicates = [] } ] } ->
+          Alcotest.(check string) src name (Ast.axis_name a)
+      | _ -> Alcotest.fail ("bad parse for " ^ src))
+    Ast.all_axes;
+  Alcotest.(check int) "13 axes" 13 (List.length Ast.all_axes)
+
+let test_abbreviations () =
+  check_roundtrip "." "self::node()";
+  check_roundtrip ".." "parent::node()";
+  check_roundtrip "@id" "attribute::id";
+  check_roundtrip "a//b" "child::a/descendant-or-self::node()/child::b";
+  check_roundtrip "//*" "/descendant-or-self::node()/child::*";
+  check_roundtrip "/" "/";
+  check_roundtrip "../@*" "parent::node()/attribute::*"
+
+let test_node_tests () =
+  check_roundtrip "text()" "child::text()";
+  check_roundtrip "node()" "child::node()";
+  check_roundtrip "comment()" "child::comment()";
+  check_roundtrip "processing-instruction()" "child::processing-instruction()";
+  check_roundtrip "processing-instruction('x')" "child::processing-instruction('x')"
+
+let test_predicates () =
+  check_roundtrip "a[1]" "child::a[1]";
+  check_roundtrip "a[last()]" "child::a[last()]";
+  check_roundtrip "a[position() > 2]" "child::a[position() > 2]";
+  check_roundtrip "a[@id='x'][2]" "child::a[attribute::id = 'x'][2]";
+  check_roundtrip "a[b and c or d]" "child::a[child::b and child::c or child::d]" |> ignore;
+  (* and binds tighter than or *)
+  match parse "a[b and c or d]" with
+  | Ast.Path { steps = [ { predicates = [ Ast.Binop (Ast.Or, Ast.Binop (Ast.And, _, _), _) ]; _ } ]; _ } ->
+      ()
+  | e -> Alcotest.fail ("precedence wrong: " ^ to_string e)
+
+let test_arithmetic_and_disambiguation () =
+  (* '*' as operator vs wildcard *)
+  check_roundtrip "2 * 3" "2 * 3";
+  check_roundtrip "a/*" "child::a/child::*";
+  check_roundtrip "a[x * 2 > 3]" "child::a[child::x * 2 > 3]";
+  check_roundtrip "6 div 2 mod 2" "6 div 2 mod 2";
+  check_roundtrip "1 + 2 * 3" "1 + 2 * 3";
+  (match parse "1 + 2 * 3" with
+  | Ast.Binop (Ast.Add, Ast.Number 1., Ast.Binop (Ast.Mul, _, _)) -> ()
+  | e -> Alcotest.fail ("mul precedence: " ^ to_string e));
+  check_roundtrip "-1 + 2" "-1 + 2";
+  (* an element named 'div' used as a name, not operator *)
+  check_roundtrip "a/div" "child::a/child::div"
+
+let test_functions () =
+  check_roundtrip "count(//person)" "count(/descendant-or-self::node()/child::person)";
+  check_roundtrip "contains(name, 'x')" "contains(child::name, 'x')";
+  check_roundtrip "not(a = b)" "not(child::a = child::b)";
+  check_roundtrip "concat('a', 'b', 'c')" "concat('a', 'b', 'c')"
+
+let test_union_and_filter () =
+  check_roundtrip "a | b" "child::a | child::b";
+  check_roundtrip "(//a)[1]" "(/descendant-or-self::node()/child::a)[1]";
+  check_roundtrip "(//a)[1]/b" "(/descendant-or-self::node()/child::a)[1]/child::b"
+
+let test_literals () =
+  check_roundtrip "'x'" "'x'";
+  check_roundtrip "\"it's\"" "\"it's\"";
+  (match parse "a = 3.5" with
+  | Ast.Binop (Ast.Eq, _, Ast.Number 3.5) -> ()
+  | e -> Alcotest.fail ("number: " ^ to_string e));
+  match parse "a = .5" with
+  | Ast.Binop (Ast.Eq, _, Ast.Number 0.5) -> ()
+  | e -> Alcotest.fail ("leading-dot number: " ^ to_string e)
+
+let check_syntax_error src =
+  match parse src with
+  | exception Parser.Error _ -> ()
+  | e -> Alcotest.fail (Printf.sprintf "expected error for %S, got %s" src (to_string e))
+
+let test_errors () =
+  List.iter check_syntax_error
+    [ "";
+      "a[";
+      "a]";
+      "//";
+      "child::";
+      "unknownaxis::a";
+      "a/'lit'";
+      "f(a,)";
+      "a = ";
+      "1 !";
+      "'unterminated" ]
+
+let test_variables () =
+  check_roundtrip "$x" "$x";
+  check_roundtrip "$x/name" "$x/child::name";
+  check_roundtrip "$a = $b" "$a = $b";
+  match parse "$p/address/city" with
+  | Ast.Located (Ast.Var "p", { Ast.steps = [ _; _ ]; _ }) -> ()
+  | e -> Alcotest.fail ("variable path: " ^ to_string e)
+
+let test_parse_path () =
+  let p = Parser.parse_path "//person/address" in
+  Alcotest.(check int) "steps" 3 (List.length p.Ast.steps);
+  Alcotest.(check bool) "absolute" true p.Ast.absolute;
+  match Parser.parse_path "1 + 2" with
+  | exception Parser.Error _ -> ()
+  | _ -> Alcotest.fail "expected non-path rejection"
+
+let test_reverse_axes () =
+  List.iter
+    (fun (axis, expected) ->
+      Alcotest.(check bool) (Ast.axis_name axis) expected (Ast.is_reverse_axis axis))
+    [ (Ast.Parent, true); (Ast.Ancestor, true); (Ast.Ancestor_or_self, true);
+      (Ast.Preceding, true); (Ast.Preceding_sibling, true); (Ast.Child, false);
+      (Ast.Descendant, false); (Ast.Following, false); (Ast.Self, false);
+      (Ast.Attribute, false) ]
+
+(* property: printing a random path reparses to an equal AST *)
+let gen_axis = QCheck.Gen.oneofl Ast.all_axes
+
+let gen_test =
+  QCheck.Gen.oneofl
+    [ Ast.Name_test "person"; Ast.Name_test "address"; Ast.Wildcard; Ast.Text_test;
+      Ast.Node_test; Ast.Comment_test ]
+
+let gen_simple_pred =
+  QCheck.Gen.oneofl
+    [ Ast.Number 1.; Ast.Path { absolute = false; steps = [ Ast.step Ast.Child (Ast.Name_test "x") ] };
+      Ast.Binop (Ast.Eq, Ast.Path { absolute = false; steps = [ Ast.step Ast.Child Ast.Text_test ] },
+         Ast.Literal "v") ]
+
+let gen_path =
+  let open QCheck.Gen in
+  let* absolute = bool in
+  let* nsteps = int_range 1 5 in
+  let* steps =
+    list_size (return nsteps)
+      (let* axis = gen_axis in
+       let* test = gen_test in
+       let* npred = int_range 0 2 in
+       let* predicates = list_size (return npred) gen_simple_pred in
+       return { Ast.axis; test; predicates })
+  in
+  return { Ast.absolute; steps }
+
+let prop_print_parse =
+  QCheck.Test.make ~name:"print/parse roundtrip on random paths" ~count:300
+    (QCheck.make ~print:Ast.path_to_string gen_path) (fun p ->
+      match parse (Ast.path_to_string p) with
+      | Ast.Path p2 -> Ast.equal_path p p2
+      | _ -> false)
+
+let suite =
+  ( "xpath",
+    [ Alcotest.test_case "paper queries" `Quick test_paper_queries;
+      Alcotest.test_case "all 13 axes" `Quick test_all_axes;
+      Alcotest.test_case "abbreviations" `Quick test_abbreviations;
+      Alcotest.test_case "node tests" `Quick test_node_tests;
+      Alcotest.test_case "predicates" `Quick test_predicates;
+      Alcotest.test_case "arithmetic and disambiguation" `Quick test_arithmetic_and_disambiguation;
+      Alcotest.test_case "functions" `Quick test_functions;
+      Alcotest.test_case "union and filter" `Quick test_union_and_filter;
+      Alcotest.test_case "literals" `Quick test_literals;
+      Alcotest.test_case "syntax errors" `Quick test_errors;
+      Alcotest.test_case "variables" `Quick test_variables;
+      Alcotest.test_case "parse_path" `Quick test_parse_path;
+      Alcotest.test_case "reverse axes" `Quick test_reverse_axes;
+      QCheck_alcotest.to_alcotest prop_print_parse ] )

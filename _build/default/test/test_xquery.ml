@@ -1,0 +1,108 @@
+(* Tests for the XQuery-lite FLWOR layer. *)
+
+module Store = Mass.Store
+
+let doc_src =
+  {xml|<site>
+  <people>
+    <person id="p1"><name>Ann</name><age>34</age><city>Boston</city></person>
+    <person id="p2"><name>Bob</name><age>28</age><city>Monroe</city></person>
+    <person id="p3"><name>Cid</name><age>45</age><city>Boston</city></person>
+  </people>
+  <sales>
+    <sale who="p1" amount="10"/>
+    <sale who="p2" amount="25"/>
+    <sale who="p1" amount="5"/>
+  </sales>
+</site>|xml}
+
+let setup () =
+  let store = Store.create () in
+  let doc = Store.load_string store ~name:"t.xml" doc_src in
+  (store, doc.Store.doc_key)
+
+let run src =
+  let store, ctx = setup () in
+  Xquery.run_to_xml store ~context:ctx src
+
+let test_plain_expression () =
+  Alcotest.(check string) "bare path query" "<name>Ann</name>\n<name>Bob</name>\n<name>Cid</name>"
+    (run "//person/name");
+  Alcotest.(check string) "atomic" "3" (run "count(//person)")
+
+let test_for_return_constructor () =
+  Alcotest.(check string) "constructed elements"
+    "<row><name>Ann</name></row>\n<row><name>Bob</name></row>\n<row><name>Cid</name></row>"
+    (run "for $p in //person return <row>{$p/name}</row>")
+
+let test_where () =
+  Alcotest.(check string) "where filters"
+    "<bostonian>Ann</bostonian>\n<bostonian>Cid</bostonian>"
+    (run "for $p in //person where $p/city = 'Boston' return <bostonian>{$p/name/text()}</bostonian>")
+
+let test_let () =
+  Alcotest.(check string) "let binds values" "<n>3</n>"
+    (run "let $c := count(//person) return <n>{$c}</n>")
+
+let test_order_by () =
+  Alcotest.(check string) "order by name" "Ann\nBob\nCid"
+    (run "for $p in //person order by $p/name return $p/name/text()");
+  Alcotest.(check string) "descending" "Cid\nBob\nAnn"
+    (run "for $p in //person order by $p/name descending return $p/name/text()")
+
+let test_nested_for_join () =
+  (* a value join between people and their sales *)
+  Alcotest.(check string) "join amounts"
+    "<a>10</a>\n<a>5</a>\n<a>25</a>"
+    (run
+       "for $p in //person, $s in //sale where $s/@who = $p/@id return <a>{$s/@amount}</a>")
+
+let test_variable_rooted_plan () =
+  (* $p/name compiles to a VAMANA plan re-rooted per binding; the result
+     must match the navigational semantics *)
+  Alcotest.(check string) "variable-rooted path" "Ann\nBob\nCid"
+    (run "for $p in //person return $p/name/text()")
+
+let test_node_splice_copies_subtree () =
+  Alcotest.(check string) "subtree copied into constructor"
+    "<copy><person id=\"p2\"><name>Bob</name><age>28</age><city>Monroe</city></person></copy>"
+    (run "for $p in //person where $p/@id = 'p2' return <copy>{$p}</copy>")
+
+let test_static_attributes_and_empty () =
+  Alcotest.(check string) "static attrs, nested, empty"
+    "<out kind=\"x\"><empty/><v>34</v></out>"
+    (run "for $p in //person where $p/name = 'Ann' return <out kind=\"x\"><empty/><v>{$p/age/text()}</v></out>")
+
+let test_errors () =
+  let store, ctx = setup () in
+  List.iter
+    (fun src ->
+      match Xquery.run store ~context:ctx src with
+      | exception Xquery.Error _ -> ()
+      | _ -> Alcotest.fail ("expected error for " ^ src))
+    [ "for $p in //person";          (* missing return *)
+      "for p in //person return $p"; (* missing $ *)
+      "for $p in return $p";         (* empty expression *)
+      "for $p in //person return <a>{$p}</b>"; (* mismatched constructor *)
+      "for $p in //person return <a>{$q}</a>"; (* unbound variable *)
+      "let $x = 3 return $x" ]       (* = instead of := *)
+
+let test_parse_validation () =
+  Xquery.parse "for $p in //person where $p/age > 30 return <r>{$p/name}</r>";
+  match Xquery.parse "for $p in" with
+  | exception Xquery.Error _ -> ()
+  | _ -> Alcotest.fail "expected parse error"
+
+let suite =
+  ( "xquery",
+    [ Alcotest.test_case "plain expressions" `Quick test_plain_expression;
+      Alcotest.test_case "for/return with constructor" `Quick test_for_return_constructor;
+      Alcotest.test_case "where" `Quick test_where;
+      Alcotest.test_case "let" `Quick test_let;
+      Alcotest.test_case "order by" `Quick test_order_by;
+      Alcotest.test_case "nested for (join)" `Quick test_nested_for_join;
+      Alcotest.test_case "variable-rooted plans" `Quick test_variable_rooted_plan;
+      Alcotest.test_case "node splice copies subtree" `Quick test_node_splice_copies_subtree;
+      Alcotest.test_case "static attributes and empty elements" `Quick test_static_attributes_and_empty;
+      Alcotest.test_case "errors" `Quick test_errors;
+      Alcotest.test_case "parse validation" `Quick test_parse_validation ] )
