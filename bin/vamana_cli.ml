@@ -3,7 +3,9 @@
      vamana query   [-f doc.xml | -x MB] [--no-optimize] [-v] QUERY
      vamana explain [-f doc.xml | -x MB] QUERY
      vamana stats   [-f doc.xml | -x MB]
-     vamana generate -x MB [-o out.xml]                              *)
+     vamana generate -x MB [-o out.xml]
+     vamana serve   [-f doc.xml | -x MB | -s SNAP] [-q queries.txt]
+                    [--repeat N] [--json] ...                        *)
 
 open Cmdliner
 module Store = Mass.Store
@@ -156,6 +158,100 @@ let xquery_cmd =
   Cmd.v (Cmd.info "xquery" ~doc:"Run an XQuery-lite FLWOR query")
     Term.(const run_xquery $ file_arg $ xmark_arg $ snapshot_arg $ query_arg)
 
+(* ---- serve: batch query service with caches and metrics ---- *)
+
+let read_queries = function
+  | Some path ->
+      let ic = open_in path in
+      let rec go acc =
+        match input_line ic with
+        | line -> go (line :: acc)
+        | exception End_of_file ->
+            close_in ic;
+            List.rev acc
+      in
+      go []
+  | None ->
+      let rec go acc =
+        match input_line stdin with
+        | line -> go (line :: acc)
+        | exception End_of_file -> List.rev acc
+      in
+      go []
+
+let is_query line =
+  let line = String.trim line in
+  String.length line > 0 && line.[0] <> '#'
+
+let run_serve file xmark_mb snapshot queries_file repeat no_optimize plan_cap result_cap json
+    quiet =
+  handle_parse_errors @@ fun () ->
+  let store, doc = input_doc file xmark_mb snapshot in
+  let service =
+    Vamana_service.Service.create ~plan_cache_capacity:plan_cap
+      ~result_cache_capacity:result_cap ~optimize:(not no_optimize) store
+  in
+  let queries = List.filter is_query (read_queries queries_file) in
+  if queries = [] then begin
+    Printf.eprintf "no queries (one XPath per line; '#' comments)\n";
+    exit 1
+  end;
+  let cache_tag = function
+    | `Hit -> "hit"
+    | `Miss -> "miss"
+    | `Stale -> "stale"
+    | `Bypass -> "-"
+  in
+  if not quiet then
+    Printf.printf "%-44s %8s %10s %6s %6s\n" "query" "results" "ms" "plan" "result";
+  for round = 1 to max 1 repeat do
+    if (not quiet) && repeat > 1 then Printf.printf "-- round %d --\n" round;
+    List.iter
+      (fun q ->
+        match Vamana_service.Service.query service ~context:doc.Store.doc_key q with
+        | Ok o ->
+            if not quiet then
+              Printf.printf "%-44s %8d %10.3f %6s %6s\n" q
+                (List.length o.Vamana_service.Service.result.Vamana.Engine.keys)
+                (o.Vamana_service.Service.total_time *. 1000.)
+                (cache_tag o.Vamana_service.Service.plan_cache)
+                (cache_tag o.Vamana_service.Service.result_cache)
+        | Error msg ->
+            if not quiet then Printf.printf "%-44s error: %s\n" q msg)
+      queries
+  done;
+  let snapshot_out =
+    if json then Vamana_service.Service.snapshot_json service
+    else "\n== metrics snapshot ==\n" ^ Vamana_service.Service.snapshot_text service
+  in
+  print_string snapshot_out;
+  if json then print_newline ()
+
+let serve_cmd =
+  let queries_arg =
+    Arg.(value & opt (some file) None
+         & info [ "q"; "queries" ] ~docv:"FILE"
+             ~doc:"Query batch, one XPath per line ('#' starts a comment). Default: stdin.")
+  in
+  let repeat_arg =
+    Arg.(value & opt int 1
+         & info [ "r"; "repeat" ] ~docv:"N" ~doc:"Run the batch N times (warms the caches).")
+  in
+  let plan_cap_arg =
+    Arg.(value & opt int 128 & info [ "plan-cache" ] ~docv:"N" ~doc:"Plan cache capacity.")
+  in
+  let result_cap_arg =
+    Arg.(value & opt int 512
+         & info [ "result-cache" ] ~docv:"N" ~doc:"Result cache capacity (0 disables).")
+  in
+  let json_arg = Arg.(value & flag & info [ "json" ] ~doc:"Emit the metrics snapshot as JSON.") in
+  let quiet_arg = Arg.(value & flag & info [ "quiet" ] ~doc:"Suppress per-query output.") in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Serve a query batch through the cached, metered query service")
+    Term.(const run_serve $ file_arg $ xmark_arg $ snapshot_arg $ queries_arg $ repeat_arg
+          $ no_optimize_arg $ plan_cap_arg $ result_cap_arg $ json_arg $ quiet_arg)
+
 let run_save file xmark_mb output =
   handle_parse_errors @@ fun () ->
   let store, _ = input_doc file xmark_mb None in
@@ -171,4 +267,4 @@ let save_cmd =
 
 let () =
   let info = Cmd.info "vamana" ~version:"1.0.0" ~doc:"Cost-driven XPath engine over the MASS storage structure" in
-  exit (Cmd.eval (Cmd.group info [ query_cmd; xquery_cmd; explain_cmd; stats_cmd; generate_cmd; save_cmd ]))
+  exit (Cmd.eval (Cmd.group info [ query_cmd; xquery_cmd; explain_cmd; stats_cmd; generate_cmd; save_cmd; serve_cmd ]))

@@ -35,6 +35,7 @@ type t = {
   value_index : unit TagTree.t;
   mutable docs : doc list;  (** in root-component order *)
   mutable next_doc_id : int;
+  mutable epoch : int;  (** bumped by every content mutation *)
 }
 
 let create ?pool_pages ?order () =
@@ -44,7 +45,11 @@ let create ?pool_pages ?order () =
     value_index = TagTree.create ?order ?pool_pages ();
     docs = [];
     next_doc_id = 0;
+    epoch = 0;
   }
+
+let epoch t = t.epoch
+let bump_epoch t = t.epoch <- t.epoch + 1
 
 (* ---- probes ----
 
@@ -156,6 +161,7 @@ let load t ~name tree =
   let comps = Array.of_list (Flex.sequence (Array.length top)) in
   Array.iteri (fun i c -> walk (Flex.child doc_key comps.(i)) c) top;
   t.docs <- t.docs @ [ doc ];
+  bump_epoch t;
   doc
 
 let load_string t ~name src = load t ~name (Xml.Parser.parse src)
@@ -584,6 +590,7 @@ let insert_element t ~parent ?after name attrs text =
   | Some s ->
       add (Flex.child key (List.nth inner (List.length attrs))) Record.Text "" s
   | None -> ());
+  bump_epoch t;
   key
 
 let delete_subtree t key =
@@ -606,6 +613,7 @@ let delete_subtree t key =
           (match doc with Some d -> bump d r.Record.kind (-1) | None -> ())
       | None -> ())
     keys;
+  bump_epoch t;
   n
 
 let remove_document t doc =

@@ -51,6 +51,14 @@ val remove_document : t -> doc -> unit
 val documents : t -> doc list
 val find_document : t -> string -> doc option
 
+val epoch : t -> int
+(** Monotonic content-mutation counter: bumped by {!load},
+    {!insert_element}, {!delete_subtree} and {!remove_document}.  Two
+    equal epochs bracket an interval in which store contents did not
+    change — the invalidation token for result caches layered above the
+    store (a cached answer tagged with the epoch it was computed at is
+    valid exactly while the store still reports that epoch). *)
+
 val root_element_key : doc -> t -> Flex.t option
 (** Key of the document's root element. *)
 

@@ -1,0 +1,96 @@
+type ('k, 'v) node = {
+  key : 'k;
+  mutable value : 'v;
+  mutable prev : ('k, 'v) node option;  (** toward MRU *)
+  mutable next : ('k, 'v) node option;  (** toward LRU *)
+}
+
+type ('k, 'v) t = {
+  table : ('k, ('k, 'v) node) Hashtbl.t;
+  cap : int;
+  mutable head : ('k, 'v) node option;  (** most recently used *)
+  mutable tail : ('k, 'v) node option;  (** least recently used *)
+}
+
+let create ~capacity =
+  if capacity < 1 then invalid_arg "Lru.create: capacity < 1";
+  { table = Hashtbl.create (2 * capacity); cap = capacity; head = None; tail = None }
+
+let capacity t = t.cap
+let length t = Hashtbl.length t.table
+
+let unlink t n =
+  (match n.prev with Some p -> p.next <- n.next | None -> t.head <- n.next);
+  (match n.next with Some s -> s.prev <- n.prev | None -> t.tail <- n.prev);
+  n.prev <- None;
+  n.next <- None
+
+let push_front t n =
+  n.prev <- None;
+  n.next <- t.head;
+  (match t.head with Some h -> h.prev <- Some n | None -> ());
+  t.head <- Some n;
+  if t.tail = None then t.tail <- Some n
+
+let is_head t n = match t.head with Some h -> h == n | None -> false
+
+let touch t n =
+  if not (is_head t n) then begin
+    unlink t n;
+    push_front t n
+  end
+
+let find t k =
+  match Hashtbl.find_opt t.table k with
+  | None -> None
+  | Some n ->
+      touch t n;
+      Some n.value
+
+let mem t k = Hashtbl.mem t.table k
+
+let evict_lru t =
+  match t.tail with
+  | None -> None
+  | Some n ->
+      unlink t n;
+      Hashtbl.remove t.table n.key;
+      Some (n.key, n.value)
+
+let put t k v =
+  match Hashtbl.find_opt t.table k with
+  | Some n ->
+      n.value <- v;
+      touch t n;
+      None
+  | None ->
+      let n = { key = k; value = v; prev = None; next = None } in
+      Hashtbl.replace t.table k n;
+      push_front t n;
+      if Hashtbl.length t.table > t.cap then evict_lru t else None
+
+let remove t k =
+  match Hashtbl.find_opt t.table k with
+  | None -> ()
+  | Some n ->
+      unlink t n;
+      Hashtbl.remove t.table k
+
+let clear t =
+  Hashtbl.reset t.table;
+  t.head <- None;
+  t.tail <- None
+
+let iter f t =
+  let rec go = function
+    | None -> ()
+    | Some n ->
+        f n.key n.value;
+        go n.next
+  in
+  go t.head
+
+let to_list t =
+  let acc = ref [] in
+  iter (fun k v -> acc := (k, v) :: !acc) t;
+  List.rev !acc

@@ -1,0 +1,35 @@
+(** Bounded LRU cache: hash map plus an intrusive recency list.
+
+    [find] refreshes recency; inserting beyond capacity evicts the least
+    recently used entry.  All operations are O(1) expected.  Keys are
+    compared with structural equality ([Hashtbl] semantics), so
+    composite keys (tuples of strings/ints) work directly. *)
+
+type ('k, 'v) t
+
+val create : capacity:int -> ('k, 'v) t
+(** @raise Invalid_argument if [capacity < 1]. *)
+
+val capacity : ('k, 'v) t -> int
+val length : ('k, 'v) t -> int
+
+val find : ('k, 'v) t -> 'k -> 'v option
+(** Lookup; a hit moves the entry to most-recently-used. *)
+
+val mem : ('k, 'v) t -> 'k -> bool
+(** Presence test without refreshing recency. *)
+
+val put : ('k, 'v) t -> 'k -> 'v -> ('k * 'v) option
+(** Insert or replace; the entry becomes most-recently-used.  Returns the
+    evicted (least recently used) binding when the insert overflowed
+    capacity. *)
+
+val remove : ('k, 'v) t -> 'k -> unit
+
+val clear : ('k, 'v) t -> unit
+
+val iter : ('k -> 'v -> unit) -> ('k, 'v) t -> unit
+(** Most-recently-used first; does not refresh recency. *)
+
+val to_list : ('k, 'v) t -> ('k * 'v) list
+(** Bindings, most-recently-used first. *)

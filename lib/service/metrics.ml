@@ -1,0 +1,152 @@
+module H = Storage.Stats.Histogram
+
+type t = {
+  counters : (string, int ref) Hashtbl.t;
+  histograms : (string, H.h) Hashtbl.t;
+}
+
+let create () = { counters = Hashtbl.create 32; histograms = Hashtbl.create 16 }
+
+let counter_ref t name =
+  match Hashtbl.find_opt t.counters name with
+  | Some r -> r
+  | None ->
+      let r = ref 0 in
+      Hashtbl.add t.counters name r;
+      r
+
+let inc ?(by = 1) t name =
+  let r = counter_ref t name in
+  r := !r + by
+
+let counter t name = match Hashtbl.find_opt t.counters name with Some r -> !r | None -> 0
+
+let counters t =
+  Hashtbl.fold (fun name r acc -> (name, !r) :: acc) t.counters []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let histogram_of t name =
+  match Hashtbl.find_opt t.histograms name with
+  | Some h -> h
+  | None ->
+      let h = H.create () in
+      Hashtbl.add t.histograms name h;
+      h
+
+let observe t name v = H.observe (histogram_of t name) v
+let histogram t name = Hashtbl.find_opt t.histograms name
+
+let histograms t =
+  Hashtbl.fold (fun name h acc -> (name, h) :: acc) t.histograms []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let ratio t ~hits ~misses =
+  let h = counter t hits and m = counter t misses in
+  if h + m = 0 then None else Some (float_of_int h /. float_of_int (h + m))
+
+(* both caches follow the "<name>_hits"/"<name>_misses" convention; find
+   the pairs so snapshots can report derived hit rates *)
+let hit_rates t =
+  List.filter_map
+    (fun (name, _) ->
+      match Filename.chop_suffix_opt ~suffix:"_hits" name with
+      | Some base ->
+          Option.map (fun r -> (base, r)) (ratio t ~hits:name ~misses:(base ^ "_misses"))
+      | None -> None)
+    (counters t)
+
+let render_text ?io t =
+  let buf = Buffer.create 1024 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
+  line "== counters ==";
+  List.iter (fun (name, v) -> line "%-28s %d" name v) (counters t);
+  (match hit_rates t with
+  | [] -> ()
+  | rates ->
+      line "== hit rates ==";
+      List.iter (fun (base, r) -> line "%-28s %.1f%%" base (100. *. r)) rates);
+  (match histograms t with
+  | [] -> ()
+  | hs ->
+      line "== latency histograms ==";
+      List.iter (fun (name, h) -> line "%-28s %s" name (Format.asprintf "%a" H.pp h)) hs);
+  (match io with
+  | None -> ()
+  | Some s ->
+      line "== page I/O ==";
+      line "%-28s %d" "logical_reads" s.Storage.Stats.logical_reads;
+      line "%-28s %d" "physical_reads" s.Storage.Stats.physical_reads;
+      line "%-28s %d" "page_writes" s.Storage.Stats.page_writes;
+      line "%-28s %d" "evictions" s.Storage.Stats.evictions;
+      line "%-28s %d" "allocations" s.Storage.Stats.allocations;
+      line "%-28s %.3f" "hit_ratio" (Storage.Stats.hit_ratio s));
+  Buffer.contents buf
+
+(* ---- JSON rendering (hand-rolled: keys are identifiers we mint and
+   the only string data is metric names, but escape defensively) ---- *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let json_obj fields =
+  "{" ^ String.concat ", " (List.map (fun (k, v) -> Printf.sprintf "\"%s\": %s" (json_escape k) v) fields) ^ "}"
+
+let json_float f =
+  if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.1f" f
+  else Printf.sprintf "%.6g" f
+
+let histogram_json h =
+  let ms v = json_float (v *. 1000.) in
+  json_obj
+    [ ("count", string_of_int (H.count h));
+      ("sum_ms", ms (H.sum h));
+      ("mean_ms", ms (H.mean h));
+      ("min_ms", ms (H.min_value h));
+      ("max_ms", ms (H.max_value h));
+      ("p50_ms", ms (H.percentile h 50.0));
+      ("p95_ms", ms (H.percentile h 95.0));
+      ("p99_ms", ms (H.percentile h 99.0)) ]
+
+let render_json ?io t =
+  let counters_json =
+    json_obj (List.map (fun (name, v) -> (name, string_of_int v)) (counters t))
+  in
+  let rates_json =
+    json_obj (List.map (fun (base, r) -> (base, json_float r)) (hit_rates t))
+  in
+  let histograms_json =
+    json_obj (List.map (fun (name, h) -> (name, histogram_json h)) (histograms t))
+  in
+  let fields =
+    [ ("counters", counters_json); ("hit_rates", rates_json); ("histograms", histograms_json) ]
+  in
+  let fields =
+    match io with
+    | None -> fields
+    | Some s ->
+        fields
+        @ [ ( "io",
+              json_obj
+                [ ("logical_reads", string_of_int s.Storage.Stats.logical_reads);
+                  ("physical_reads", string_of_int s.Storage.Stats.physical_reads);
+                  ("page_writes", string_of_int s.Storage.Stats.page_writes);
+                  ("evictions", string_of_int s.Storage.Stats.evictions);
+                  ("allocations", string_of_int s.Storage.Stats.allocations);
+                  ("hit_ratio", json_float (Storage.Stats.hit_ratio s)) ] ) ]
+  in
+  json_obj fields
+
+let reset t =
+  Hashtbl.reset t.counters;
+  Hashtbl.reset t.histograms

@@ -1,0 +1,180 @@
+module Store = Mass.Store
+module Engine = Vamana.Engine
+
+(* plan-cache key: normalized source + rendered statistics scope +
+   optimize flag.  The scope is part of the key because the optimizer
+   consults scope-local statistics, so the same text optimized under two
+   documents may yield different plans. *)
+type plan_key = { src : string; scope : string; optimized : bool }
+
+type result_entry = { epoch : int; cached : Engine.result }
+
+type t = {
+  store : Store.t;
+  optimize : bool;
+  metrics : Metrics.t;
+  plans : (plan_key, Engine.prepared) Lru.t;
+  results : (plan_key * string, result_entry) Lru.t option;
+}
+
+(* the full counter schema, registered up front so snapshots always show
+   every name (a counter never hit still renders as 0) *)
+let counter_names =
+  [ "queries"; "errors"; "compiles"; "compile_errors"; "result_keys"; "flushes";
+    "plan_cache_hits"; "plan_cache_misses"; "plan_cache_evictions";
+    "result_cache_hits"; "result_cache_misses"; "result_cache_stale";
+    "result_cache_evictions" ]
+
+let create ?(plan_cache_capacity = 128) ?(result_cache_capacity = 512) ?(optimize = true) store =
+  let metrics = Metrics.create () in
+  List.iter (fun name -> Metrics.inc ~by:0 metrics name) counter_names;
+  {
+    store;
+    optimize;
+    metrics;
+    plans = Lru.create ~capacity:plan_cache_capacity;
+    results =
+      (if result_cache_capacity = 0 then None
+       else Some (Lru.create ~capacity:result_cache_capacity));
+  }
+
+let store t = t.store
+let metrics t = t.metrics
+
+type cache = [ `Hit | `Miss | `Stale | `Bypass ]
+
+type outcome = {
+  result : Engine.result;
+  plan_cache : cache;
+  result_cache : cache;
+  total_time : float;
+}
+
+let is_space c = c = ' ' || c = '\t' || c = '\n' || c = '\r'
+
+(* characters that can extend an NCName or number: whitespace between two
+   of these is token-separating ("a div b", "person - 1") and must
+   survive as one space; anywhere else it is insignificant and dropped,
+   so "//person / address" keys identically to "//person/address" *)
+let is_name_char c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+  || c = '_' || c = '.' || c = '-'
+
+let normalize src =
+  let buf = Buffer.create (String.length src) in
+  let n = String.length src in
+  let rec go i quote pending_space =
+    if i < n then
+      let c = src.[i] in
+      match quote with
+      | Some q ->
+          Buffer.add_char buf c;
+          go (i + 1) (if c = q then None else quote) false
+      | None ->
+          if is_space c then go (i + 1) None true
+          else begin
+            (if pending_space && Buffer.length buf > 0 then
+               let last = Buffer.nth buf (Buffer.length buf - 1) in
+               if is_name_char last && is_name_char c then Buffer.add_char buf ' ');
+            Buffer.add_char buf c;
+            go (i + 1) (if c = '\'' || c = '"' then Some c else None) false
+          end
+  in
+  go 0 None false;
+  Buffer.contents buf
+
+let time f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+let plan_key t ~scope src =
+  {
+    src = normalize src;
+    scope = (match scope with Some s -> Flex.to_string s | None -> "");
+    optimized = t.optimize;
+  }
+
+(* fetch-or-prepare through the plan cache *)
+let prepared t ~scope key src =
+  match Lru.find t.plans key with
+  | Some p ->
+      Metrics.inc t.metrics "plan_cache_hits";
+      Ok (p, `Hit)
+  | None -> (
+      Metrics.inc t.metrics "plan_cache_misses";
+      Metrics.inc t.metrics "compiles";
+      match Engine.prepare ~optimize:t.optimize t.store ~scope src with
+      | Error _ as e ->
+          Metrics.inc t.metrics "compile_errors";
+          e
+      | Ok p ->
+          Metrics.observe t.metrics "compile" p.Engine.prep_compile_time;
+          if t.optimize then Metrics.observe t.metrics "optimize" p.Engine.prep_optimize_time;
+          if Lru.put t.plans key p <> None then
+            Metrics.inc t.metrics "plan_cache_evictions";
+          Ok (p, `Miss))
+
+let execute t ~context key p =
+  let result, _ = time (fun () -> Engine.execute_prepared t.store ~context p) in
+  Metrics.observe t.metrics "execute" result.Engine.execute_time;
+  Metrics.inc ~by:(List.length result.Engine.keys) t.metrics "result_keys";
+  (match t.results with
+  | None -> ()
+  | Some cache ->
+      let entry = { epoch = Store.epoch t.store; cached = result } in
+      if Lru.put cache (key, Flex.to_string context) entry <> None then
+        Metrics.inc t.metrics "result_cache_evictions");
+  result
+
+let query t ~context src =
+  let outcome, total_time =
+    time (fun () ->
+        Metrics.inc t.metrics "queries";
+        let scope = Engine.scope_of_context context in
+        let key = plan_key t ~scope src in
+        let cached_result =
+          match t.results with
+          | None -> `Bypass
+          | Some cache -> (
+              let rkey = (key, Flex.to_string context) in
+              match Lru.find cache rkey with
+              | Some entry when entry.epoch = Store.epoch t.store -> `Cached entry.cached
+              | Some _ ->
+                  (* written under an older epoch: the store has mutated
+                     since, so the answer may be stale — recompute *)
+                  Lru.remove cache rkey;
+                  Metrics.inc t.metrics "result_cache_stale";
+                  `Stale
+              | None -> `Miss)
+        in
+        match cached_result with
+        | `Cached result ->
+            Metrics.inc t.metrics "result_cache_hits";
+            Ok { result; plan_cache = `Hit; result_cache = `Hit; total_time = 0.0 }
+        | (`Bypass | `Stale | `Miss) as status ->
+            if status <> `Bypass then Metrics.inc t.metrics "result_cache_misses";
+            let result_cache = (status :> cache) in
+            (match prepared t ~scope key src with
+            | Error msg ->
+                Metrics.inc t.metrics "errors";
+                Error msg
+            | Ok (p, plan_cache) ->
+                let result = execute t ~context key p in
+                Ok { result; plan_cache; result_cache; total_time = 0.0 }))
+  in
+  Metrics.observe t.metrics "query" total_time;
+  Result.map (fun o -> { o with total_time }) outcome
+
+let query_doc t doc src = query t ~context:doc.Store.doc_key src
+
+let plan_cache_length t = Lru.length t.plans
+let result_cache_length t = match t.results with None -> 0 | Some c -> Lru.length c
+
+let flush t =
+  Lru.clear t.plans;
+  (match t.results with Some c -> Lru.clear c | None -> ());
+  Metrics.inc t.metrics "flushes"
+
+let snapshot_text t = Metrics.render_text ~io:(Store.io_stats t.store) t.metrics
+let snapshot_json t = Metrics.render_json ~io:(Store.io_stats t.store) t.metrics

@@ -1,0 +1,82 @@
+(** Long-lived query service over {!Vamana.Engine}: the layer between
+    "one query" and "millions of queries".
+
+    A service owns a {!Mass.Store.t} and adds:
+
+    - a {b plan cache} — an LRU of {!Vamana.Engine.prepared} values keyed
+      by normalized query text + statistics scope + optimize flag, so a
+      repeated query skips parse, compile and optimize entirely;
+    - a {b result cache} — an optional LRU of full results keyed by plan
+      key + execution context, invalidated by the store's mutation
+      {!Mass.Store.epoch}: a cached answer is served only while the store
+      still reports the epoch the answer was computed at, so a mutation
+      between two identical queries always yields fresh results;
+    - a {b metrics registry} — monotonic counters (queries, cache
+      hits/misses/evictions, compiles, errors) and latency histograms for
+      the compile / optimize / execute phases and the end-to-end query
+      path, dumpable as text or JSON together with the store's
+      buffer-pool I/O counters.
+
+    Query normalization drops whitespace outside string literals except
+    between two name/number characters, where one space survives (token
+    separation: ["a div b"] must not become ["adivb"]); quoted text is
+    preserved byte-for-byte.  So ["//person / address"] and
+    ["//person/address"] share a cache entry while ["//a[.='x  y']"]
+    keeps its literal's spacing.
+
+    Plans survive store mutations: the optimizer only ever emits
+    semantically equivalent plans, so a cached plan stays {e correct}
+    across updates — only its cost estimates age.  Results do not
+    survive mutations; the epoch check guarantees that. *)
+
+type t
+
+val create :
+  ?plan_cache_capacity:int ->
+  ?result_cache_capacity:int ->
+  ?optimize:bool ->
+  Mass.Store.t ->
+  t
+(** [plan_cache_capacity] defaults to 128; [result_cache_capacity]
+    defaults to 512, and [0] disables result caching entirely;
+    [optimize] (default [true]) selects VQP-OPT vs VQP plans for every
+    query the service prepares. *)
+
+val store : t -> Mass.Store.t
+val metrics : t -> Metrics.t
+
+type cache = [ `Hit  (** served from cache *)
+             | `Miss  (** not present; computed and inserted *)
+             | `Stale  (** present but from an older store epoch; recomputed *)
+             | `Bypass  (** cache disabled *) ]
+
+type outcome = {
+  result : Vamana.Engine.result;
+  plan_cache : cache;  (** never [`Stale] or [`Bypass] *)
+  result_cache : cache;
+  total_time : float;  (** end-to-end seconds inside the service *)
+}
+
+val query : t -> context:Flex.t -> string -> (outcome, string) Result.t
+(** Serve one query rooted at [context].  On a result-cache hit the
+    returned {!Vamana.Engine.result} is the cached value (its phase times
+    are the times of the run that populated the cache; [total_time] is
+    this call's).  Errors are not cached. *)
+
+val query_doc : t -> Mass.Store.doc -> string -> (outcome, string) Result.t
+
+val normalize : string -> string
+(** The cache-key normalization (exposed for tests): outside
+    single-/double-quoted literals, whitespace is dropped except for a
+    single separating space between two name/number characters. *)
+
+val plan_cache_length : t -> int
+val result_cache_length : t -> int
+
+val flush : t -> unit
+(** Drop both caches (metrics are kept; bumps the [flushes] counter). *)
+
+val snapshot_text : t -> string
+(** Metrics snapshot including the store's aggregate page-I/O counters. *)
+
+val snapshot_json : t -> string

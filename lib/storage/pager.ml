@@ -116,6 +116,12 @@ let free t id =
     unlink t e;
     t.resident_pages <- t.resident_pages - 1
   end;
+  (* a dirty page carries a pending write; dropping the page still costs
+     that write (same accounting as evict_one) *)
+  if e.dirty then begin
+    t.stats.page_writes <- t.stats.page_writes + 1;
+    e.dirty <- false
+  end;
   Hashtbl.remove t.pages id
 
 let flush t =

@@ -42,3 +42,77 @@ let pp ppf t =
   Format.fprintf ppf
     "{ logical=%d physical=%d writes=%d evictions=%d allocs=%d hit=%.3f }"
     t.logical_reads t.physical_reads t.page_writes t.evictions t.allocations (hit_ratio t)
+
+module Histogram = struct
+  (* 1-2.5-5 log-scale bounds from 1 µs to 10 s: fine enough for latency
+     percentiles, coarse enough to stay a handful of ints per histogram *)
+  let bounds =
+    let decades = [ 1e-6; 1e-5; 1e-4; 1e-3; 1e-2; 1e-1; 1.0 ] in
+    Array.of_list (List.concat_map (fun d -> [ d; 2.5 *. d; 5.0 *. d ]) decades @ [ 10.0 ])
+
+  let nbuckets = Array.length bounds + 1 (* + overflow bucket *)
+
+  type h = {
+    mutable count : int;
+    mutable sum : float;
+    mutable min : float;
+    mutable max : float;
+    counts : int array;  (** [counts.(i)]: observations <= [bounds.(i)]; last = overflow *)
+  }
+
+  let create () =
+    { count = 0; sum = 0.0; min = infinity; max = neg_infinity; counts = Array.make nbuckets 0 }
+
+  let bucket_of v =
+    let rec go i = if i >= Array.length bounds then i else if v <= bounds.(i) then i else go (i + 1) in
+    go 0
+
+  let observe h v =
+    h.count <- h.count + 1;
+    h.sum <- h.sum +. v;
+    if v < h.min then h.min <- v;
+    if v > h.max then h.max <- v;
+    let b = bucket_of v in
+    h.counts.(b) <- h.counts.(b) + 1
+
+  let count h = h.count
+  let sum h = h.sum
+  let mean h = if h.count = 0 then 0.0 else h.sum /. float_of_int h.count
+  let min_value h = if h.count = 0 then 0.0 else h.min
+  let max_value h = if h.count = 0 then 0.0 else h.max
+
+  let percentile h p =
+    if h.count = 0 then 0.0
+    else begin
+      let rank = Float.max 1.0 (Float.of_int h.count *. p /. 100.0) in
+      let rec go i seen =
+        if i >= nbuckets then h.max
+        else
+          let seen = seen + h.counts.(i) in
+          if float_of_int seen >= rank then
+            (* report the bucket's upper bound, clamped to the observed range *)
+            if i >= Array.length bounds then h.max else Float.min bounds.(i) h.max
+          else go (i + 1) seen
+      in
+      go 0 0
+    end
+
+  let buckets h =
+    List.init nbuckets (fun i ->
+        ((if i < Array.length bounds then bounds.(i) else infinity), h.counts.(i)))
+
+  let merge ~into h =
+    into.count <- into.count + h.count;
+    into.sum <- into.sum +. h.sum;
+    if h.min < into.min then into.min <- h.min;
+    if h.max > into.max then into.max <- h.max;
+    Array.iteri (fun i n -> into.counts.(i) <- into.counts.(i) + n) h.counts
+
+  let pp ppf h =
+    if h.count = 0 then Format.fprintf ppf "(empty)"
+    else
+      Format.fprintf ppf
+        "n=%d mean=%.3fms min=%.3fms max=%.3fms p50=%.3fms p95=%.3fms p99=%.3fms" h.count
+        (mean h *. 1000.) (min_value h *. 1000.) (max_value h *. 1000.)
+        (percentile h 50.0 *. 1000.) (percentile h 95.0 *. 1000.) (percentile h 99.0 *. 1000.)
+end

@@ -26,3 +26,33 @@ val hit_ratio : t -> float
 (** Buffer-pool hit ratio in [0,1]; [1.0] when there were no reads. *)
 
 val pp : Format.formatter -> t -> unit
+
+(** Fixed-bucket latency histograms (seconds) for the service layer's
+    phase timings: 1-2.5-5 log-scale bounds from 1 µs to 10 s plus an
+    overflow bucket, with exact count/sum/min/max alongside, so
+    percentiles are bucket-resolution estimates but means are exact. *)
+module Histogram : sig
+  type h
+
+  val create : unit -> h
+  val observe : h -> float -> unit
+  val count : h -> int
+  val sum : h -> float
+  val mean : h -> float
+  val min_value : h -> float
+  val max_value : h -> float
+
+  val percentile : h -> float -> float
+  (** [percentile h p] for [p] in [0,100]: upper bound of the bucket
+      holding the p-th percentile observation, clamped to the observed
+      max; [0.0] when empty. *)
+
+  val buckets : h -> (float * int) list
+  (** [(upper_bound, count)] per bucket, non-cumulative; the final bucket
+      has bound [infinity]. *)
+
+  val merge : into:h -> h -> unit
+
+  val pp : Format.formatter -> h -> unit
+  (** One-line summary: count, mean/min/max, p50/p95/p99 (milliseconds). *)
+end

@@ -42,62 +42,72 @@ let compile_union src =
       | Some paths -> Ok (List.map Compile.compile_path paths)
       | None -> Error "expression is not a location path or union of paths")
 
-let query ?(optimize = true) store ~context src =
-  match time (fun () -> Compile.compile_query src) with
-  | Error _, _ -> (
-      (* not a single path: try a union of paths *)
-      match time (fun () -> compile_union src) with
-      | Error msg, _ -> Error msg
-      | Ok plans, compile_time ->
-          let scope = scope_of_context context in
-          let outcomes, optimize_time =
-            if optimize then
-              let os, t =
-                time (fun () -> List.map (Optimizer.optimize store ~scope) plans)
-              in
-              (Some os, t)
-            else (None, 0.0)
-          in
-          let executed =
-            match outcomes with
-            | Some os -> List.map (fun (o : Optimizer.outcome) -> o.Optimizer.plan) os
-            | None -> plans
-          in
-          let io_before = Storage.Stats.copy (Store.io_stats store) in
-          let keys, execute_time =
-            time (fun () ->
-                List.sort_uniq Flex.compare
-                  (List.concat_map (fun p -> Exec.run store ~context p) executed))
-          in
-          let io = Storage.Stats.diff (Store.io_stats store) io_before in
-          Ok
-            { keys;
-              default_plan = List.hd plans;
-              executed_plan = List.hd executed;
-              optimizer = Option.map List.hd outcomes;
-              compile_time; optimize_time; execute_time; io })
-  | Ok default_plan, compile_time ->
-      let optimizer, optimize_time =
+type prepared = {
+  source : string;
+  default_plans : Plan.op list;  (** one per union branch *)
+  executed_plans : Plan.op list;
+  outcomes : Optimizer.outcome list option;
+  prep_compile_time : float;
+  prep_optimize_time : float;
+}
+
+let prepare ?(optimize = true) store ~scope src =
+  let compiled, compile_time =
+    time (fun () ->
+        match Compile.compile_query src with
+        | Ok plan -> Ok [ plan ]
+        | Error _ ->
+            (* not a single path: try a union of paths *)
+            compile_union src)
+  in
+  match compiled with
+  | Error msg -> Error msg
+  | Ok default_plans ->
+      let outcomes, optimize_time =
         if optimize then
-          let o, t =
-            time (fun () -> Optimizer.optimize store ~scope:(scope_of_context context) default_plan)
+          let os, t =
+            time (fun () -> List.map (Optimizer.optimize store ~scope) default_plans)
           in
-          (Some o, t)
+          (Some os, t)
         else (None, 0.0)
       in
-      let executed_plan =
-        match optimizer with Some o -> o.Optimizer.plan | None -> default_plan
+      let executed_plans =
+        match outcomes with
+        | Some os -> List.map (fun (o : Optimizer.outcome) -> o.Optimizer.plan) os
+        | None -> default_plans
       in
-      let io_before = Storage.Stats.copy (Store.io_stats store) in
-      let keys, execute_time = time (fun () -> Exec.run store ~context executed_plan) in
-      let io = Storage.Stats.diff (Store.io_stats store) io_before in
-      Log.debug (fun m ->
-          m "%s: %d results, compile %.3fms opt %.3fms exec %.3fms, %d page reads" src
-            (List.length keys) (compile_time *. 1000.) (optimize_time *. 1000.)
-            (execute_time *. 1000.) io.Storage.Stats.logical_reads);
       Ok
-        { keys; default_plan; executed_plan; optimizer; compile_time; optimize_time;
-          execute_time; io }
+        { source = src; default_plans; executed_plans; outcomes;
+          prep_compile_time = compile_time; prep_optimize_time = optimize_time }
+
+let execute_prepared store ~context p =
+  let io_before = Storage.Stats.copy (Store.io_stats store) in
+  let keys, execute_time =
+    time (fun () ->
+        match p.executed_plans with
+        | [ plan ] -> Exec.run store ~context plan
+        | plans ->
+            (* union branches execute independently; the result sets merge *)
+            List.sort_uniq Flex.compare
+              (List.concat_map (fun plan -> Exec.run store ~context plan) plans))
+  in
+  let io = Storage.Stats.diff (Store.io_stats store) io_before in
+  Log.debug (fun m ->
+      m "%s: %d results, compile %.3fms opt %.3fms exec %.3fms, %d page reads" p.source
+        (List.length keys) (p.prep_compile_time *. 1000.) (p.prep_optimize_time *. 1000.)
+        (execute_time *. 1000.) io.Storage.Stats.logical_reads);
+  { keys;
+    default_plan = List.hd p.default_plans;
+    executed_plan = List.hd p.executed_plans;
+    optimizer = Option.map List.hd p.outcomes;
+    compile_time = p.prep_compile_time;
+    optimize_time = p.prep_optimize_time;
+    execute_time; io }
+
+let query ?optimize store ~context src =
+  match prepare ?optimize store ~scope:(scope_of_context context) src with
+  | Error _ as e -> e
+  | Ok p -> Ok (execute_prepared store ~context p)
 
 let query_doc ?optimize store doc src = query ?optimize store ~context:doc.Store.doc_key src
 
@@ -109,7 +119,11 @@ let query_store ?optimize store src =
     | doc :: rest -> (
         match query_doc ?optimize store doc src with
         | Ok r -> go ((doc, r) :: acc) rest
-        | Error _ as e -> e)
+        | Error msg ->
+            Error
+              (Printf.sprintf "document %S (doc %d, %d of %d succeeded): %s"
+                 doc.Store.doc_name doc.Store.doc_id (List.length acc)
+                 (List.length (Store.documents store)) msg))
   in
   go [] (Store.documents store)
 

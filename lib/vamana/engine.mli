@@ -15,13 +15,45 @@ type result = {
   io : Storage.Stats.t;  (** I/O performed by execution only *)
 }
 
+type prepared = {
+  source : string;  (** the query text the plans came from *)
+  default_plans : Plan.op list;  (** one per union branch *)
+  executed_plans : Plan.op list;  (** = [default_plans] when optimization is off *)
+  outcomes : Optimizer.outcome list option;
+  prep_compile_time : float;  (** seconds *)
+  prep_optimize_time : float;
+}
+(** A compiled (and optionally optimized) query, detached from any
+    execution context — the unit a plan cache stores.  Plans are immutable
+    and scope-dependent only through the statistics the optimizer saw, so
+    a [prepared] value stays {e semantically} valid across store updates
+    (the optimizer guarantees any plan it emits computes the same result
+    set); only its cost estimates can go stale. *)
+
+val prepare :
+  ?optimize:bool -> Mass.Store.t -> scope:Flex.t option -> string -> (prepared, string) Result.t
+(** Parse, compile and (by default) optimize a location path — or a union
+    of location paths — without executing it.  [scope] bounds the
+    statistics the optimizer consults ([None] = whole store);
+    {!scope_of_context} derives it from an execution context. *)
+
+val execute_prepared : Mass.Store.t -> context:Flex.t -> prepared -> result
+(** Run a prepared query rooted at [context].  The returned
+    [compile_time]/[optimize_time] are the preparation times recorded in
+    the [prepared] value (zero cost was paid on this call). *)
+
+val scope_of_context : Flex.t -> Flex.t option
+(** Statistics scope of an execution context: the context's document root
+    component, or [None] for the store root. *)
+
 val query :
   ?optimize:bool -> Mass.Store.t -> context:Flex.t -> string -> (result, string) Result.t
 (** Run an XPath location path — or a union of location paths — rooted at
     [context] (normally a document key from {!Mass.Store.documents}).
     [optimize] defaults to [true] (the paper's VQP-OPT; pass [false] for
     VQP).  Union branches compile and optimize independently; for a union,
-    the plan/optimizer fields report the first branch. *)
+    the plan/optimizer fields report the first branch.  Equivalent to
+    {!prepare} followed by {!execute_prepared}. *)
 
 val query_doc :
   ?optimize:bool -> Mass.Store.t -> Mass.Store.doc -> string -> (result, string) Result.t
@@ -33,7 +65,8 @@ val query_store :
   ((Mass.Store.doc * result) list, string) Result.t
 (** Run the query against every document in the store (the paper's
     whole-database scope); per-document plans are optimized with
-    per-document statistics. *)
+    per-document statistics.  On failure the error names the document
+    whose query failed and how many documents had already succeeded. *)
 
 val eval :
   Mass.Store.t -> context:Flex.t -> string -> (Flex.t Xpath.Eval.value, string) Result.t

@@ -1,0 +1,333 @@
+(* Tests for the Vamana_service query-service layer: plan-cache hit/miss
+   and LRU eviction, epoch-based result-cache invalidation, the metrics
+   registry, and the Lru/Histogram primitives underneath. *)
+
+module Store = Mass.Store
+module Service = Vamana_service.Service
+module Metrics = Vamana_service.Metrics
+module Lru = Vamana_service.Lru
+module H = Storage.Stats.Histogram
+
+let base_doc =
+  "<site><people><person id='p1'><name>Ada</name><address><city>Turin</city></address></person>\
+   <person id='p2'><name>Grace</name><address><city>Arlington</city></address></person>\
+   </people></site>"
+
+let setup ?plan_cache_capacity ?result_cache_capacity () =
+  let store = Store.create () in
+  let doc = Store.load_string store ~name:"t.xml" base_doc in
+  let service = Service.create ?plan_cache_capacity ?result_cache_capacity store in
+  (store, doc, service)
+
+let keys_of service doc q =
+  match Service.query_doc service doc q with
+  | Ok o -> o.Service.result.Vamana.Engine.keys
+  | Error e -> Alcotest.failf "query %s failed: %s" q e
+
+let counter service = Metrics.counter (Service.metrics service)
+
+let contains ~needle haystack =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec go i = i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1)) in
+  nl = 0 || go 0
+
+(* ---- Lru primitive ---- *)
+
+let test_lru_basics () =
+  let c = Lru.create ~capacity:2 in
+  Alcotest.(check (option string)) "miss on empty" None (Lru.find c 1);
+  Alcotest.(check (option (pair int string))) "no eviction below cap" None (Lru.put c 1 "a");
+  ignore (Lru.put c 2 "b");
+  Alcotest.(check (option string)) "hit" (Some "a") (Lru.find c 1);
+  (* 1 is now MRU; inserting 3 must evict 2 *)
+  Alcotest.(check (option (pair int string))) "evicts LRU" (Some (2, "b")) (Lru.put c 3 "c");
+  Alcotest.(check (option string)) "2 gone" None (Lru.find c 2);
+  Alcotest.(check (option string)) "1 kept" (Some "a") (Lru.find c 1);
+  Alcotest.(check int) "length" 2 (Lru.length c)
+
+let test_lru_replace_and_remove () =
+  let c = Lru.create ~capacity:2 in
+  ignore (Lru.put c "k" 1);
+  Alcotest.(check (option (pair string int))) "replace is not eviction" None (Lru.put c "k" 2);
+  Alcotest.(check (option int)) "replaced" (Some 2) (Lru.find c "k");
+  Alcotest.(check int) "no duplicate entry" 1 (Lru.length c);
+  Lru.remove c "k";
+  Alcotest.(check (option int)) "removed" None (Lru.find c "k");
+  Lru.remove c "k" (* idempotent *);
+  ignore (Lru.put c "a" 1);
+  ignore (Lru.put c "b" 2);
+  Lru.clear c;
+  Alcotest.(check int) "cleared" 0 (Lru.length c)
+
+let test_lru_order () =
+  let c = Lru.create ~capacity:3 in
+  List.iter (fun (k, v) -> ignore (Lru.put c k v)) [ (1, "a"); (2, "b"); (3, "c") ];
+  Alcotest.(check (list (pair int string))) "MRU first" [ (3, "c"); (2, "b"); (1, "a") ]
+    (Lru.to_list c);
+  ignore (Lru.find c 1);
+  Alcotest.(check (list (pair int string))) "find refreshes" [ (1, "a"); (3, "c"); (2, "b") ]
+    (Lru.to_list c)
+
+let prop_lru_bounded =
+  QCheck.Test.make ~name:"lru never exceeds capacity and keeps newest" ~count:200
+    QCheck.(pair (int_range 1 8) (small_list (int_range 0 20)))
+    (fun (cap, ops) ->
+      let c = Lru.create ~capacity:cap in
+      List.iter (fun k -> ignore (Lru.put c k (string_of_int k))) ops;
+      Lru.length c <= cap
+      && (ops = [] || Lru.find c (List.nth ops (List.length ops - 1)) <> None))
+
+(* ---- Histogram primitive ---- *)
+
+let test_histogram () =
+  let h = H.create () in
+  Alcotest.(check int) "empty count" 0 (H.count h);
+  Alcotest.(check (float 1e-9)) "empty percentile" 0.0 (H.percentile h 99.0);
+  List.iter (H.observe h) [ 0.001; 0.002; 0.004; 0.100; 0.2 ];
+  Alcotest.(check int) "count" 5 (H.count h);
+  Alcotest.(check (float 1e-9)) "sum exact" 0.307 (H.sum h);
+  Alcotest.(check (float 1e-9)) "mean exact" (0.307 /. 5.) (H.mean h);
+  Alcotest.(check (float 1e-9)) "min exact" 0.001 (H.min_value h);
+  Alcotest.(check (float 1e-9)) "max exact" 0.2 (H.max_value h);
+  (* percentiles are bucket upper bounds: monotone and bounded by max *)
+  let p50 = H.percentile h 50.0 and p95 = H.percentile h 95.0 in
+  Alcotest.(check bool) "p50 <= p95" true (p50 <= p95);
+  Alcotest.(check bool) "p95 <= max" true (p95 <= H.max_value h);
+  Alcotest.(check bool) "p50 sane" true (p50 >= 0.002 && p50 <= 0.005)
+
+let test_histogram_merge () =
+  let a = H.create () and b = H.create () in
+  List.iter (H.observe a) [ 0.001; 0.01 ];
+  List.iter (H.observe b) [ 0.1; 1.0 ];
+  H.merge ~into:a b;
+  Alcotest.(check int) "merged count" 4 (H.count a);
+  Alcotest.(check (float 1e-9)) "merged min" 0.001 (H.min_value a);
+  Alcotest.(check (float 1e-9)) "merged max" 1.0 (H.max_value a);
+  Alcotest.(check int) "bucket totals" 4
+    (List.fold_left (fun acc (_, n) -> acc + n) 0 (H.buckets a))
+
+(* ---- query normalization ---- *)
+
+let test_normalize () =
+  Alcotest.(check string) "trims and collapses" "//person/address"
+    (Service.normalize "  //person\t /\n address ");
+  Alcotest.(check string) "quoted text untouched" "//a[.='x  y']/b"
+    (Service.normalize "//a[.='x  y']  /b");
+  Alcotest.(check string) "double quotes too" "//a[.=\"p  q\"]"
+    (Service.normalize " //a[.=\"p  q\"] ");
+  Alcotest.(check string) "token separation survives" "a div b"
+    (Service.normalize "a  div\t b");
+  Alcotest.(check string) "identity" "//person" (Service.normalize "//person")
+
+(* ---- plan cache ---- *)
+
+let test_plan_cache_hit () =
+  let _, doc, service = setup () in
+  let r1 = keys_of service doc "//person" in
+  Alcotest.(check int) "two persons" 2 (List.length r1);
+  Alcotest.(check int) "one compile" 1 (counter service "compiles");
+  Alcotest.(check int) "miss recorded" 1 (counter service "plan_cache_misses");
+  (* acceptance: a warm repeat must not compile again *)
+  let r2 = keys_of service doc "//person" in
+  Alcotest.(check int) "compile counter unchanged on repeat" 1 (counter service "compiles");
+  Alcotest.(check bool) "same answer" true (List.for_all2 Flex.equal r1 r2)
+
+let test_plan_cache_normalized_hit () =
+  let _, doc, service = setup ~result_cache_capacity:0 () in
+  ignore (keys_of service doc "//person/address");
+  ignore (keys_of service doc "  //person  /  address ");
+  Alcotest.(check int) "whitespace variants share one plan" 1 (counter service "compiles");
+  Alcotest.(check int) "hit recorded" 1 (counter service "plan_cache_hits")
+
+let test_plan_cache_skips_execution_path_only () =
+  (* with the result cache off, a warm query still executes — only the
+     front of the pipeline is skipped *)
+  let _, doc, service = setup ~result_cache_capacity:0 () in
+  ignore (keys_of service doc "//person");
+  ignore (keys_of service doc "//person");
+  let m = Service.metrics service in
+  Alcotest.(check int) "compiled once" 1 (counter service "compiles");
+  Alcotest.(check int) "executed twice" 2
+    (match Metrics.histogram m "execute" with Some h -> H.count h | None -> 0)
+
+let test_plan_cache_lru_eviction () =
+  let _, doc, service = setup ~plan_cache_capacity:2 ~result_cache_capacity:0 () in
+  ignore (keys_of service doc "//person");
+  ignore (keys_of service doc "//name");
+  ignore (keys_of service doc "//address");
+  Alcotest.(check int) "eviction counted" 1 (counter service "plan_cache_evictions");
+  Alcotest.(check int) "cache bounded" 2 (Service.plan_cache_length service);
+  (* //person was LRU and must have been evicted: querying it recompiles *)
+  ignore (keys_of service doc "//person");
+  Alcotest.(check int) "evicted entry recompiles" 4 (counter service "compiles");
+  (* //address stayed: no recompile *)
+  ignore (keys_of service doc "//address");
+  Alcotest.(check int) "resident entry reused" 4 (counter service "compiles")
+
+let test_error_not_cached () =
+  let _, doc, service = setup () in
+  (match Service.query_doc service doc "///" with
+  | Ok _ -> Alcotest.fail "expected parse error"
+  | Error _ -> ());
+  Alcotest.(check int) "error counted" 1 (counter service "errors");
+  Alcotest.(check int) "nothing cached" 0 (Service.plan_cache_length service)
+
+(* ---- result cache and epoch invalidation ---- *)
+
+let test_result_cache_hit_skips_execution () =
+  let _, doc, service = setup () in
+  ignore (keys_of service doc "//person");
+  let m = Service.metrics service in
+  let executes () = match Metrics.histogram m "execute" with Some h -> H.count h | None -> 0 in
+  let before = executes () in
+  ignore (keys_of service doc "//person");
+  Alcotest.(check int) "no execution on result-cache hit" before (executes ());
+  Alcotest.(check int) "hit counted" 1 (counter service "result_cache_hits")
+
+let test_result_cache_epoch_invalidation () =
+  let store, doc, service = setup () in
+  let before = keys_of service doc "//person" in
+  Alcotest.(check int) "two persons before" 2 (List.length before);
+  (* mutate the store between two identical queries *)
+  let people =
+    match Vamana.Engine.query_doc store doc "/site/people" with
+    | Ok r -> List.hd r.Vamana.Engine.keys
+    | Error e -> Alcotest.fail e
+  in
+  ignore (Store.insert_element store ~parent:people "person" [ ("id", "p3") ] (Some "Hedy"));
+  let after = keys_of service doc "//person" in
+  Alcotest.(check int) "fresh result, never stale" 3 (List.length after);
+  Alcotest.(check int) "stale entry detected" 1 (counter service "result_cache_stale");
+  (* plans survive updates; no recompile happened *)
+  Alcotest.(check int) "plan cache unaffected by update" 1 (counter service "compiles");
+  (* and the fresh answer is cached again under the new epoch *)
+  ignore (keys_of service doc "//person");
+  Alcotest.(check int) "re-cached under new epoch" 1 (counter service "result_cache_hits")
+
+let test_result_cache_invalidated_by_delete () =
+  let store, doc, service = setup () in
+  let persons = keys_of service doc "//person" in
+  ignore (Store.delete_subtree store (List.hd persons));
+  Alcotest.(check int) "delete visible immediately" 1
+    (List.length (keys_of service doc "//person"))
+
+let test_result_cache_per_context () =
+  (* identical query text under two different documents must not share
+     cached results *)
+  let store = Store.create () in
+  let d1 = Store.load_string store ~name:"a.xml" "<r><x/><x/></r>" in
+  let d2 = Store.load_string store ~name:"b.xml" "<r><x/></r>" in
+  let service = Service.create store in
+  Alcotest.(check int) "doc1" 2 (List.length (keys_of service d1 "//x"));
+  Alcotest.(check int) "doc2" 1 (List.length (keys_of service d2 "//x"));
+  Alcotest.(check int) "no cross-document hit" 0 (counter service "result_cache_hits")
+
+let test_flush () =
+  let _, doc, service = setup () in
+  ignore (keys_of service doc "//person");
+  Service.flush service;
+  Alcotest.(check int) "plan cache empty" 0 (Service.plan_cache_length service);
+  Alcotest.(check int) "result cache empty" 0 (Service.result_cache_length service);
+  ignore (keys_of service doc "//person");
+  Alcotest.(check int) "recompiles after flush" 2 (counter service "compiles")
+
+(* ---- store epoch ---- *)
+
+let test_epoch_monotone () =
+  let store = Store.create () in
+  let e0 = Store.epoch store in
+  let doc = Store.load_string store ~name:"t.xml" base_doc in
+  let e1 = Store.epoch store in
+  Alcotest.(check bool) "load bumps" true (e1 > e0);
+  let people =
+    match Vamana.Engine.query_doc store doc "/site/people" with
+    | Ok r -> List.hd r.Vamana.Engine.keys
+    | Error e -> Alcotest.fail e
+  in
+  let k = Store.insert_element store ~parent:people "person" [] None in
+  let e2 = Store.epoch store in
+  Alcotest.(check bool) "insert bumps" true (e2 > e1);
+  ignore (Store.delete_subtree store k);
+  let e3 = Store.epoch store in
+  Alcotest.(check bool) "delete bumps" true (e3 > e2);
+  ignore (Vamana.Engine.query store ~context:doc.Store.doc_key "//person");
+  Alcotest.(check int) "queries do not bump" e3 (Store.epoch store)
+
+(* ---- metrics registry ---- *)
+
+let test_metrics_registry () =
+  let m = Metrics.create () in
+  Metrics.inc m "a";
+  Metrics.inc ~by:4 m "a";
+  Metrics.inc m "b";
+  Alcotest.(check int) "counter sums" 5 (Metrics.counter m "a");
+  Alcotest.(check int) "unknown counter is 0" 0 (Metrics.counter m "zzz");
+  Alcotest.(check (list (pair string int))) "sorted listing" [ ("a", 5); ("b", 1) ]
+    (Metrics.counters m);
+  Metrics.observe m "lat" 0.001;
+  Metrics.observe m "lat" 0.003;
+  (match Metrics.histogram m "lat" with
+  | Some h -> Alcotest.(check int) "histogram count" 2 (H.count h)
+  | None -> Alcotest.fail "histogram missing");
+  Alcotest.(check (option (float 1e-9))) "ratio" (Some (5. /. 6.))
+    (Metrics.ratio m ~hits:"a" ~misses:"b");
+  Alcotest.(check (option (float 1e-9))) "ratio of untouched counters" None
+    (Metrics.ratio m ~hits:"no_hits" ~misses:"no_misses");
+  Metrics.reset m;
+  Alcotest.(check int) "reset" 0 (Metrics.counter m "a")
+
+let test_metrics_render () =
+  let _, doc, service = setup () in
+  ignore (keys_of service doc "//person");
+  ignore (keys_of service doc "//person");
+  let text = Service.snapshot_text service in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) (Printf.sprintf "text mentions %s" needle) true
+        (contains ~needle text))
+    [ "queries"; "plan_cache"; "result_cache"; "page I/O"; "logical_reads" ];
+  let json = Service.snapshot_json service in
+  Alcotest.(check bool) "json has counters" true (contains ~needle:"\"counters\"" json);
+  Alcotest.(check bool) "json has io" true (contains ~needle:"\"io\"" json)
+
+(* ---- query_store error reporting ---- *)
+
+let test_query_store_error_names_document () =
+  let store = Store.create () in
+  ignore (Store.load_string store ~name:"alpha.xml" "<r><x/></r>");
+  ignore (Store.load_string store ~name:"beta.xml" "<r><y/></r>");
+  (* a valid path query works across both documents *)
+  (match Vamana.Engine.query_store store "//x" with
+  | Ok rs -> Alcotest.(check int) "both documents queried" 2 (List.length rs)
+  | Error e -> Alcotest.fail e);
+  (* an unsupported expression fails naming the document it failed on *)
+  match Vamana.Engine.query_store store "count(//x)" with
+  | Ok _ -> Alcotest.fail "expected failure"
+  | Error msg ->
+      Alcotest.(check bool) (Printf.sprintf "error names document: %s" msg) true
+        (contains ~needle:"alpha.xml" msg)
+
+let suite =
+  ( "service",
+    [ Alcotest.test_case "lru basics" `Quick test_lru_basics;
+      Alcotest.test_case "lru replace and remove" `Quick test_lru_replace_and_remove;
+      Alcotest.test_case "lru order" `Quick test_lru_order;
+      QCheck_alcotest.to_alcotest prop_lru_bounded;
+      Alcotest.test_case "histogram" `Quick test_histogram;
+      Alcotest.test_case "histogram merge" `Quick test_histogram_merge;
+      Alcotest.test_case "normalization" `Quick test_normalize;
+      Alcotest.test_case "plan cache hit skips compile" `Quick test_plan_cache_hit;
+      Alcotest.test_case "normalized variants share plans" `Quick test_plan_cache_normalized_hit;
+      Alcotest.test_case "warm plan still executes" `Quick test_plan_cache_skips_execution_path_only;
+      Alcotest.test_case "plan cache LRU eviction" `Quick test_plan_cache_lru_eviction;
+      Alcotest.test_case "errors are not cached" `Quick test_error_not_cached;
+      Alcotest.test_case "result cache hit skips execution" `Quick test_result_cache_hit_skips_execution;
+      Alcotest.test_case "epoch invalidation on insert" `Quick test_result_cache_epoch_invalidation;
+      Alcotest.test_case "epoch invalidation on delete" `Quick test_result_cache_invalidated_by_delete;
+      Alcotest.test_case "contexts do not share results" `Quick test_result_cache_per_context;
+      Alcotest.test_case "flush" `Quick test_flush;
+      Alcotest.test_case "store epoch monotone" `Quick test_epoch_monotone;
+      Alcotest.test_case "metrics registry" `Quick test_metrics_registry;
+      Alcotest.test_case "metrics rendering" `Quick test_metrics_render;
+      Alcotest.test_case "query_store error names document" `Quick
+        test_query_store_error_names_document ] )

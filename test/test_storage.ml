@@ -101,9 +101,42 @@ let prop_pool_invariants =
       && Stats.hit_ratio s <= 1.0
       && List.for_all (fun i -> Pager.read p ids.(i) = i) (List.init npages Fun.id))
 
+(* regression: freeing a dirty resident page must count the pending
+   write, matching the accounting evict_one applies *)
+let test_free_dirty_counts_write () =
+  let p = Pager.create ~pool_pages:4 () in
+  let a = Pager.alloc p 1 in
+  Pager.flush p;
+  let clean_writes = (Pager.stats p).Stats.page_writes in
+  Pager.free p a;
+  Alcotest.(check int) "freeing a clean page writes nothing" clean_writes
+    (Pager.stats p).Stats.page_writes;
+  let b = Pager.alloc p 2 in
+  Pager.write p b 3;
+  let before = (Pager.stats p).Stats.page_writes in
+  Pager.free p b;
+  Alcotest.(check int) "freeing a dirty page counts its pending write" (before + 1)
+    (Pager.stats p).Stats.page_writes
+
+(* free-vs-evict consistency: a dirty page costs exactly one write
+   whether it leaves the pool by eviction or by free *)
+let test_free_evict_write_parity () =
+  let run leave =
+    let p = Pager.create ~pool_pages:1 () in
+    let a = Pager.alloc p 0 in
+    Pager.write p a 1;
+    leave p a;
+    (Pager.stats p).Stats.page_writes
+  in
+  let via_evict = run (fun p _ -> ignore (Pager.alloc p 9)) in
+  let via_free = run (fun p a -> Pager.free p a) in
+  Alcotest.(check int) "same write count either way" via_evict via_free
+
 let suite =
   ( "storage",
     [ Alcotest.test_case "alloc and read" `Quick test_alloc_read;
+      Alcotest.test_case "free dirty counts write" `Quick test_free_dirty_counts_write;
+      Alcotest.test_case "free/evict write parity" `Quick test_free_evict_write_parity;
       Alcotest.test_case "write and free" `Quick test_write_and_free;
       Alcotest.test_case "eviction counting" `Quick test_eviction_counts;
       Alcotest.test_case "lru order" `Quick test_lru_order;
