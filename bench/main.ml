@@ -10,6 +10,7 @@
      dune exec bench/main.exe -- io           -- page reads per engine (index-only property)
      dune exec bench/main.exe -- staleness    -- live statistics vs a frozen dictionary
      dune exec bench/main.exe -- service      -- warm-vs-cold cache latency (service layer)
+     dune exec bench/main.exe -- qerror       -- est-vs-actual cardinality -> BENCH_qerror.json
      dune exec bench/main.exe -- micro        -- Bechamel micro-benchmarks
      dune exec bench/main.exe -- all --sizes 1,5,10,20,30   -- full sweep
 
@@ -435,6 +436,54 @@ let print_service () =
   Printf.printf "(plan x: plan cache only — execution still runs; full x: result cache hit)\n";
   Printf.printf "\n%s" (Vamana_service.Service.snapshot_text service)
 
+(* ---- cost-model drift: estimated vs actual cardinality per query ---- *)
+
+let qerror_file = "BENCH_qerror.json"
+
+let print_qerror () =
+  let mb = 2.0 in
+  Printf.printf "\n== Cost-model q-error: estimated vs actual cardinality (%.0f MB) ==\n" mb;
+  let store = Store.create ~pool_pages:65536 () in
+  let doc = Xmark.load store mb in
+  Printf.printf "%-4s %-44s %10s %10s %8s %10s\n" "Q" "query" "est OUT" "actual" "q-err" "max op q";
+  let module J = Vamana.Profile.Json in
+  let rows =
+    List.map
+      (fun (label, q) ->
+        match Vamana.Engine.query ~profile:true store ~context:doc.Store.doc_key q with
+        | Error e -> failwith (label ^ ": " ^ e)
+        | Ok r ->
+            let rep = Option.get r.Vamana.Engine.profile in
+            let est =
+              match rep.Vamana.Profile.plan.Vamana.Profile.est with
+              | Some s -> s.Vamana.Cost.output
+              | None -> 0
+            in
+            let actual = List.length r.Vamana.Engine.keys in
+            let qe = rep.Vamana.Profile.root_q_error in
+            let max_qe = rep.Vamana.Profile.max_q_error in
+            Printf.printf "%-4s %-44s %10d %10d %8s %10s\n" label q est actual
+              (if Float.is_finite qe then Printf.sprintf "%.3f" qe else "inf")
+              (if Float.is_finite max_qe then Printf.sprintf "%.3f" max_qe else "inf");
+            J.Obj
+              [ ("label", J.Str label);
+                ("query", J.Str q);
+                ("estimated", J.Int est);
+                ("actual", J.Int actual);
+                ("q_error", if Float.is_finite qe then J.Float qe else J.Null);
+                ("max_op_q_error", if Float.is_finite max_qe then J.Float max_qe else J.Null);
+                ("execute_ms", J.Float (r.Vamana.Engine.execute_time *. 1000.)) ])
+      queries
+  in
+  let json = J.Obj [ ("document_mb", J.Float mb); ("queries", J.Arr rows) ] in
+  let oc = open_out qerror_file in
+  output_string oc (J.to_string json);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "(wrote %s — diff it across PRs to catch cost-model drift;\n\
+                \ q-error = max(est/actual, actual/est), estimates are Table I upper bounds)\n"
+    qerror_file
+
 (* ---- Bechamel micro-benchmarks: one Test per figure ---- *)
 
 let micro () =
@@ -522,5 +571,6 @@ let () =
   if want "io" then print_io ();
   if want "staleness" then print_staleness ();
   if want "service" then print_service ();
+  if want "qerror" then print_qerror ();
   if want "micro" then micro ();
   Printf.printf "\ndone.\n"

@@ -88,11 +88,19 @@ let run_query file xmark_mb snapshot no_optimize verbose query =
         (r.Vamana.Engine.execute_time *. 1000.)
         r.Vamana.Engine.io.Storage.Stats.logical_reads
 
-let run_explain file xmark_mb snapshot query =
+let run_explain file xmark_mb snapshot analyze json no_optimize query =
   handle_parse_errors @@ fun () ->
   let store, doc = input_doc file xmark_mb snapshot in
-  match Vamana.Engine.explain store doc query with
-  | Ok text -> print_string text
+  let rendered =
+    if analyze then
+      Vamana.Engine.explain_analyze ~optimize:(not no_optimize) ~json store doc query
+    else Vamana.Engine.explain ~optimize:(not no_optimize) store doc query
+  in
+  match rendered with
+  | Ok text ->
+      print_string text;
+      if json && not (String.length text > 0 && text.[String.length text - 1] = '\n') then
+        print_newline ()
   | Error msg ->
       Printf.eprintf "error: %s\n" msg;
       exit 1
@@ -131,8 +139,21 @@ let query_cmd =
     Term.(const run_query $ file_arg $ xmark_arg $ snapshot_arg $ no_optimize_arg $ verbose_arg $ query_arg)
 
 let explain_cmd =
-  Cmd.v (Cmd.info "explain" ~doc:"Show cost-annotated default and optimized plans")
-    Term.(const run_explain $ file_arg $ xmark_arg $ snapshot_arg $ query_arg)
+  let analyze_arg =
+    Arg.(value & flag
+         & info [ "analyze" ]
+             ~doc:"Execute the query with per-operator profiling and show actual vs estimated \
+                   cardinalities, q-error, timings and page I/O.")
+  in
+  let json_arg =
+    Arg.(value & flag
+         & info [ "json" ] ~doc:"With $(b,--analyze): emit the profile report as JSON.")
+  in
+  Cmd.v
+    (Cmd.info "explain"
+       ~doc:"Show cost-annotated plans; with --analyze, profile an actual execution")
+    Term.(const run_explain $ file_arg $ xmark_arg $ snapshot_arg $ analyze_arg $ json_arg
+          $ no_optimize_arg $ query_arg)
 
 let stats_cmd =
   Cmd.v (Cmd.info "stats" ~doc:"Show storage statistics")
@@ -204,11 +225,19 @@ let run_serve file xmark_mb snapshot queries_file repeat no_optimize plan_cap re
   in
   if not quiet then
     Printf.printf "%-44s %8s %10s %6s %6s\n" "query" "results" "ms" "plan" "result";
+  let failures = ref 0 in
+  (* the final snapshot must appear even when queries in the batch fail
+     (including evaluator exceptions), so every failure is contained here *)
   for round = 1 to max 1 repeat do
     if (not quiet) && repeat > 1 then Printf.printf "-- round %d --\n" round;
     List.iter
       (fun q ->
-        match Vamana_service.Service.query service ~context:doc.Store.doc_key q with
+        let outcome =
+          match Vamana_service.Service.query service ~context:doc.Store.doc_key q with
+          | o -> o
+          | exception e -> Error (Printexc.to_string e)
+        in
+        match outcome with
         | Ok o ->
             if not quiet then
               Printf.printf "%-44s %8d %10.3f %6s %6s\n" q
@@ -217,7 +246,8 @@ let run_serve file xmark_mb snapshot queries_file repeat no_optimize plan_cap re
                 (cache_tag o.Vamana_service.Service.plan_cache)
                 (cache_tag o.Vamana_service.Service.result_cache)
         | Error msg ->
-            if not quiet then Printf.printf "%-44s error: %s\n" q msg)
+            incr failures;
+            Printf.eprintf "%-44s error: %s\n" q msg)
       queries
   done;
   let snapshot_out =
@@ -225,7 +255,11 @@ let run_serve file xmark_mb snapshot queries_file repeat no_optimize plan_cap re
     else "\n== metrics snapshot ==\n" ^ Vamana_service.Service.snapshot_text service
   in
   print_string snapshot_out;
-  if json then print_newline ()
+  if json then print_newline ();
+  if !failures > 0 then begin
+    Printf.eprintf "%d of %d queries failed\n" !failures (List.length queries * max 1 repeat);
+    exit 1
+  end
 
 let serve_cmd =
   let queries_arg =

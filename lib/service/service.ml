@@ -23,7 +23,8 @@ let counter_names =
   [ "queries"; "errors"; "compiles"; "compile_errors"; "result_keys"; "flushes";
     "plan_cache_hits"; "plan_cache_misses"; "plan_cache_evictions";
     "result_cache_hits"; "result_cache_misses"; "result_cache_stale";
-    "result_cache_evictions" ]
+    "result_cache_evictions"; "profiled_queries"; "optimizer_iterations";
+    "optimizer_rules_accepted"; "optimizer_rules_rejected"; "optimizer_rules_considered" ]
 
 let create ?(plan_cache_capacity = 128) ?(result_cache_capacity = 512) ?(optimize = true) store =
   let metrics = Metrics.create () in
@@ -111,14 +112,39 @@ let prepared t ~scope key src =
       | Ok p ->
           Metrics.observe t.metrics "compile" p.Engine.prep_compile_time;
           if t.optimize then Metrics.observe t.metrics "optimize" p.Engine.prep_optimize_time;
+          List.iter
+            (fun (s : Vamana.Profile.span) ->
+              match s.Vamana.Profile.name with
+              | "parse" -> Metrics.observe t.metrics "parse" s.Vamana.Profile.dur
+              | "optimize" -> Metrics.observe t.metrics "optimize_iteration" s.Vamana.Profile.dur
+              | _ -> ())
+            p.Engine.prep_spans;
+          (match p.Engine.outcomes with
+          | None -> ()
+          | Some outcomes ->
+              List.iter
+                (fun (o : Vamana.Optimizer.outcome) ->
+                  Metrics.inc ~by:o.Vamana.Optimizer.iterations t.metrics "optimizer_iterations";
+                  Metrics.inc
+                    ~by:(List.length o.Vamana.Optimizer.trace)
+                    t.metrics "optimizer_rules_accepted";
+                  List.iter
+                    (fun (s : Vamana.Optimizer.iteration_stat) ->
+                      Metrics.inc ~by:s.Vamana.Optimizer.considered t.metrics
+                        "optimizer_rules_considered";
+                      Metrics.inc ~by:s.Vamana.Optimizer.rejected t.metrics
+                        "optimizer_rules_rejected")
+                    o.Vamana.Optimizer.iteration_stats)
+                outcomes);
           if Lru.put t.plans key p <> None then
             Metrics.inc t.metrics "plan_cache_evictions";
           Ok (p, `Miss))
 
-let execute t ~context key p =
-  let result, _ = time (fun () -> Engine.execute_prepared t.store ~context p) in
+let execute t ~profile ~context key p =
+  let result, _ = time (fun () -> Engine.execute_prepared ~profile t.store ~context p) in
   Metrics.observe t.metrics "execute" result.Engine.execute_time;
   Metrics.inc ~by:(List.length result.Engine.keys) t.metrics "result_keys";
+  if result.Engine.profile <> None then Metrics.inc t.metrics "profiled_queries";
   (match t.results with
   | None -> ()
   | Some cache ->
@@ -127,7 +153,7 @@ let execute t ~context key p =
         Metrics.inc t.metrics "result_cache_evictions");
   result
 
-let query t ~context src =
+let query ?(profile = false) t ~context src =
   let outcome, total_time =
     time (fun () ->
         Metrics.inc t.metrics "queries";
@@ -136,6 +162,9 @@ let query t ~context src =
         let cached_result =
           match t.results with
           | None -> `Bypass
+          (* a profiled query must actually execute: a cached answer
+             carries no (or a stale) operator profile *)
+          | Some _ when profile -> `Bypass
           | Some cache -> (
               let rkey = (key, Flex.to_string context) in
               match Lru.find cache rkey with
@@ -160,13 +189,13 @@ let query t ~context src =
                 Metrics.inc t.metrics "errors";
                 Error msg
             | Ok (p, plan_cache) ->
-                let result = execute t ~context key p in
+                let result = execute t ~profile ~context key p in
                 Ok { result; plan_cache; result_cache; total_time = 0.0 }))
   in
   Metrics.observe t.metrics "query" total_time;
   Result.map (fun o -> { o with total_time }) outcome
 
-let query_doc t doc src = query t ~context:doc.Store.doc_key src
+let query_doc ?profile t doc src = query ?profile t ~context:doc.Store.doc_key src
 
 let plan_cache_length t = Lru.length t.plans
 let result_cache_length t = match t.results with None -> 0 | Some c -> Lru.length c

@@ -57,13 +57,16 @@ type outcome = {
   total_time : float;  (** end-to-end seconds inside the service *)
 }
 
-val query : t -> context:Flex.t -> string -> (outcome, string) Result.t
+val query : ?profile:bool -> t -> context:Flex.t -> string -> (outcome, string) Result.t
 (** Serve one query rooted at [context].  On a result-cache hit the
     returned {!Vamana.Engine.result} is the cached value (its phase times
     are the times of the run that populated the cache; [total_time] is
-    this call's).  Errors are not cached. *)
+    this call's).  Errors are not cached.  With [profile] the result
+    cache is bypassed on the read side so the query really executes and
+    the result carries a fresh {!Vamana.Profile.report}; the
+    [profiled_queries] counter tracks these. *)
 
-val query_doc : t -> Mass.Store.doc -> string -> (outcome, string) Result.t
+val query_doc : ?profile:bool -> t -> Mass.Store.doc -> string -> (outcome, string) Result.t
 
 val normalize : string -> string
 (** The cache-key normalization (exposed for tests): outside

@@ -13,6 +13,8 @@ type result = {
   optimize_time : float;
   execute_time : float;
   io : Storage.Stats.t;
+  spans : Profile.span list;
+  profile : Profile.report option;
 }
 
 let time f =
@@ -33,15 +35,6 @@ let rec union_branches (e : Xpath.Ast.expr) =
   | Xpath.Ast.Path p -> Some [ p ]
   | _ -> None
 
-let compile_union src =
-  match Xpath.Parser.parse src with
-  | exception (Xpath.Parser.Error _ as exn) ->
-      Error (Option.value ~default:"parse error" (Xpath.Parser.error_to_string exn))
-  | ast -> (
-      match union_branches ast with
-      | Some paths -> Ok (List.map Compile.compile_path paths)
-      | None -> Error "expression is not a location path or union of paths")
-
 type prepared = {
   source : string;
   default_plans : Plan.op list;  (** one per union branch *)
@@ -49,16 +42,44 @@ type prepared = {
   outcomes : Optimizer.outcome list option;
   prep_compile_time : float;
   prep_optimize_time : float;
+  prep_spans : Profile.span list;
 }
 
+(* one span per optimizer iteration, carrying the accepted rule and the
+   considered/rejected counts of that iteration's search *)
+let iteration_spans (o : Optimizer.outcome) =
+  List.mapi
+    (fun i (s : Optimizer.iteration_stat) ->
+      Profile.span "optimize"
+        ~meta:
+          [ ("iteration", Profile.Json.Int (i + 1));
+            ( "accepted",
+              match s.Optimizer.accepted with
+              | Some rule -> Profile.Json.Str rule
+              | None -> Profile.Json.Null );
+            ("considered", Profile.Json.Int s.Optimizer.considered);
+            ("rejected", Profile.Json.Int s.Optimizer.rejected) ]
+        s.Optimizer.duration)
+    o.Optimizer.iteration_stats
+
 let prepare ?(optimize = true) store ~scope src =
-  let compiled, compile_time =
+  let parsed, parse_time =
     time (fun () ->
-        match Compile.compile_query src with
-        | Ok plan -> Ok [ plan ]
-        | Error _ ->
+        match Xpath.Parser.parse src with
+        | ast -> Ok ast
+        | exception (Xpath.Parser.Error _ as exn) ->
+            Error (Option.value ~default:"parse error" (Xpath.Parser.error_to_string exn)))
+  in
+  let compiled, compile_only_time =
+    time (fun () ->
+        match parsed with
+        | Error _ as e -> e
+        | Ok (Xpath.Ast.Path p) -> Ok [ Compile.compile_path p ]
+        | Ok ast -> (
             (* not a single path: try a union of paths *)
-            compile_union src)
+            match union_branches ast with
+            | Some paths -> Ok (List.map Compile.compile_path paths)
+            | None -> Error "expression is not a location path or union of paths"))
   in
   match compiled with
   | Error msg -> Error msg
@@ -76,22 +97,45 @@ let prepare ?(optimize = true) store ~scope src =
         | Some os -> List.map (fun (o : Optimizer.outcome) -> o.Optimizer.plan) os
         | None -> default_plans
       in
+      let prep_spans =
+        [ Profile.span "parse" parse_time; Profile.span "compile" compile_only_time ]
+        @ (match outcomes with
+          | Some (o :: _) -> iteration_spans o
+          | Some [] | None -> [])
+      in
       Ok
         { source = src; default_plans; executed_plans; outcomes;
-          prep_compile_time = compile_time; prep_optimize_time = optimize_time }
+          prep_compile_time = parse_time +. compile_only_time;
+          prep_optimize_time = optimize_time; prep_spans }
 
-let execute_prepared store ~context p =
+let execute_prepared ?(profile = false) store ~context p =
+  let pctx = if profile then Some (Profile.create store) else None in
   let io_before = Storage.Stats.copy (Store.io_stats store) in
   let keys, execute_time =
     time (fun () ->
         match p.executed_plans with
-        | [ plan ] -> Exec.run store ~context plan
+        | [ plan ] -> Exec.run ?profile:pctx store ~context plan
         | plans ->
             (* union branches execute independently; the result sets merge *)
             List.sort_uniq Flex.compare
-              (List.concat_map (fun plan -> Exec.run store ~context plan) plans))
+              (List.concat_map (fun plan -> Exec.run ?profile:pctx store ~context plan) plans))
   in
   let io = Storage.Stats.diff (Store.io_stats store) io_before in
+  let spans = p.prep_spans @ [ Profile.span "execute" execute_time ] in
+  let profile_report =
+    Option.map
+      (fun ctx ->
+        (* a union profiles every branch into one context; the annotated
+           tree reports the first branch (matching the plan fields) *)
+        let plan = List.hd p.executed_plans in
+        let cost =
+          match p.outcomes with
+          | Some (o :: _) -> o.Optimizer.cost
+          | Some [] | None -> Cost.estimate store ~scope:(scope_of_context context) plan
+        in
+        Profile.make ctx ~cost ~spans ~total_time:execute_time plan)
+      pctx
+  in
   Log.debug (fun m ->
       m "%s: %d results, compile %.3fms opt %.3fms exec %.3fms, %d page reads" p.source
         (List.length keys) (p.prep_compile_time *. 1000.) (p.prep_optimize_time *. 1000.)
@@ -102,14 +146,15 @@ let execute_prepared store ~context p =
     optimizer = Option.map List.hd p.outcomes;
     compile_time = p.prep_compile_time;
     optimize_time = p.prep_optimize_time;
-    execute_time; io }
+    execute_time; io; spans; profile = profile_report }
 
-let query ?optimize store ~context src =
+let query ?optimize ?profile store ~context src =
   match prepare ?optimize store ~scope:(scope_of_context context) src with
   | Error _ as e -> e
-  | Ok p -> Ok (execute_prepared store ~context p)
+  | Ok p -> Ok (execute_prepared ?profile store ~context p)
 
-let query_doc ?optimize store doc src = query ?optimize store ~context:doc.Store.doc_key src
+let query_doc ?optimize ?profile store doc src =
+  query ?optimize ?profile store ~context:doc.Store.doc_key src
 
 let query_store ?optimize store src =
   (* one pipeline per document; results concatenate in store order because
@@ -159,3 +204,22 @@ let explain ?(optimize = true) store doc src =
        end);
       Format.pp_print_flush ppf ();
       Ok (Buffer.contents buf)
+
+let explain_analyze ?(optimize = true) ?(json = false) store doc src =
+  match query ~optimize ~profile:true store ~context:doc.Store.doc_key src with
+  | Error _ as e -> e
+  | Ok r -> (
+      match r.profile with
+      | None -> Error "profiling produced no report"
+      | Some rep ->
+          if json then
+            Ok
+              (Profile.Json.to_string
+                 (Profile.Json.Obj
+                    [ ("query", Profile.Json.Str src);
+                      ("results", Profile.Json.Int (List.length r.keys));
+                      ("report", Profile.render_json rep) ]))
+          else
+            Ok
+              (Printf.sprintf "Query: %s\n%d results\n%s" src (List.length r.keys)
+                 (Profile.render_text rep)))

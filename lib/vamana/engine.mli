@@ -13,6 +13,14 @@ type result = {
   optimize_time : float;
   execute_time : float;
   io : Storage.Stats.t;  (** I/O performed by execution only *)
+  spans : Profile.span list;
+      (** trace spans: [parse], [compile], one [optimize] span per
+          optimizer iteration (with accepted/considered/rejected rule
+          counts), and [execute] — always collected, they cost a handful
+          of allocations per query *)
+  profile : Profile.report option;
+      (** per-operator actuals joined with estimates; [Some] only when
+          the query ran with [~profile:true] *)
 }
 
 type prepared = {
@@ -22,6 +30,7 @@ type prepared = {
   outcomes : Optimizer.outcome list option;
   prep_compile_time : float;  (** seconds *)
   prep_optimize_time : float;
+  prep_spans : Profile.span list;  (** parse/compile/optimize spans *)
 }
 (** A compiled (and optionally optimized) query, detached from any
     execution context — the unit a plan cache stores.  Plans are immutable
@@ -37,26 +46,40 @@ val prepare :
     statistics the optimizer consults ([None] = whole store);
     {!scope_of_context} derives it from an execution context. *)
 
-val execute_prepared : Mass.Store.t -> context:Flex.t -> prepared -> result
+val execute_prepared : ?profile:bool -> Mass.Store.t -> context:Flex.t -> prepared -> result
 (** Run a prepared query rooted at [context].  The returned
     [compile_time]/[optimize_time] are the preparation times recorded in
-    the [prepared] value (zero cost was paid on this call). *)
+    the [prepared] value (zero cost was paid on this call).  [profile]
+    (default [false]) instruments every operator and fills the result's
+    [profile] report; for a union, the report tree covers the first
+    branch.  The unprofiled path allocates no profiling structures. *)
 
 val scope_of_context : Flex.t -> Flex.t option
 (** Statistics scope of an execution context: the context's document root
     component, or [None] for the store root. *)
 
 val query :
-  ?optimize:bool -> Mass.Store.t -> context:Flex.t -> string -> (result, string) Result.t
+  ?optimize:bool ->
+  ?profile:bool ->
+  Mass.Store.t ->
+  context:Flex.t ->
+  string ->
+  (result, string) Result.t
 (** Run an XPath location path — or a union of location paths — rooted at
     [context] (normally a document key from {!Mass.Store.documents}).
     [optimize] defaults to [true] (the paper's VQP-OPT; pass [false] for
-    VQP).  Union branches compile and optimize independently; for a union,
-    the plan/optimizer fields report the first branch.  Equivalent to
-    {!prepare} followed by {!execute_prepared}. *)
+    VQP); [profile] (default [false]) collects the per-operator execution
+    profile.  Union branches compile and optimize independently; for a
+    union, the plan/optimizer fields report the first branch.  Equivalent
+    to {!prepare} followed by {!execute_prepared}. *)
 
 val query_doc :
-  ?optimize:bool -> Mass.Store.t -> Mass.Store.doc -> string -> (result, string) Result.t
+  ?optimize:bool ->
+  ?profile:bool ->
+  Mass.Store.t ->
+  Mass.Store.doc ->
+  string ->
+  (result, string) Result.t
 
 val query_store :
   ?optimize:bool ->
@@ -79,3 +102,16 @@ val materialize : Mass.Store.t -> Flex.t list -> Mass.Record.t list
 val explain : ?optimize:bool -> Mass.Store.t -> Mass.Store.doc -> string -> (string, string) Result.t
 (** Cost-annotated plan rendering (paper Figures 6–9 style), including
     the optimizer trace. *)
+
+val explain_analyze :
+  ?optimize:bool ->
+  ?json:bool ->
+  Mass.Store.t ->
+  Mass.Store.doc ->
+  string ->
+  (string, string) Result.t
+(** EXPLAIN ANALYZE: execute the query with profiling on and render the
+    annotated plan tree — per-operator estimated vs actual cardinality,
+    q-error, exclusive timings, page I/O — plus the
+    parse/compile/optimize/execute trace spans, as text or (with [json])
+    a single JSON document. *)

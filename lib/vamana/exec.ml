@@ -19,6 +19,8 @@ and iterator = {
   op : Plan.op;
   child : iterator option;
   layers : layer list;
+  prof : (Profile.ctx * Profile.slot) option;
+      (** profiling slot; [None] on the uninstrumented path *)
   mutable st : [ `Initial | `Fetching | `Out_of_tuples ];
   mutable root_ctx : Flex.t;  (** leaf context (meaningful when [child = None]) *)
   mutable cursor : Store.cursor option;
@@ -29,30 +31,41 @@ let state it = it.st
 
 (* ---- construction ---- *)
 
-let rec build store ~context (op : Plan.op) =
-  let child = Option.map (build store ~context) op.context in
-  let layers = List.map (fun p -> { pred = build_pred store ~context p; seen = 0 }) op.predicates in
-  { store; op; child; layers; st = `Initial; root_ctx = context; cursor = None; generic_queue = [] }
+let rec build ?profile store ~context (op : Plan.op) =
+  let child = Option.map (build ?profile store ~context) op.context in
+  let layers =
+    List.map (fun p -> { pred = build_pred ?profile store ~context p; seen = 0 }) op.predicates
+  in
+  let prof =
+    match profile with
+    | None -> None
+    | Some ctx ->
+        Some (ctx, Profile.slot ctx ~op_id:op.id ~label:(Plan.kind_to_string op))
+  in
+  { store; op; child; layers; prof; st = `Initial; root_ctx = context; cursor = None;
+    generic_queue = [] }
 
-and build_pred store ~context (p : Plan.pred) =
+and build_pred ?profile store ~context (p : Plan.pred) =
   match p with
-  | Plan.Exists sub -> RExists (build store ~context sub)
-  | Plan.Binary (_, cmp, a, b) -> RBinary (cmp, build_operand store ~context a, build_operand store ~context b)
-  | Plan.And (a, b) -> RAnd (build_pred store ~context a, build_pred store ~context b)
-  | Plan.Or (a, b) -> ROr (build_pred store ~context a, build_pred store ~context b)
-  | Plan.Not a -> RNot (build_pred store ~context a)
+  | Plan.Exists sub -> RExists (build ?profile store ~context sub)
+  | Plan.Binary (_, cmp, a, b) ->
+      RBinary (cmp, build_operand ?profile store ~context a, build_operand ?profile store ~context b)
+  | Plan.And (a, b) -> RAnd (build_pred ?profile store ~context a, build_pred ?profile store ~context b)
+  | Plan.Or (a, b) -> ROr (build_pred ?profile store ~context a, build_pred ?profile store ~context b)
+  | Plan.Not a -> RNot (build_pred ?profile store ~context a)
   | Plan.Position (cmp, n) -> RPosition (cmp, n)
   | Plan.Generic e -> RGeneric e
 
-and build_operand store ~context (o : Plan.operand) =
+and build_operand ?profile store ~context (o : Plan.operand) =
   match o with
-  | Plan.Path_operand sub -> RPath (build store ~context sub)
+  | Plan.Path_operand sub -> RPath (build ?profile store ~context sub)
   | Plan.Literal (_, v) -> RLit v
   | Plan.Number_operand f -> RNum f
 
 (* ---- dynamic context setting (Algorithm 2) ---- *)
 
 let rec reset it ctx =
+  (match it.prof with Some (_, s) -> s.Profile.resets <- s.Profile.resets + 1 | None -> ());
   it.st <- `Initial;
   it.cursor <- None;
   it.generic_queue <- [];
@@ -75,6 +88,18 @@ let num_cmp (cmp : Ast.binop) a b =
 let number_of_string store s = Nav.E.to_number store (Xpath.Eval.Str s)
 
 let rec next it : Flex.t option =
+  match it.prof with
+  | None -> next_inner it
+  | Some (ctx, s) ->
+      let before = it.st in
+      let r = Profile.frame ctx s (fun () -> next_inner it) in
+      (if it.st <> before then begin
+         (if before = `Initial then s.Profile.started <- s.Profile.started + 1);
+         if it.st = `Out_of_tuples then s.Profile.exhausted <- s.Profile.exhausted + 1
+       end);
+      r
+
+and next_inner it : Flex.t option =
   match it.st with
   | `Out_of_tuples -> None
   | `Initial | `Fetching -> (
@@ -128,6 +153,9 @@ and next_step it =
 
 and set_cursor it ctx =
   it.st <- `Fetching;
+  (match it.prof with
+  | Some (_, s) -> s.Profile.cursor_opens <- s.Profile.cursor_opens + 1
+  | None -> ());
   List.iter (fun l -> l.seen <- 0) it.layers;
   match it.op.kind with
   | Plan.Step (axis, test) -> it.cursor <- Some (Store.axis_cursor it.store axis test ctx)
@@ -257,9 +285,10 @@ and str_eq cmp x y =
 
 (* ---- whole-plan execution ---- *)
 
-let run_raw store ~context plan =
-  let it = build store ~context plan in
+let run_raw ?profile store ~context plan =
+  let it = build ?profile store ~context plan in
   let rec go acc = match next it with Some k -> go (k :: acc) | None -> List.rev acc in
   go []
 
-let run store ~context plan = List.sort_uniq Flex.compare (run_raw store ~context plan)
+let run ?profile store ~context plan =
+  List.sort_uniq Flex.compare (run_raw ?profile store ~context plan)

@@ -17,15 +17,20 @@ val next : iterator -> Flex.t option
 val reset : iterator -> Flex.t -> unit
 (** Re-root the iterator's leaf context and return it to INITIAL. *)
 
-val build : Mass.Store.t -> context:Flex.t -> Plan.op -> iterator
+val build : ?profile:Profile.ctx -> Mass.Store.t -> context:Flex.t -> Plan.op -> iterator
 (** Instantiate a plan over a store with the given initial context
-    (normally a document key). *)
+    (normally a document key).  When [profile] is given every operator
+    (context chain and predicate sub-plans alike) records its actuals —
+    tuples, [next]/[reset] calls, cursor openings, state transitions,
+    exclusive wall time and page-read deltas — into the context; without
+    it, iterators carry no profiling structures and the hot path is
+    unchanged. *)
 
-val run : Mass.Store.t -> context:Flex.t -> Plan.op -> Flex.t list
+val run : ?profile:Profile.ctx -> Mass.Store.t -> context:Flex.t -> Plan.op -> Flex.t list
 (** Execute to exhaustion; result in document order, duplicate-free (the
     node-{e set} semantics of XPath). *)
 
-val run_raw : Mass.Store.t -> context:Flex.t -> Plan.op -> Flex.t list
+val run_raw : ?profile:Profile.ctx -> Mass.Store.t -> context:Flex.t -> Plan.op -> Flex.t list
 (** Execute without the final sort/deduplication — the raw tuple stream,
     exposing duplicate work that rewrites like the paper's Q2
     duplicate-elimination remove. *)

@@ -9,10 +9,18 @@ type trace_entry = {
   cost_after : int;
 }
 
+type iteration_stat = {
+  duration : float;
+  considered : int;
+  rejected : int;
+  accepted : string option;
+}
+
 type outcome = {
   plan : Plan.op;
   iterations : int;
   trace : trace_entry list;
+  iteration_stats : iteration_stat list;
   cost : Cost.costed;
 }
 
@@ -20,9 +28,11 @@ let max_iterations = 16
 
 let optimize ?(rules = Rewrite.cost_rules) ?stats store ~scope plan =
   let plan = Rewrite.apply_cleanup plan in
-  let rec loop plan iterations trace =
-    if iterations >= max_iterations then finish plan iterations trace
+  let rec loop plan iterations trace stats_acc =
+    if iterations >= max_iterations then finish plan iterations trace stats_acc
     else begin
+      let t0 = Unix.gettimeofday () in
+      let considered = ref 0 and rejected = ref 0 in
       let costed = Cost.estimate ?stats store ~scope plan in
       let current_cost = Cost.total_output costed plan in
       let ordered = Cost.ordered_by_selectivity costed plan in
@@ -41,6 +51,7 @@ let optimize ?(rules = Rewrite.cost_rules) ?stats store ~scope plan =
                         match rule.Rewrite.apply plan ~target:op.Plan.id with
                         | None -> None
                         | Some plan' ->
+                            incr considered;
                             let plan' = Rewrite.apply_cleanup plan' in
                             let costed' = Cost.estimate ?stats store ~scope plan' in
                             let cost' = Cost.total_output costed' plan' in
@@ -51,19 +62,29 @@ let optimize ?(rules = Rewrite.cost_rules) ?stats store ~scope plan =
                                     target = Plan.kind_to_string op;
                                     cost_before = current_cost;
                                     cost_after = cost' } )
-                            else None))
+                            else begin
+                              incr rejected;
+                              None
+                            end))
                   None rules)
           None ordered
+      in
+      let stat accepted =
+        { duration = Unix.gettimeofday () -. t0;
+          considered = !considered;
+          rejected = !rejected;
+          accepted }
       in
       match candidate with
       | Some (plan', entry) ->
           Log.debug (fun m ->
               m "applied %s at %s: cost %d -> %d" entry.rule entry.target entry.cost_before
                 entry.cost_after);
-          loop plan' (iterations + 1) (entry :: trace)
-      | None -> finish plan iterations trace
+          loop plan' (iterations + 1) (entry :: trace) (stat (Some entry.rule) :: stats_acc)
+      | None -> finish plan iterations trace (stat None :: stats_acc)
     end
-  and finish plan iterations trace =
-    { plan; iterations; trace = List.rev trace; cost = Cost.estimate ?stats store ~scope plan }
+  and finish plan iterations trace stats_acc =
+    { plan; iterations; trace = List.rev trace; iteration_stats = List.rev stats_acc;
+      cost = Cost.estimate ?stats store ~scope plan }
   in
-  loop plan 0 []
+  loop plan 0 [] []

@@ -16,10 +16,21 @@ type trace_entry = {
   cost_after : int;
 }
 
+type iteration_stat = {
+  duration : float;  (** seconds spent costing + searching this iteration *)
+  considered : int;  (** rewrites that produced a candidate plan *)
+  rejected : int;  (** candidates whose re-estimated cost increased *)
+  accepted : string option;  (** admitted rule, [None] on the fixpoint iteration *)
+}
+
 type outcome = {
   plan : Plan.op;
   iterations : int;
   trace : trace_entry list;
+  iteration_stats : iteration_stat list;
+      (** one entry per search iteration, including the final fixpoint
+          pass that admitted nothing — the raw material for per-iteration
+          trace spans *)
   cost : Cost.costed;  (** final plan's annotations *)
 }
 

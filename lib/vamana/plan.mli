@@ -77,6 +77,9 @@ val subtree_ops : op -> op list
 val kind_to_string : op -> string
 (** e.g. ["Φ3 parent::person"], ["R1"], ["β5 ="], ["L7 'Yung Flach'"]. *)
 
+val binop_symbol : Xpath.Ast.binop -> string
+(** Display form of a binary operator (["="], ["!="], ["div"], …). *)
+
 val pp : Format.formatter -> op -> unit
 (** Indented plan tree. *)
 

@@ -290,6 +290,40 @@ let test_metrics_render () =
   Alcotest.(check bool) "json has counters" true (contains ~needle:"\"counters\"" json);
   Alcotest.(check bool) "json has io" true (contains ~needle:"\"io\"" json)
 
+let test_metrics_json_escaping () =
+  (* metric names are normally identifiers we mint, but the registry
+     must not produce invalid JSON when handed hostile ones *)
+  let m = Metrics.create () in
+  Metrics.inc m {|quote"backslash\name|};
+  Metrics.inc m "newline\nname";
+  Metrics.inc m "control\x01\ttab";
+  Metrics.observe m "formfeed\012\rreturn" 0.002;
+  let json = Metrics.render_json m in
+  match Vamana.Profile.Json.of_string json with
+  | Error e -> Alcotest.fail ("render_json produced invalid JSON: " ^ e)
+  | Ok v -> (
+      match Vamana.Profile.Json.member "counters" v with
+      | Some (Vamana.Profile.Json.Obj fields) ->
+          Alcotest.(check bool) "hostile name survives round-trip" true
+            (List.mem_assoc {|quote"backslash\name|} fields);
+          Alcotest.(check bool) "newline name survives round-trip" true
+            (List.mem_assoc "newline\nname" fields)
+      | _ -> Alcotest.fail "counters object missing")
+
+let test_profiled_query_bypasses_result_cache () =
+  let _, doc, service = setup () in
+  ignore (keys_of service doc "//person");
+  ignore (keys_of service doc "//person");
+  Alcotest.(check bool) "warm result cache" true (counter service "result_cache_hits" > 0);
+  match Service.query_doc ~profile:true service doc "//person" with
+  | Error e -> Alcotest.fail e
+  | Ok o ->
+      Alcotest.(check bool) "cache read bypassed" true (o.Service.result_cache = `Bypass);
+      Alcotest.(check bool) "profile report present" true
+        (o.Service.result.Vamana.Engine.profile <> None);
+      Alcotest.(check int) "profiled_queries counted" 1
+        (counter service "profiled_queries")
+
 (* ---- query_store error reporting ---- *)
 
 let test_query_store_error_names_document () =
@@ -329,5 +363,8 @@ let suite =
       Alcotest.test_case "store epoch monotone" `Quick test_epoch_monotone;
       Alcotest.test_case "metrics registry" `Quick test_metrics_registry;
       Alcotest.test_case "metrics rendering" `Quick test_metrics_render;
+      Alcotest.test_case "metrics JSON escaping" `Quick test_metrics_json_escaping;
+      Alcotest.test_case "profiled query bypasses result cache" `Quick
+        test_profiled_query_bypasses_result_cache;
       Alcotest.test_case "query_store error names document" `Quick
         test_query_store_error_names_document ] )
