@@ -2,10 +2,12 @@
 
      vamana query   [-f doc.xml | -x MB] [--no-optimize] [-v] QUERY
      vamana explain [-f doc.xml | -x MB] QUERY
-     vamana stats   [-f doc.xml | -x MB]
+     vamana stats   [-f doc.xml | -x MB] [--tags N]
      vamana generate -x MB [-o out.xml]
      vamana serve   [-f doc.xml | -x MB | -s SNAP] [-q queries.txt]
-                    [--repeat N] [--json] ...                        *)
+                    [--repeat N] [--json] [--slow-ms MS] ...
+     vamana events  [-f doc.xml | -x MB | -s SNAP] [-q queries.txt]
+                    [--json] [--follow] [--sample CAT=N] [--ring N]  *)
 
 open Cmdliner
 module Store = Mass.Store
@@ -105,7 +107,29 @@ let run_explain file xmark_mb snapshot analyze json no_optimize query =
       Printf.eprintf "error: %s\n" msg;
       exit 1
 
-let run_stats file xmark_mb snapshot =
+(* fixed-width #-bar for the stats histograms *)
+let bar width n max_n =
+  let len = if max_n <= 0 then 0 else n * width / max_n in
+  String.make (max len (if n > 0 then 1 else 0)) '#'
+
+(* bucket exact fanout counts into 0,1,2,3-4,5-8,... power-of-two ranges *)
+let bucket_fanouts fanouts =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun (f, n) ->
+      let lo, hi =
+        if f <= 2 then (f, f)
+        else
+          let rec go lo = if f <= 2 * lo then (lo + 1, 2 * lo) else go (2 * lo) in
+          go 2
+      in
+      let cur = Option.value ~default:0 (Hashtbl.find_opt tbl (lo, hi)) in
+      Hashtbl.replace tbl (lo, hi) (cur + n))
+    fanouts;
+  Hashtbl.fold (fun k n acc -> (k, n) :: acc) tbl []
+  |> List.sort (fun ((a, _), _) ((b, _), _) -> compare a b)
+
+let run_stats file xmark_mb snapshot top_tags =
   handle_parse_errors @@ fun () ->
   let store, doc = input_doc file xmark_mb snapshot in
   let s = Store.statistics store in
@@ -117,7 +141,47 @@ let run_stats file xmark_mb snapshot =
   Printf.printf "doc index pages   %d (height %d)\n" s.Store.doc_index_pages s.Store.doc_index_height;
   Printf.printf "name index pages  %d\n" s.Store.name_index_pages;
   Printf.printf "value index pages %d\n" s.Store.value_index_pages;
-  Printf.printf "tuples per page   %.1f\n" s.Store.tuples_per_page
+  Printf.printf "tuples per page   %.1f\n" s.Store.tuples_per_page;
+  (* per-tag record counts straight off the name index *)
+  let tags =
+    List.sort (fun (_, a) (_, b) -> compare b a) (Store.name_statistics store)
+  in
+  let shown = List.filteri (fun i _ -> i < top_tags) tags in
+  Printf.printf "\n== per-tag record counts (top %d of %d tags) ==\n"
+    (List.length shown) (List.length tags);
+  let max_n = match shown with (_, n) :: _ -> n | [] -> 0 in
+  List.iter
+    (fun (tag, n) -> Printf.printf "%-24s %9d %s\n" tag n (bar 40 n max_n))
+    shown;
+  (* depth / fanout distributions: one clustered scan *)
+  let st = Store.structure_statistics store doc in
+  Printf.printf "\n== depth histogram (document record = 0, max %d) ==\n" st.Store.s_max_depth;
+  let max_d = List.fold_left (fun acc (_, n) -> max acc n) 0 st.Store.s_depths in
+  List.iter
+    (fun (d, n) -> Printf.printf "%-5d %9d %s\n" d n (bar 40 n max_d))
+    st.Store.s_depths;
+  Printf.printf "\n== fanout histogram (direct sub-records; mean %.1f, max %d) ==\n"
+    st.Store.s_mean_fanout st.Store.s_max_fanout;
+  let buckets = bucket_fanouts st.Store.s_fanouts in
+  let max_f = List.fold_left (fun acc (_, n) -> max acc n) 0 buckets in
+  List.iter
+    (fun ((lo, hi), n) ->
+      let label = if lo = hi then string_of_int lo else Printf.sprintf "%d-%d" lo hi in
+      Printf.printf "%-7s %9d %s\n" label n (bar 40 n max_f))
+    buckets;
+  (* buffer-pool breakdown per index *)
+  Printf.printf "\n== buffer pools ==\n";
+  Printf.printf "%-12s %9s %9s %9s %10s %10s %10s %7s\n" "index" "pages" "resident"
+    "capacity" "logical" "physical" "evictions" "hit";
+  List.iter
+    (fun (p : Store.pool_info) ->
+      Printf.printf "%-12s %9d %9d %9d %10d %10d %10d %6.1f%%\n" p.Store.pool_index
+        p.Store.pool_pages_total p.Store.pool_resident p.Store.pool_capacity
+        p.Store.pool_io.Storage.Stats.logical_reads
+        p.Store.pool_io.Storage.Stats.physical_reads
+        p.Store.pool_io.Storage.Stats.evictions
+        (100. *. Storage.Stats.hit_ratio p.Store.pool_io))
+    (Store.pool_by_index store)
 
 let run_generate mb output seed =
   let text = Xmark.generate_string ?seed:(Option.map Int64.of_int seed) mb in
@@ -156,8 +220,15 @@ let explain_cmd =
           $ no_optimize_arg $ query_arg)
 
 let stats_cmd =
-  Cmd.v (Cmd.info "stats" ~doc:"Show storage statistics")
-    Term.(const run_stats $ file_arg $ xmark_arg $ snapshot_arg)
+  let tags_arg =
+    Arg.(value & opt int 20
+         & info [ "tags" ] ~docv:"N" ~doc:"Show the N most frequent tags.")
+  in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:"Show storage statistics: record counts, per-tag counts, depth and fanout \
+             histograms, buffer-pool breakdown")
+    Term.(const run_stats $ file_arg $ xmark_arg $ snapshot_arg $ tags_arg)
 
 let generate_cmd =
   let mb = Arg.(value & opt float 1.0 & info [ "x"; "xmark" ] ~docv:"MB" ~doc:"Document size.") in
@@ -205,12 +276,16 @@ let is_query line =
   String.length line > 0 && line.[0] <> '#'
 
 let run_serve file xmark_mb snapshot queries_file repeat no_optimize plan_cap result_cap json
-    quiet =
+    quiet slow_ms =
   handle_parse_errors @@ fun () ->
   let store, doc = input_doc file xmark_mb snapshot in
   let service =
+    (* slow-query logging is opt-in on the CLI: without --slow-ms the
+       threshold is infinite and the service log stays empty *)
     Vamana_service.Service.create ~plan_cache_capacity:plan_cap
-      ~result_cache_capacity:result_cap ~optimize:(not no_optimize) store
+      ~result_cache_capacity:result_cap ~optimize:(not no_optimize)
+      ~slow_threshold:(if slow_ms > 0. then slow_ms /. 1000. else infinity)
+      store
   in
   let queries = List.filter is_query (read_queries queries_file) in
   if queries = [] then begin
@@ -250,6 +325,20 @@ let run_serve file xmark_mb snapshot queries_file repeat no_optimize plan_cap re
             Printf.eprintf "%-44s error: %s\n" q msg)
       queries
   done;
+  (if slow_ms > 0. && not json then begin
+     let slow = Vamana_service.Service.slow_queries service in
+     Printf.printf "\n== slow queries (>= %.1f ms; %d logged) ==\n" slow_ms (List.length slow);
+     if slow <> [] then
+       Printf.printf "%-44s %10s %8s %6s %6s\n" "query" "ms" "results" "plan" "result";
+     List.iter
+       (fun (sq : Vamana_service.Service.slow_query) ->
+         Printf.printf "%-44s %10.3f %8d %6s %6s\n" sq.Vamana_service.Service.sq_query
+           (sq.Vamana_service.Service.sq_total_time *. 1000.)
+           sq.Vamana_service.Service.sq_results
+           (cache_tag sq.Vamana_service.Service.sq_plan_cache)
+           (cache_tag sq.Vamana_service.Service.sq_result_cache))
+       slow
+   end);
   let snapshot_out =
     if json then Vamana_service.Service.snapshot_json service
     else "\n== metrics snapshot ==\n" ^ Vamana_service.Service.snapshot_text service
@@ -280,11 +369,121 @@ let serve_cmd =
   in
   let json_arg = Arg.(value & flag & info [ "json" ] ~doc:"Emit the metrics snapshot as JSON.") in
   let quiet_arg = Arg.(value & flag & info [ "quiet" ] ~doc:"Suppress per-query output.") in
+  let slow_ms_arg =
+    Arg.(value & opt float 0.0
+         & info [ "slow-ms" ] ~docv:"MS"
+             ~doc:"Log queries slower than MS milliseconds and print them (with their cache \
+                   outcomes) after the batch. Default: off.")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:"Serve a query batch through the cached, metered query service")
     Term.(const run_serve $ file_arg $ xmark_arg $ snapshot_arg $ queries_arg $ repeat_arg
-          $ no_optimize_arg $ plan_cap_arg $ result_cap_arg $ json_arg $ quiet_arg)
+          $ no_optimize_arg $ plan_cap_arg $ result_cap_arg $ json_arg $ quiet_arg
+          $ slow_ms_arg)
+
+(* ---- events: run a batch with the telemetry bus attached ---- *)
+
+let run_events file xmark_mb snapshot queries_file repeat no_optimize json follow slow_ms
+    samples ring_cap =
+  handle_parse_errors @@ fun () ->
+  let store, doc = input_doc file xmark_mb snapshot in
+  let service =
+    Vamana_service.Service.create ~optimize:(not no_optimize)
+      ~slow_threshold:
+        (if slow_ms > 0. then slow_ms /. 1000.
+         else Vamana_service.Service.default_slow_threshold)
+      store
+  in
+  let queries = List.filter is_query (read_queries queries_file) in
+  if queries = [] then begin
+    Printf.eprintf "no queries (one XPath per line; '#' comments)\n";
+    exit 1
+  end;
+  Obs.reset ();
+  List.iter (fun (cat, n) -> Obs.set_sample_rate cat n) samples;
+  let render = if json then Obs.to_json_string else Obs.to_text in
+  (* --follow streams through a live sink; otherwise events collect in
+     the ring and are drained once the batch is done *)
+  let sink =
+    if follow then Some (Obs.attach_sink (fun e -> print_endline (render e)))
+    else begin
+      Obs.attach_ring ~capacity:ring_cap ();
+      None
+    end
+  in
+  let failures = ref 0 in
+  for _round = 1 to max 1 repeat do
+    List.iter
+      (fun q ->
+        match Vamana_service.Service.query service ~context:doc.Store.doc_key q with
+        | Ok _ -> ()
+        | Error msg ->
+            incr failures;
+            Printf.eprintf "%s error: %s\n" q msg
+        | exception e ->
+            incr failures;
+            Printf.eprintf "%s error: %s\n" q (Printexc.to_string e))
+      queries
+  done;
+  let drained =
+    match sink with
+    | Some s ->
+        Obs.detach_sink s;
+        None
+    | None ->
+        let events = Obs.drain () in
+        List.iter (fun e -> print_endline (render e)) events;
+        Some (List.length events)
+  in
+  let overwritten = Obs.dropped () in
+  let sampled = Obs.sampled_out () in
+  Obs.reset ();
+  (match drained with
+  | Some n ->
+      Printf.eprintf "-- %d events drained (%d overwritten, %d sampled out)\n" n overwritten
+        sampled
+  | None -> Printf.eprintf "-- follow finished (%d events sampled out)\n" sampled);
+  if !failures > 0 then begin
+    Printf.eprintf "%d of %d queries failed\n" !failures (List.length queries * max 1 repeat);
+    exit 1
+  end
+
+let events_cmd =
+  let queries_arg =
+    Arg.(value & opt (some file) None
+         & info [ "q"; "queries" ] ~docv:"FILE"
+             ~doc:"Query batch, one XPath per line ('#' starts a comment). Default: stdin.")
+  in
+  let repeat_arg =
+    Arg.(value & opt int 1 & info [ "r"; "repeat" ] ~docv:"N" ~doc:"Run the batch N times.")
+  in
+  let json_arg = Arg.(value & flag & info [ "json" ] ~doc:"Render events as JSON lines.") in
+  let follow_arg =
+    Arg.(value & flag
+         & info [ "follow" ]
+             ~doc:"Stream events live as the batch runs instead of draining the ring buffer \
+                   at the end.")
+  in
+  let slow_ms_arg =
+    Arg.(value & opt float 0.0
+         & info [ "slow-ms" ] ~docv:"MS"
+             ~doc:"Slow-query threshold in milliseconds (default: the service default, 100).")
+  in
+  let sample_arg =
+    Arg.(value & opt_all (pair ~sep:'=' string int) []
+         & info [ "sample" ] ~docv:"CATEGORY=N"
+             ~doc:"Keep one in N events of CATEGORY (repeatable).")
+  in
+  let ring_arg =
+    Arg.(value & opt int Obs.default_ring_capacity
+         & info [ "ring" ] ~docv:"N" ~doc:"Ring buffer capacity.")
+  in
+  Cmd.v
+    (Cmd.info "events"
+       ~doc:"Run a query batch with the telemetry bus attached and print its events")
+    Term.(const run_events $ file_arg $ xmark_arg $ snapshot_arg $ queries_arg $ repeat_arg
+          $ no_optimize_arg $ json_arg $ follow_arg $ slow_ms_arg $ sample_arg $ ring_arg)
 
 let run_save file xmark_mb output =
   handle_parse_errors @@ fun () ->
@@ -301,4 +500,4 @@ let save_cmd =
 
 let () =
   let info = Cmd.info "vamana" ~version:"1.0.0" ~doc:"Cost-driven XPath engine over the MASS storage structure" in
-  exit (Cmd.eval (Cmd.group info [ query_cmd; xquery_cmd; explain_cmd; stats_cmd; generate_cmd; save_cmd; serve_cmd ]))
+  exit (Cmd.eval (Cmd.group info [ query_cmd; xquery_cmd; explain_cmd; stats_cmd; generate_cmd; save_cmd; serve_cmd; events_cmd ]))

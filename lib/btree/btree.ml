@@ -16,9 +16,9 @@ module Make (K : KEY) = struct
 
   module P = Storage.Pager
 
-  let create ?(order = 64) ?pool_pages () =
+  let create ?label ?(order = 64) ?pool_pages () =
     if order < 4 then invalid_arg "Btree.create: order < 4";
-    let pager = P.create ?pool_pages () in
+    let pager = P.create ?label ?pool_pages () in
     let root = P.alloc pager (Leaf { keys = [||]; vals = [||]; prev = nil; next = nil }) in
     { pager; root; order }
 
@@ -316,6 +316,8 @@ module Make (K : KEY) = struct
 
   let stats t = P.stats t.pager
   let page_count t = P.page_count t.pager
+  let resident_count t = P.resident_count t.pager
+  let pool_pages t = P.pool_pages t.pager
 
   let check_invariants t =
     let fail fmt = Format.kasprintf failwith fmt in

@@ -30,9 +30,10 @@ end
 module Make (K : KEY) : sig
   type 'v t
 
-  val create : ?order:int -> ?pool_pages:int -> unit -> 'v t
+  val create : ?label:string -> ?order:int -> ?pool_pages:int -> unit -> 'v t
   (** [order] is the maximum number of entries per node (default 64);
-      [pool_pages] sizes the buffer pool.
+      [pool_pages] sizes the buffer pool; [label] names the underlying
+      pager in telemetry events and introspection output.
       @raise Invalid_argument if [order < 4]. *)
 
   val length : 'v t -> int
@@ -99,6 +100,12 @@ module Make (K : KEY) : sig
 
   val stats : 'v t -> Storage.Stats.t
   val page_count : 'v t -> int
+
+  val resident_count : 'v t -> int
+  (** Pages currently resident in the buffer pool. *)
+
+  val pool_pages : 'v t -> int
+  (** Configured buffer-pool capacity in pages. *)
 
   val check_invariants : 'v t -> unit
   (** Validate structural invariants (sortedness, partition bounds, exact

@@ -40,9 +40,9 @@ type t = {
 
 let create ?pool_pages ?order () =
   {
-    doc_index = DocTree.create ?order ?pool_pages ();
-    name_index = TagTree.create ?order ?pool_pages ();
-    value_index = TagTree.create ?order ?pool_pages ();
+    doc_index = DocTree.create ~label:"doc_index" ?order ?pool_pages ();
+    name_index = TagTree.create ~label:"name_index" ?order ?pool_pages ();
+    value_index = TagTree.create ~label:"value_index" ?order ?pool_pages ();
     docs = [];
     next_doc_id = 0;
     epoch = 0;
@@ -909,6 +909,41 @@ type statistics = {
   io : Storage.Stats.t;
 }
 
+(* live per-index counters: the mutable Stats records of each pager, so
+   callers snapshot with [Stats.copy] and diff around a query to
+   attribute page traffic to an individual index *)
+let io_by_index t =
+  [ ("doc_index", DocTree.stats t.doc_index);
+    ("name_index", TagTree.stats t.name_index);
+    ("value_index", TagTree.stats t.value_index) ]
+
+type pool_info = {
+  pool_index : string;
+  pool_capacity : int;  (** configured pool size, pages *)
+  pool_resident : int;
+  pool_pages_total : int;  (** live pages, resident or not *)
+  pool_io : Storage.Stats.t;  (** snapshot, not live *)
+}
+
+let pool_by_index t =
+  [ { pool_index = "doc_index";
+      pool_capacity = DocTree.pool_pages t.doc_index;
+      pool_resident = DocTree.resident_count t.doc_index;
+      pool_pages_total = DocTree.page_count t.doc_index;
+      pool_io = Storage.Stats.copy (DocTree.stats t.doc_index) };
+    { pool_index = "name_index";
+      pool_capacity = TagTree.pool_pages t.name_index;
+      pool_resident = TagTree.resident_count t.name_index;
+      pool_pages_total = TagTree.page_count t.name_index;
+      pool_io = Storage.Stats.copy (TagTree.stats t.name_index) };
+    { pool_index = "value_index";
+      pool_capacity = TagTree.pool_pages t.value_index;
+      pool_resident = TagTree.resident_count t.value_index;
+      pool_pages_total = TagTree.page_count t.value_index;
+      pool_io = Storage.Stats.copy (TagTree.stats t.value_index) } ]
+
+let document_of_key = doc_of_key
+
 let io_stats t =
   let acc = Storage.Stats.create () in
   let add (s : Storage.Stats.t) =
@@ -927,6 +962,57 @@ let reset_io_stats t =
   Storage.Stats.reset (DocTree.stats t.doc_index);
   Storage.Stats.reset (TagTree.stats t.name_index);
   Storage.Stats.reset (TagTree.stats t.value_index)
+
+type structure = {
+  s_max_depth : int;
+  s_depths : (int * int) list;
+  s_fanouts : (int * int) list;
+  s_max_fanout : int;
+  s_mean_fanout : float;
+}
+
+(* one clustered scan; fanout falls out of a stack of open containers
+   (document-order means every record closes all deeper frames first) *)
+let structure_statistics t doc =
+  let depth0 = Flex.depth doc.doc_key in
+  let depths = Hashtbl.create 32 in
+  let fanouts = Hashtbl.create 64 in
+  let bump tbl k =
+    Hashtbl.replace tbl k (1 + Option.value ~default:0 (Hashtbl.find_opt tbl k))
+  in
+  let stack = ref [] in
+  let rec close_to d =
+    match !stack with
+    | (sd, n) :: rest when sd >= d ->
+        bump fanouts !n;
+        stack := rest;
+        close_to d
+    | _ -> ()
+  in
+  iter_document t doc (fun k (r : Record.t) ->
+      let d = Flex.depth k in
+      bump depths (d - depth0);
+      close_to d;
+      (match !stack with (_, n) :: _ -> incr n | [] -> ());
+      match r.Record.kind with
+      | Record.Element | Record.Document -> stack := (d, ref 0) :: !stack
+      | Record.Attribute | Record.Text | Record.Comment | Record.Pi -> ());
+  close_to depth0;
+  let sorted tbl =
+    Hashtbl.fold (fun k n acc -> (k, n) :: acc) tbl []
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+  in
+  let s_depths = sorted depths and s_fanouts = sorted fanouts in
+  let containers = List.fold_left (fun acc (_, n) -> acc + n) 0 s_fanouts in
+  let children = List.fold_left (fun acc (f, n) -> acc + (f * n)) 0 s_fanouts in
+  {
+    s_max_depth = List.fold_left (fun acc (d, _) -> max acc d) 0 s_depths;
+    s_depths;
+    s_fanouts;
+    s_max_fanout = List.fold_left (fun acc (f, _) -> max acc f) 0 s_fanouts;
+    s_mean_fanout =
+      (if containers = 0 then 0.0 else float_of_int children /. float_of_int containers);
+  }
 
 let statistics t =
   let records = total_records t in

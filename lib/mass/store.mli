@@ -203,3 +203,40 @@ val io_stats : t -> Storage.Stats.t
 (** Aggregate snapshot of the three pagers' counters. *)
 
 val reset_io_stats : t -> unit
+
+val io_by_index : t -> (string * Storage.Stats.t) list
+(** The {e live} counter records of each index pager
+    ([doc_index]/[name_index]/[value_index]) — snapshot with
+    {!Storage.Stats.copy} and {!Storage.Stats.diff} around a query to
+    attribute page traffic to an individual index. *)
+
+type pool_info = {
+  pool_index : string;
+  pool_capacity : int;  (** configured pool size, pages *)
+  pool_resident : int;
+  pool_pages_total : int;  (** live pages, resident or not *)
+  pool_io : Storage.Stats.t;  (** snapshot, not live *)
+}
+
+val pool_by_index : t -> pool_info list
+(** Buffer-pool occupancy and traffic per index — the [vamana stats]
+    breakdown. *)
+
+val document_of_key : t -> Flex.t -> doc option
+(** The document whose top-level FLEX component prefixes the key. *)
+
+(** {1 Structure introspection} *)
+
+type structure = {
+  s_max_depth : int;  (** deepest record, document record = 0 *)
+  s_depths : (int * int) list;  (** depth → record count, ascending *)
+  s_fanouts : (int * int) list;
+      (** direct sub-record count (attributes included) → number of
+          element/document records with that fanout, ascending *)
+  s_max_fanout : int;
+  s_mean_fanout : float;
+}
+
+val structure_statistics : t -> doc -> structure
+(** Depth and fanout distributions of one document: a single clustered
+    scan (charged to the pool like any scan). *)

@@ -1,0 +1,244 @@
+type severity = Debug | Info | Warn | Error
+
+type value =
+  | Int of int
+  | Float of float
+  | Str of string
+  | Bool of bool
+
+type event = {
+  seq : int;
+  ts : float;
+  severity : severity;
+  category : string;
+  name : string;
+  attrs : (string * value) list;
+}
+
+let severity_to_string = function
+  | Debug -> "debug"
+  | Info -> "info"
+  | Warn -> "warn"
+  | Error -> "error"
+
+let severity_of_string = function
+  | "debug" -> Some Debug
+  | "info" -> Some Info
+  | "warn" -> Some Warn
+  | "error" -> Some Error
+  | _ -> None
+
+(* ---- bus state ----
+
+   One process-wide bus.  [active_flag] is the only word the hot path
+   reads; it is true exactly while a ring or at least one sink is
+   attached, so instrumentation sites guarded by [active ()] cost one
+   load-and-branch when the process is unobserved. *)
+
+type sink = { id : int; fn : event -> unit }
+
+type ring = {
+  slots : event option array;
+  mutable head : int;  (* next write position *)
+  mutable length : int;
+  mutable dropped : int;
+}
+
+let default_ring_capacity = 4096
+
+let active_flag = ref false
+let ring_state : ring option ref = ref None
+let sinks : sink list ref = ref []
+let next_sink_id = ref 0
+let seq_counter = ref 0
+let sampled_out_count = ref 0
+
+(* per-category sampling: rate n keeps every n-th event; [tick] counts
+   emissions within the current window *)
+type sampler = { mutable rate : int; mutable tick : int }
+
+let samplers : (string, sampler) Hashtbl.t = Hashtbl.create 16
+
+(* the bus clock starts on first use; timestamps are seconds since then,
+   monotone because they come from one process-local origin *)
+let epoch = ref nan
+let now () =
+  let t = Unix.gettimeofday () in
+  if Float.is_nan !epoch then epoch := t;
+  t -. !epoch
+
+let refresh_active () = active_flag := !ring_state <> None || !sinks <> []
+let active () = !active_flag
+
+(* ---- sampling ---- *)
+
+let set_sample_rate category n =
+  if n < 1 then invalid_arg "Obs.set_sample_rate: rate < 1";
+  match Hashtbl.find_opt samplers category with
+  | Some s ->
+      s.rate <- n;
+      s.tick <- 0
+  | None -> Hashtbl.add samplers category { rate = n; tick = 0 }
+
+let sample_rate category =
+  match Hashtbl.find_opt samplers category with Some s -> s.rate | None -> 1
+
+let sampled_out () = !sampled_out_count
+
+(* keep the first event of each window so a freshly attached subscriber
+   sees every category immediately *)
+let sample_pass category =
+  match Hashtbl.find_opt samplers category with
+  | None -> true
+  | Some s ->
+      if s.rate <= 1 then true
+      else begin
+        let keep = s.tick = 0 in
+        s.tick <- (s.tick + 1) mod s.rate;
+        if not keep then incr sampled_out_count;
+        keep
+      end
+
+(* ---- ring ---- *)
+
+let attach_ring ?(capacity = default_ring_capacity) () =
+  if capacity < 1 then invalid_arg "Obs.attach_ring: capacity < 1";
+  ring_state := Some { slots = Array.make capacity None; head = 0; length = 0; dropped = 0 };
+  refresh_active ()
+
+let detach_ring () =
+  ring_state := None;
+  refresh_active ()
+
+let ring_push r e =
+  let cap = Array.length r.slots in
+  r.slots.(r.head) <- Some e;
+  r.head <- (r.head + 1) mod cap;
+  if r.length < cap then r.length <- r.length + 1 else r.dropped <- r.dropped + 1
+
+let drain () =
+  match !ring_state with
+  | None -> []
+  | Some r ->
+      let cap = Array.length r.slots in
+      let start = (r.head - r.length + cap * 2) mod cap in
+      let out =
+        List.init r.length (fun i ->
+            match r.slots.((start + i) mod cap) with
+            | Some e -> e
+            | None -> assert false)
+      in
+      Array.fill r.slots 0 cap None;
+      r.head <- 0;
+      r.length <- 0;
+      out
+
+let ring_length () = match !ring_state with None -> 0 | Some r -> r.length
+let dropped () = match !ring_state with None -> 0 | Some r -> r.dropped
+
+(* ---- sinks ---- *)
+
+let attach_sink fn =
+  let s = { id = !next_sink_id; fn } in
+  incr next_sink_id;
+  sinks := !sinks @ [ s ];
+  refresh_active ();
+  s
+
+let detach_sink s =
+  sinks := List.filter (fun s' -> s'.id <> s.id) !sinks;
+  refresh_active ()
+
+(* ---- emission ---- *)
+
+let emit ?(severity = Info) ~category name attrs =
+  if !active_flag && sample_pass category then begin
+    let e = { seq = !seq_counter; ts = now (); severity; category; name; attrs } in
+    incr seq_counter;
+    (match !ring_state with Some r -> ring_push r e | None -> ());
+    List.iter (fun s -> s.fn e) !sinks
+  end
+
+let time_span ?severity ~category name attrs f =
+  if !active_flag then begin
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    let dur_ms = (Unix.gettimeofday () -. t0) *. 1000. in
+    emit ?severity ~category name (attrs @ [ ("dur_ms", Float dur_ms) ]);
+    r
+  end
+  else f ()
+
+(* ---- JSON / text rendering ----
+
+   Hand-rolled like Metrics: names are identifiers we mint, but query
+   text rides in attributes, so escape fully. *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\b' -> Buffer.add_string buf "\\b"
+      | '\012' -> Buffer.add_string buf "\\f"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let json_float f =
+  if not (Float.is_finite f) then "null"
+  else if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.1f" f
+  else Printf.sprintf "%.6g" f
+
+let value_to_json = function
+  | Int n -> string_of_int n
+  | Float f -> json_float f
+  | Str s -> "\"" ^ json_escape s ^ "\""
+  | Bool b -> if b then "true" else "false"
+
+let to_json_string e =
+  let attrs =
+    String.concat ","
+      (List.map (fun (k, v) -> Printf.sprintf "\"%s\":%s" (json_escape k) (value_to_json v)) e.attrs)
+  in
+  Printf.sprintf "{\"seq\":%d,\"ts_ms\":%s,\"severity\":\"%s\",\"category\":\"%s\",\"name\":\"%s\",\"attrs\":{%s}}"
+    e.seq
+    (json_float (e.ts *. 1000.))
+    (severity_to_string e.severity)
+    (json_escape e.category) (json_escape e.name) attrs
+
+let value_to_text = function
+  | Int n -> string_of_int n
+  | Float f -> Printf.sprintf "%.3f" f
+  | Str s -> s
+  | Bool b -> string_of_bool b
+
+let to_text e =
+  Printf.sprintf "%10.3f %-5s %-10s %-16s %s" (e.ts *. 1000.)
+    (severity_to_string e.severity)
+    e.category e.name
+    (String.concat " " (List.map (fun (k, v) -> k ^ "=" ^ value_to_text v) e.attrs))
+
+let attach_jsonl oc =
+  attach_sink (fun e ->
+      output_string oc (to_json_string e);
+      output_char oc '\n';
+      flush oc)
+
+(* ---- lifecycle ---- *)
+
+let reset () =
+  ring_state := None;
+  sinks := [];
+  Hashtbl.reset samplers;
+  sampled_out_count := 0;
+  seq_counter := 0;
+  epoch := nan;
+  refresh_active ()

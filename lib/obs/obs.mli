@@ -1,0 +1,128 @@
+(** Telemetry event bus: the always-on observability spine.
+
+    One process-wide bus carries structured events — log records, counter
+    bumps and timing spans — from every layer (storage buffer pools, the
+    optimizer, the engine, the query service) to whatever subscribers are
+    attached: a bounded ring buffer (drained by [vamana events]), a JSONL
+    sink, or arbitrary callbacks.
+
+    The design constraint is the hot path.  With no subscriber attached
+    {!active} is a single load-and-branch, and instrumentation sites are
+    written as
+
+    {[ if Obs.active () then Obs.emit ~category:"storage" "eviction" [...] ]}
+
+    so an unobserved process pays one predictable branch per site — no
+    event record, no attribute list, no timestamp syscall.  Events are
+    only materialized while someone is listening.
+
+    Per-category sampling thins high-frequency categories (page-level
+    storage events under a scan) without touching low-frequency ones
+    (slow queries): a sample rate of [n] keeps every [n]-th event of that
+    category, counting the skipped ones so drains can report what was
+    thinned. *)
+
+type severity = Debug | Info | Warn | Error
+
+type value =
+  | Int of int
+  | Float of float
+  | Str of string
+  | Bool of bool
+
+type event = {
+  seq : int;  (** process-wide emission sequence number, from 0 *)
+  ts : float;  (** monotonic seconds since the bus first woke up *)
+  severity : severity;
+  category : string;  (** e.g. ["storage"], ["optimizer"], ["query"], ["service"] *)
+  name : string;  (** event name within the category *)
+  attrs : (string * value) list;
+}
+
+val severity_to_string : severity -> string
+val severity_of_string : string -> severity option
+
+(** {1 Hot-path gate} *)
+
+val active : unit -> bool
+(** [true] iff at least one subscriber (ring or sink) is attached.  This
+    is the single branch instrumentation sites pay when nobody listens;
+    guard every [emit] with it so attribute lists are never built in
+    vain. *)
+
+val emit :
+  ?severity:severity -> category:string -> string -> (string * value) list -> unit
+(** Emit an event to every subscriber (after the category's sampling
+    decision).  A no-op when {!active} is [false].  [severity] defaults
+    to [Info]. *)
+
+val time_span :
+  ?severity:severity ->
+  category:string ->
+  string ->
+  (string * value) list ->
+  (unit -> 'a) ->
+  'a
+(** [time_span ~category name attrs f] runs [f] and, if the bus is
+    active, emits the event with a [dur_ms] attribute appended.  When
+    inactive it costs the one branch and runs [f] directly. *)
+
+(** {1 Sampling} *)
+
+val set_sample_rate : string -> int -> unit
+(** Keep one event in [n] for the category (default 1 = keep all).
+    @raise Invalid_argument if [n < 1]. *)
+
+val sample_rate : string -> int
+
+val sampled_out : unit -> int
+(** Events suppressed by sampling since the last {!reset}. *)
+
+(** {1 Ring buffer} *)
+
+val attach_ring : ?capacity:int -> unit -> unit
+(** Start collecting events into the process ring buffer (default
+    capacity {!default_ring_capacity}).  Re-attaching resizes and clears
+    the ring. *)
+
+val detach_ring : unit -> unit
+val default_ring_capacity : int
+
+val drain : unit -> event list
+(** Remove and return the ring's contents, oldest first. *)
+
+val ring_length : unit -> int
+
+val dropped : unit -> int
+(** Events overwritten because the ring was full, since attach/reset. *)
+
+(** {1 Sinks} *)
+
+type sink
+
+val attach_sink : (event -> unit) -> sink
+(** Subscribe a callback to every (post-sampling) event.  Exceptions
+    raised by the callback propagate to the emitter — sinks are trusted
+    plumbing, not user code. *)
+
+val detach_sink : sink -> unit
+
+val attach_jsonl : out_channel -> sink
+(** A sink writing each event as one JSON line (see {!to_json_string})
+    to the channel, flushing per event so [--follow] output is live. *)
+
+(** {1 JSON} *)
+
+val to_json_string : event -> string
+(** One-line JSON object:
+    [{"seq":0,"ts_ms":1.25,"severity":"info","category":"storage",
+      "name":"eviction","attrs":{...}}]. *)
+
+val to_text : event -> string
+(** One-line human rendering for [vamana events] without [--json]. *)
+
+(** {1 Lifecycle} *)
+
+val reset : unit -> unit
+(** Detach everything, clear the ring, sampling tables and counters
+    (test support; also gives [vamana events] a clean slate). *)

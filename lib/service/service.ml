@@ -9,12 +9,28 @@ type plan_key = { src : string; scope : string; optimized : bool }
 
 type result_entry = { epoch : int; cached : Engine.result }
 
+type cache = [ `Hit | `Miss | `Stale | `Bypass ]
+
+type slow_query = {
+  sq_query : string;
+  sq_total_time : float;  (** end-to-end seconds of the offending run *)
+  sq_plan_cache : cache;
+  sq_result_cache : cache;
+  sq_results : int;
+  sq_profile : Vamana.Profile.report option;
+  sq_at : float;  (** [Unix.gettimeofday] at detection *)
+}
+
 type t = {
   store : Store.t;
   optimize : bool;
   metrics : Metrics.t;
   plans : (plan_key, Engine.prepared) Lru.t;
   results : (plan_key * string, result_entry) Lru.t option;
+  mutable slow_threshold : float;  (* seconds; [infinity] disables *)
+  slow_profile : bool;
+  slow_log : slow_query Queue.t;  (* bounded ring, oldest dropped *)
+  slow_log_capacity : int;
 }
 
 (* the full counter schema, registered up front so snapshots always show
@@ -24,9 +40,14 @@ let counter_names =
     "plan_cache_hits"; "plan_cache_misses"; "plan_cache_evictions";
     "result_cache_hits"; "result_cache_misses"; "result_cache_stale";
     "result_cache_evictions"; "profiled_queries"; "optimizer_iterations";
-    "optimizer_rules_accepted"; "optimizer_rules_rejected"; "optimizer_rules_considered" ]
+    "optimizer_rules_accepted"; "optimizer_rules_rejected"; "optimizer_rules_considered";
+    "slow_queries" ]
 
-let create ?(plan_cache_capacity = 128) ?(result_cache_capacity = 512) ?(optimize = true) store =
+let default_slow_threshold = 0.1
+
+let create ?(plan_cache_capacity = 128) ?(result_cache_capacity = 512) ?(optimize = true)
+    ?(slow_threshold = default_slow_threshold) ?(slow_profile = true)
+    ?(slow_log_capacity = 128) store =
   let metrics = Metrics.create () in
   List.iter (fun name -> Metrics.inc ~by:0 metrics name) counter_names;
   {
@@ -37,12 +58,17 @@ let create ?(plan_cache_capacity = 128) ?(result_cache_capacity = 512) ?(optimiz
     results =
       (if result_cache_capacity = 0 then None
        else Some (Lru.create ~capacity:result_cache_capacity));
+    slow_threshold;
+    slow_profile;
+    slow_log = Queue.create ();
+    slow_log_capacity = max 1 slow_log_capacity;
   }
 
 let store t = t.store
 let metrics t = t.metrics
-
-type cache = [ `Hit | `Miss | `Stale | `Bypass ]
+let slow_threshold t = t.slow_threshold
+let set_slow_threshold t s = t.slow_threshold <- s
+let slow_queries t = List.rev (Queue.fold (fun acc sq -> sq :: acc) [] t.slow_log)
 
 type outcome = {
   result : Engine.result;
@@ -153,6 +179,52 @@ let execute t ~profile ~context key p =
         Metrics.inc t.metrics "result_cache_evictions");
   result
 
+let cache_tag = function
+  | `Hit -> "hit"
+  | `Miss -> "miss"
+  | `Stale -> "stale"
+  | `Bypass -> "bypass"
+
+(* always-on slow-query log: record the query, its cache outcomes, and —
+   when the offending run carried no instrumentation — re-execute the
+   cached plan with profiling so the entry has an operator tree to read *)
+let note_slow t ~context src (o : outcome) =
+  if o.total_time >= t.slow_threshold then begin
+    Metrics.inc t.metrics "slow_queries";
+    let profile =
+      match o.result.Engine.profile with
+      | Some _ as p -> p
+      | None ->
+          if not t.slow_profile then None
+          else
+            let scope = Engine.scope_of_context context in
+            let key = plan_key t ~scope src in
+            (match Lru.find t.plans key with
+            | Some p ->
+                (Engine.execute_prepared ~profile:true t.store ~context p).Engine.profile
+            | None -> None)
+    in
+    let entry =
+      { sq_query = src;
+        sq_total_time = o.total_time;
+        sq_plan_cache = o.plan_cache;
+        sq_result_cache = o.result_cache;
+        sq_results = List.length o.result.Engine.keys;
+        sq_profile = profile;
+        sq_at = Unix.gettimeofday () }
+    in
+    if Queue.length t.slow_log >= t.slow_log_capacity then ignore (Queue.pop t.slow_log);
+    Queue.push entry t.slow_log;
+    if Obs.active () then
+      Obs.emit ~severity:Obs.Warn ~category:"service" "slow_query"
+        [ ("query", Obs.Str src);
+          ("total_ms", Obs.Float (o.total_time *. 1000.));
+          ("plan_cache", Obs.Str (cache_tag o.plan_cache));
+          ("result_cache", Obs.Str (cache_tag o.result_cache));
+          ("results", Obs.Int entry.sq_results);
+          ("profiled", Obs.Bool (profile <> None)) ]
+  end
+
 let query ?(profile = false) t ~context src =
   let outcome, total_time =
     time (fun () ->
@@ -193,7 +265,22 @@ let query ?(profile = false) t ~context src =
                 Ok { result; plan_cache; result_cache; total_time = 0.0 }))
   in
   Metrics.observe t.metrics "query" total_time;
-  Result.map (fun o -> { o with total_time }) outcome
+  let outcome = Result.map (fun o -> { o with total_time }) outcome in
+  (match outcome with
+  | Ok o ->
+      note_slow t ~context src o;
+      if Obs.active () then
+        Obs.emit ~category:"service" "query"
+          [ ("query", Obs.Str src);
+            ("total_ms", Obs.Float (total_time *. 1000.));
+            ("plan_cache", Obs.Str (cache_tag o.plan_cache));
+            ("result_cache", Obs.Str (cache_tag o.result_cache));
+            ("results", Obs.Int (List.length o.result.Engine.keys)) ]
+  | Error msg ->
+      if Obs.active () then
+        Obs.emit ~severity:Obs.Error ~category:"service" "query_error"
+          [ ("query", Obs.Str src); ("error", Obs.Str msg) ]);
+  outcome
 
 let query_doc ?profile t doc src = query ?profile t ~context:doc.Store.doc_key src
 

@@ -31,24 +31,35 @@
 
 type t
 
+type cache = [ `Hit  (** served from cache *)
+             | `Miss  (** not present; computed and inserted *)
+             | `Stale  (** present but from an older store epoch; recomputed *)
+             | `Bypass  (** cache disabled *) ]
+
 val create :
   ?plan_cache_capacity:int ->
   ?result_cache_capacity:int ->
   ?optimize:bool ->
+  ?slow_threshold:float ->
+  ?slow_profile:bool ->
+  ?slow_log_capacity:int ->
   Mass.Store.t ->
   t
 (** [plan_cache_capacity] defaults to 128; [result_cache_capacity]
     defaults to 512, and [0] disables result caching entirely;
     [optimize] (default [true]) selects VQP-OPT vs VQP plans for every
-    query the service prepares. *)
+    query the service prepares.  [slow_threshold] (seconds, default
+    0.1; [infinity] disables) feeds the always-on slow-query log, a
+    bounded ring of the last [slow_log_capacity] (default 128) slow
+    queries; with [slow_profile] (default [true]) a slow query whose run
+    carried no instrumentation is re-executed once with profiling so its
+    log entry has an operator tree attached. *)
 
 val store : t -> Mass.Store.t
 val metrics : t -> Metrics.t
 
-type cache = [ `Hit  (** served from cache *)
-             | `Miss  (** not present; computed and inserted *)
-             | `Stale  (** present but from an older store epoch; recomputed *)
-             | `Bypass  (** cache disabled *) ]
+val default_slow_threshold : float
+(** 0.1 s. *)
 
 type outcome = {
   result : Vamana.Engine.result;
@@ -72,6 +83,30 @@ val normalize : string -> string
 (** The cache-key normalization (exposed for tests): outside
     single-/double-quoted literals, whitespace is dropped except for a
     single separating space between two name/number characters. *)
+
+(** {1 Slow-query log} *)
+
+type slow_query = {
+  sq_query : string;  (** query text as submitted *)
+  sq_total_time : float;  (** end-to-end seconds of the offending run *)
+  sq_plan_cache : cache;
+  sq_result_cache : cache;
+  sq_results : int;
+  sq_profile : Vamana.Profile.report option;
+      (** operator tree: the run's own report when it was profiled,
+          otherwise a one-shot instrumented re-execution (see
+          {!create}); [None] when [slow_profile] is off or the plan had
+          already been evicted *)
+  sq_at : float;  (** [Unix.gettimeofday] at detection *)
+}
+
+val slow_threshold : t -> float
+val set_slow_threshold : t -> float -> unit
+
+val slow_queries : t -> slow_query list
+(** Contents of the ring, oldest first (at most [slow_log_capacity]);
+    each detection also bumps the [slow_queries] counter and emits a
+    [service/slow_query] event on the {!Obs} bus. *)
 
 val plan_cache_length : t -> int
 val result_cache_length : t -> int

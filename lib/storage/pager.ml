@@ -20,9 +20,10 @@ type 'a t = {
   mutable lru_head : id;  (* most recently used *)
   mutable lru_tail : id;  (* least recently used *)
   stats : Stats.t;
+  label : string;  (* telemetry attribution: which pool this traffic is *)
 }
 
-let create ?(pool_pages = 1024) () =
+let create ?(label = "pager") ?(pool_pages = 1024) () =
   if pool_pages < 1 then invalid_arg "Pager.create: pool_pages < 1";
   {
     pages = Hashtbl.create 4096;
@@ -32,7 +33,11 @@ let create ?(pool_pages = 1024) () =
     lru_head = nil;
     lru_tail = nil;
     stats = Stats.create ();
+    label;
   }
+
+let label t = t.label
+let pool_pages t = t.pool_pages
 
 let get t id =
   match Hashtbl.find_opt t.pages id with
@@ -61,12 +66,19 @@ let evict_one t =
   let e = Hashtbl.find t.pages victim in
   unlink t e;
   e.resident <- false;
+  let wrote_back = e.dirty in
   if e.dirty then begin
     t.stats.page_writes <- t.stats.page_writes + 1;
     e.dirty <- false
   end;
   t.resident_pages <- t.resident_pages - 1;
-  t.stats.evictions <- t.stats.evictions + 1
+  t.stats.evictions <- t.stats.evictions + 1;
+  if Obs.active () then
+    Obs.emit ~severity:Obs.Debug ~category:"storage" "eviction"
+      [ ("pool", Obs.Str t.label);
+        ("page", Obs.Int victim);
+        ("wrote_back", Obs.Bool wrote_back);
+        ("evictions", Obs.Int t.stats.evictions) ]
 
 let make_resident t id e =
   if e.resident then begin

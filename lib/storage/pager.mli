@@ -12,10 +12,17 @@ type id = int
 
 type 'a t
 
-val create : ?pool_pages:int -> unit -> 'a t
-(** [create ~pool_pages ()] — a pager whose buffer pool holds at most
-    [pool_pages] resident pages (default 1024 ≈ 4 MiB of 4 KiB pages).
+val create : ?label:string -> ?pool_pages:int -> unit -> 'a t
+(** [create ~label ~pool_pages ()] — a pager whose buffer pool holds at
+    most [pool_pages] resident pages (default 1024 ≈ 4 MiB of 4 KiB
+    pages).  [label] (default ["pager"]) names the pool in telemetry
+    events and introspection output.
     @raise Invalid_argument if [pool_pages < 1]. *)
+
+val label : 'a t -> string
+
+val pool_pages : 'a t -> int
+(** The configured pool capacity in pages. *)
 
 val default_page_bytes : int
 (** Nominal page size used to translate pool sizes to bytes: 4096. *)

@@ -43,9 +43,9 @@ module Histogram : sig
   val max_value : h -> float
 
   val percentile : h -> float -> float
-  (** [percentile h p] for [p] in [0,100]: upper bound of the bucket
-      holding the p-th percentile observation, clamped to the observed
-      max; [0.0] when empty. *)
+  (** [percentile h p] for [p] in [0,100]: linear interpolation within
+      the bucket holding the p-th percentile observation, clamped to the
+      observed min/max; [0.0] when empty. *)
 
   val buckets : h -> (float * int) list
   (** [(upper_bound, count)] per bucket, non-cumulative; the final bucket

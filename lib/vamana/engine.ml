@@ -108,8 +108,54 @@ let prepare ?(optimize = true) store ~scope src =
           prep_compile_time = parse_time +. compile_only_time;
           prep_optimize_time = optimize_time; prep_spans }
 
+(* telemetry: primitive span metadata rides along as event attributes *)
+let attrs_of_meta meta =
+  List.filter_map
+    (fun (k, v) ->
+      match (v : Profile.Json.t) with
+      | Profile.Json.Int i -> Some (k, Obs.Int i)
+      | Profile.Json.Float f -> Some (k, Obs.Float f)
+      | Profile.Json.Str s -> Some (k, Obs.Str s)
+      | Profile.Json.Bool b -> Some (k, Obs.Bool b)
+      | Profile.Json.Null | Profile.Json.Arr _ | Profile.Json.Obj _ -> None)
+    meta
+
+let emit_query_events store ~context p spans by_index_before =
+  let doc_name =
+    match Store.document_of_key store context with
+    | Some d -> d.Store.doc_name
+    | None -> ""
+  in
+  List.iter
+    (fun (s : Profile.span) ->
+      Obs.emit ~category:"query" s.Profile.name
+        (("query", Obs.Str p.source)
+         :: ("dur_ms", Obs.Float (s.Profile.dur *. 1000.))
+         :: attrs_of_meta s.Profile.meta))
+    spans;
+  List.iter2
+    (fun (name, before) (name', live) ->
+      assert (String.equal name name');
+      let d = Storage.Stats.diff live before in
+      if d.Storage.Stats.logical_reads > 0 || d.Storage.Stats.physical_reads > 0 then
+        Obs.emit ~category:"storage" "query_io"
+          [ ("index", Obs.Str name);
+            ("doc", Obs.Str doc_name);
+            ("query", Obs.Str p.source);
+            ("logical_reads", Obs.Int d.Storage.Stats.logical_reads);
+            ("physical_reads", Obs.Int d.Storage.Stats.physical_reads);
+            ("evictions", Obs.Int d.Storage.Stats.evictions);
+            ("hit_ratio", Obs.Float (Storage.Stats.hit_ratio d)) ])
+    by_index_before (Store.io_by_index store)
+
 let execute_prepared ?(profile = false) store ~context p =
   let pctx = if profile then Some (Profile.create store) else None in
+  let observed = Obs.active () in
+  let by_index_before =
+    if observed then
+      List.map (fun (n, s) -> (n, Storage.Stats.copy s)) (Store.io_by_index store)
+    else []
+  in
   let io_before = Storage.Stats.copy (Store.io_stats store) in
   let keys, execute_time =
     time (fun () ->
@@ -122,6 +168,7 @@ let execute_prepared ?(profile = false) store ~context p =
   in
   let io = Storage.Stats.diff (Store.io_stats store) io_before in
   let spans = p.prep_spans @ [ Profile.span "execute" execute_time ] in
+  if observed then emit_query_events store ~context p spans by_index_before;
   let profile_report =
     Option.map
       (fun ctx ->

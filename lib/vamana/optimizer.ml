@@ -55,15 +55,29 @@ let optimize ?(rules = Rewrite.cost_rules) ?stats store ~scope plan =
                             let plan' = Rewrite.apply_cleanup plan' in
                             let costed' = Cost.estimate ?stats store ~scope plan' in
                             let cost' = Cost.total_output costed' plan' in
-                            if cost' <= current_cost then
+                            if cost' <= current_cost then begin
+                              if Obs.active () then
+                                Obs.emit ~category:"optimizer" "rule_accepted"
+                                  [ ("rule", Obs.Str rule.Rewrite.name);
+                                    ("target", Obs.Str (Plan.kind_to_string op));
+                                    ("cost_before", Obs.Int current_cost);
+                                    ("cost_after", Obs.Int cost') ];
                               Some
                                 ( plan',
                                   { rule = rule.Rewrite.name;
                                     target = Plan.kind_to_string op;
                                     cost_before = current_cost;
                                     cost_after = cost' } )
+                            end
                             else begin
                               incr rejected;
+                              if Obs.active () then
+                                Obs.emit ~severity:Obs.Debug ~category:"optimizer"
+                                  "rule_rejected"
+                                  [ ("rule", Obs.Str rule.Rewrite.name);
+                                    ("target", Obs.Str (Plan.kind_to_string op));
+                                    ("cost_before", Obs.Int current_cost);
+                                    ("cost_after", Obs.Int cost') ];
                               None
                             end))
                   None rules)

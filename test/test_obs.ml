@@ -1,0 +1,213 @@
+(* Tests for the telemetry event bus and its instrumentation hooks.
+
+   The bus is process-global state, so every test starts and ends with
+   [Obs.reset ()] — including on failure paths — to keep suites
+   independent. *)
+
+let with_bus f =
+  Obs.reset ();
+  Fun.protect ~finally:Obs.reset f
+
+let test_inactive_by_default () =
+  with_bus @@ fun () ->
+  Alcotest.(check bool) "inactive" false (Obs.active ());
+  (* emitting without a subscriber is a no-op, not an error *)
+  Obs.emit ~category:"test" "ping" [];
+  Alcotest.(check int) "nothing buffered" 0 (Obs.ring_length ());
+  Alcotest.(check (list reject)) "drain empty" [] (Obs.drain ())
+
+let test_ring_basics () =
+  with_bus @@ fun () ->
+  Obs.attach_ring ~capacity:8 ();
+  Alcotest.(check bool) "active with ring" true (Obs.active ());
+  Obs.emit ~category:"alpha" "first" [ ("n", Obs.Int 1) ];
+  Obs.emit ~severity:Obs.Warn ~category:"beta" "second" [ ("ok", Obs.Bool false) ];
+  Alcotest.(check int) "two buffered" 2 (Obs.ring_length ());
+  (match Obs.drain () with
+  | [ a; b ] ->
+      Alcotest.(check string) "oldest first" "first" a.Obs.name;
+      Alcotest.(check string) "category" "alpha" a.Obs.category;
+      Alcotest.(check bool) "sequence grows" true (b.Obs.seq > a.Obs.seq);
+      Alcotest.(check bool) "timestamps monotone" true (b.Obs.ts >= a.Obs.ts);
+      (match b.Obs.severity with
+      | Obs.Warn -> ()
+      | _ -> Alcotest.fail "expected Warn")
+  | es -> Alcotest.failf "expected 2 events, got %d" (List.length es));
+  Alcotest.(check int) "drain empties the ring" 0 (Obs.ring_length ());
+  Obs.detach_ring ();
+  Alcotest.(check bool) "inactive after detach" false (Obs.active ())
+
+let test_ring_overflow () =
+  with_bus @@ fun () ->
+  Obs.attach_ring ~capacity:4 ();
+  for i = 1 to 7 do
+    Obs.emit ~category:"test" "e" [ ("i", Obs.Int i) ]
+  done;
+  Alcotest.(check int) "bounded" 4 (Obs.ring_length ());
+  Alcotest.(check int) "overwrites counted" 3 (Obs.dropped ());
+  let kept =
+    List.map
+      (fun (e : Obs.event) ->
+        match e.Obs.attrs with [ (_, Obs.Int i) ] -> i | _ -> -1)
+      (Obs.drain ())
+  in
+  (* the ring keeps the newest events, oldest first *)
+  Alcotest.(check (list int)) "last four survive" [ 4; 5; 6; 7 ] kept
+
+let test_sampling () =
+  with_bus @@ fun () ->
+  Obs.attach_ring ();
+  Obs.set_sample_rate "noisy" 3;
+  Alcotest.(check int) "rate readable" 3 (Obs.sample_rate "noisy");
+  Alcotest.(check int) "default rate" 1 (Obs.sample_rate "quiet");
+  for i = 1 to 9 do
+    Obs.emit ~category:"noisy" "n" [ ("i", Obs.Int i) ]
+  done;
+  Obs.emit ~category:"quiet" "q" [];
+  let events = Obs.drain () in
+  let noisy = List.filter (fun (e : Obs.event) -> e.Obs.category = "noisy") events in
+  (* 1-in-3 keeps the first of each window: i = 1, 4, 7 *)
+  Alcotest.(check int) "one in three kept" 3 (List.length noisy);
+  Alcotest.(check (list int)) "window-first kept" [ 1; 4; 7 ]
+    (List.map
+       (fun (e : Obs.event) ->
+         match e.Obs.attrs with [ (_, Obs.Int i) ] -> i | _ -> -1)
+       noisy);
+  Alcotest.(check int) "unsampled category untouched" 1
+    (List.length (List.filter (fun (e : Obs.event) -> e.Obs.category = "quiet") events));
+  Alcotest.(check int) "suppressed counted" 6 (Obs.sampled_out ())
+
+let test_sinks () =
+  with_bus @@ fun () ->
+  let seen = ref [] in
+  let s = Obs.attach_sink (fun e -> seen := e.Obs.name :: !seen) in
+  Alcotest.(check bool) "active with sink" true (Obs.active ());
+  Obs.emit ~category:"test" "one" [];
+  Obs.emit ~category:"test" "two" [];
+  Obs.detach_sink s;
+  Obs.emit ~category:"test" "three" [];
+  Alcotest.(check (list string)) "sink saw exactly the attached window" [ "two"; "one" ] !seen;
+  Alcotest.(check bool) "inactive after detach" false (Obs.active ())
+
+let test_time_span () =
+  with_bus @@ fun () ->
+  Obs.attach_ring ();
+  let r = Obs.time_span ~category:"test" "work" [ ("tag", Obs.Str "x") ] (fun () -> 41 + 1) in
+  Alcotest.(check int) "result passes through" 42 r;
+  match Obs.drain () with
+  | [ e ] ->
+      Alcotest.(check string) "span name" "work" e.Obs.name;
+      (match List.assoc_opt "dur_ms" e.Obs.attrs with
+      | Some (Obs.Float d) -> Alcotest.(check bool) "duration non-negative" true (d >= 0.0)
+      | _ -> Alcotest.fail "missing dur_ms");
+      Alcotest.(check bool) "original attrs kept" true
+        (List.mem_assoc "tag" e.Obs.attrs)
+  | es -> Alcotest.failf "expected 1 event, got %d" (List.length es)
+
+let test_json_rendering () =
+  with_bus @@ fun () ->
+  Obs.attach_ring ();
+  Obs.emit ~category:"test" "escape"
+    [ ("q", Obs.Str "//a[.='x\"y']\nnext");
+      ("nan", Obs.Float Float.nan);
+      ("n", Obs.Int (-3));
+      ("b", Obs.Bool true) ];
+  let e = List.hd (Obs.drain ()) in
+  let json = Obs.to_json_string e in
+  let contains needle =
+    let n = String.length needle and m = String.length json in
+    let rec go i = i + n <= m && (String.sub json i n = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "quotes escaped" true (contains {|x\"y|});
+  Alcotest.(check bool) "newline escaped" true (contains {|\nnext|});
+  Alcotest.(check bool) "non-finite floats are null" true (contains {|"nan":null|});
+  Alcotest.(check bool) "ints bare" true (contains {|"n":-3|});
+  Alcotest.(check bool) "bools bare" true (contains {|"b":true|});
+  Alcotest.(check bool) "no raw newline in line" true
+    (not (String.contains json '\n'));
+  (* severities round-trip through their names *)
+  List.iter
+    (fun s ->
+      Alcotest.(check bool) "severity round-trip" true
+        (Obs.severity_of_string (Obs.severity_to_string s) = Some s))
+    [ Obs.Debug; Obs.Info; Obs.Warn; Obs.Error ]
+
+(* end-to-end: a query through the service emits spans, per-index I/O
+   attribution and (over the threshold) a slow-query record *)
+let test_query_events () =
+  with_bus @@ fun () ->
+  let store = Mass.Store.create ~pool_pages:256 () in
+  let doc =
+    Mass.Store.load store ~name:"t.xml"
+      (Xml.Parser.parse "<site><a><b>one</b><b>two</b></a><c>three</c></site>")
+  in
+  let service = Vamana_service.Service.create ~slow_threshold:0.0 store in
+  Obs.attach_ring ();
+  (match Vamana_service.Service.query service ~context:doc.Mass.Store.doc_key "//b" with
+  | Ok o -> Alcotest.(check int) "query answered" 2 (List.length o.Vamana_service.Service.result.Vamana.Engine.keys)
+  | Error e -> Alcotest.fail e);
+  let events = Obs.drain () in
+  let names cat =
+    List.filter_map
+      (fun (e : Obs.event) -> if e.Obs.category = cat then Some e.Obs.name else None)
+      events
+  in
+  List.iter
+    (fun span -> Alcotest.(check bool) (span ^ " span emitted") true (List.mem span (names "query")))
+    [ "parse"; "compile"; "optimize"; "execute" ];
+  Alcotest.(check bool) "service query event" true (List.mem "query" (names "service"));
+  Alcotest.(check bool) "slow query flagged at zero threshold" true
+    (List.mem "slow_query" (names "service"));
+  (* per-index attribution: the name index carries //b's reads *)
+  let io =
+    List.filter
+      (fun (e : Obs.event) -> e.Obs.category = "storage" && e.Obs.name = "query_io")
+      events
+  in
+  Alcotest.(check bool) "query_io emitted" true (io <> []);
+  List.iter
+    (fun (e : Obs.event) ->
+      match (List.assoc_opt "index" e.Obs.attrs, List.assoc_opt "logical_reads" e.Obs.attrs) with
+      | Some (Obs.Str idx), Some (Obs.Int n) ->
+          Alcotest.(check bool) (idx ^ " attributed reads") true (n > 0)
+      | _ -> Alcotest.fail "query_io missing index/logical_reads")
+    io;
+  (* the slow-query log kept the run, with a profile attached after the fact *)
+  match Vamana_service.Service.slow_queries service with
+  | [ sq ] ->
+      Alcotest.(check string) "logged text" "//b" sq.Vamana_service.Service.sq_query;
+      Alcotest.(check int) "logged results" 2 sq.Vamana_service.Service.sq_results;
+      Alcotest.(check bool) "profile attached" true
+        (sq.Vamana_service.Service.sq_profile <> None)
+  | sqs -> Alcotest.failf "expected 1 slow query, got %d" (List.length sqs)
+
+(* the eviction instrumentation only fires while observed, and carries
+   the owning pool's label *)
+let test_eviction_events () =
+  with_bus @@ fun () ->
+  let p = Storage.Pager.create ~label:"tiny" ~pool_pages:1 () in
+  let a = Storage.Pager.alloc p "a" in
+  let _b = Storage.Pager.alloc p "b" in
+  Alcotest.(check int) "unobserved eviction emits nothing" 0 (Obs.ring_length ());
+  Obs.attach_ring ();
+  ignore (Storage.Pager.read p a) (* faults a back in, evicting b *);
+  match
+    List.filter (fun (e : Obs.event) -> e.Obs.name = "eviction") (Obs.drain ())
+  with
+  | e :: _ ->
+      Alcotest.(check bool) "pool label attached" true
+        (List.assoc_opt "pool" e.Obs.attrs = Some (Obs.Str "tiny"))
+  | [] -> Alcotest.fail "expected an eviction event"
+
+let suite =
+  ( "obs",
+    [ Alcotest.test_case "inactive by default" `Quick test_inactive_by_default;
+      Alcotest.test_case "ring basics" `Quick test_ring_basics;
+      Alcotest.test_case "ring overflow" `Quick test_ring_overflow;
+      Alcotest.test_case "sampling" `Quick test_sampling;
+      Alcotest.test_case "sinks" `Quick test_sinks;
+      Alcotest.test_case "time span" `Quick test_time_span;
+      Alcotest.test_case "json rendering" `Quick test_json_rendering;
+      Alcotest.test_case "query events" `Quick test_query_events;
+      Alcotest.test_case "eviction events" `Quick test_eviction_events ] )

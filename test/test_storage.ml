@@ -77,6 +77,83 @@ let test_stats_diff () =
   Alcotest.(check int) "delta logical" 2 d.Stats.logical_reads;
   Alcotest.(check bool) "delta physical positive" true (d.Stats.physical_reads >= 1)
 
+let test_stats_edges () =
+  (* zero reads: the ratio is defined as 1.0, not 0/0 *)
+  let s = Stats.create () in
+  Alcotest.(check (float 1e-9)) "no reads" 1.0 (Stats.hit_ratio s);
+  s.Stats.logical_reads <- 10;
+  s.Stats.physical_reads <- 4;
+  Alcotest.(check (float 1e-9)) "6 of 10 hit" 0.6 (Stats.hit_ratio s);
+  (* reset returns to the zero-read state *)
+  Stats.reset s;
+  Alcotest.(check int) "reset clears logical" 0 s.Stats.logical_reads;
+  Alcotest.(check (float 1e-9)) "post-reset ratio" 1.0 (Stats.hit_ratio s);
+  (* a copy is a snapshot: mutating the source must not leak through *)
+  s.Stats.logical_reads <- 5;
+  let snap = Stats.copy s in
+  s.Stats.logical_reads <- 9;
+  Alcotest.(check int) "copy frozen" 5 snap.Stats.logical_reads;
+  Alcotest.(check int) "diff vs snapshot" 4 (Stats.diff s snap).Stats.logical_reads;
+  (* identical snapshots diff to all-zero, whose ratio is again 1.0 *)
+  let z = Stats.diff snap (Stats.copy snap) in
+  Alcotest.(check int) "zero diff" 0 z.Stats.logical_reads;
+  Alcotest.(check (float 1e-9)) "zero-diff ratio" 1.0 (Stats.hit_ratio z)
+
+let test_histogram_interpolation () =
+  let open Stats in
+  (* 100 observations spread evenly across one bucket (2.5ms, 5ms]:
+     interpolation must spread percentiles through the bucket instead of
+     snapping every one to the 5ms upper bound *)
+  let h = Histogram.create () in
+  for i = 1 to 100 do
+    Histogram.observe h (0.0025 +. (0.0025 *. float_of_int i /. 100.))
+  done;
+  let p25 = Histogram.percentile h 25.0 and p75 = Histogram.percentile h 75.0 in
+  Alcotest.(check bool) "p25 < p75" true (p25 < p75);
+  Alcotest.(check bool) "p25 in lower half" true (p25 < 0.00375);
+  Alcotest.(check bool) "p75 in upper half" true (p75 > 0.00375);
+  (* clamped to the observed extremes *)
+  Alcotest.(check (float 1e-12)) "p100 = max" (Histogram.max_value h)
+    (Histogram.percentile h 100.0);
+  Alcotest.(check bool) "p1 >= min" true (Histogram.percentile h 1.0 >= Histogram.min_value h);
+  (* a singleton reports itself at every percentile *)
+  let one = Histogram.create () in
+  Histogram.observe one 0.003;
+  Alcotest.(check (float 1e-12)) "singleton p50" 0.003 (Histogram.percentile one 50.0);
+  Alcotest.(check (float 1e-12)) "singleton p99" 0.003 (Histogram.percentile one 99.0);
+  Alcotest.(check (float 1e-12)) "empty" 0.0 (Histogram.percentile (Histogram.create ()) 50.0)
+
+let test_histogram_merge () =
+  let open Stats in
+  (* merging an empty side is a no-op *)
+  let a = Histogram.create () in
+  Histogram.observe a 0.001;
+  Histogram.observe a 0.004;
+  Histogram.merge ~into:a (Histogram.create ());
+  Alcotest.(check int) "count unchanged" 2 (Histogram.count a);
+  Alcotest.(check (float 1e-12)) "sum unchanged" 0.005 (Histogram.sum a);
+  Alcotest.(check (float 1e-12)) "min unchanged" 0.001 (Histogram.min_value a);
+  (* merging into an empty histogram copies counts and extremes *)
+  let b = Histogram.create () in
+  Histogram.merge ~into:b a;
+  Alcotest.(check int) "copied count" 2 (Histogram.count b);
+  Alcotest.(check (float 1e-12)) "copied min" 0.001 (Histogram.min_value b);
+  Alcotest.(check (float 1e-12)) "copied max" 0.004 (Histogram.max_value b);
+  (* disjoint ranges: totals add and the extremes span both sides *)
+  let lo = Histogram.create () and hi = Histogram.create () in
+  for _ = 1 to 10 do
+    Histogram.observe lo 1e-5
+  done;
+  for _ = 1 to 10 do
+    Histogram.observe hi 1.0
+  done;
+  Histogram.merge ~into:lo hi;
+  Alcotest.(check int) "merged count" 20 (Histogram.count lo);
+  Alcotest.(check (float 1e-12)) "min from low side" 1e-5 (Histogram.min_value lo);
+  Alcotest.(check (float 1e-12)) "max from high side" 1.0 (Histogram.max_value lo);
+  Alcotest.(check bool) "p25 on the low side" true (Histogram.percentile lo 25.0 < 1e-3);
+  Alcotest.(check bool) "p75 on the high side" true (Histogram.percentile lo 75.0 > 0.1)
+
 (* property: under any access pattern, resident pages never exceed pool
    size and hit ratio stays within [0,1] *)
 let prop_pool_invariants =
@@ -143,4 +220,8 @@ let suite =
       Alcotest.test_case "hit ratio" `Quick test_hit_ratio;
       Alcotest.test_case "flush" `Quick test_flush;
       Alcotest.test_case "stats diff" `Quick test_stats_diff;
+      Alcotest.test_case "stats edge cases" `Quick test_stats_edges;
+      Alcotest.test_case "histogram percentile interpolation" `Quick
+        test_histogram_interpolation;
+      Alcotest.test_case "histogram merge" `Quick test_histogram_merge;
       QCheck_alcotest.to_alcotest prop_pool_invariants ] )
