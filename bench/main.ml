@@ -55,10 +55,31 @@ type sized = {
   source : string;
 }
 
+(* every corpus query must lint clean of Error-severity diagnostics on
+   the document it is about to be measured on — a malformed or
+   semantically suspect plan would make the numbers meaningless *)
+let assert_lint_clean store (doc : Store.doc) =
+  List.iter
+    (fun (label, q) ->
+      match Vamana.Engine.prepare store ~scope:(Some doc.Store.doc_key) q with
+      | Error e -> failwith (label ^ ": " ^ e)
+      | Ok p ->
+          List.iter
+            (fun (a : Vamana.Analysis.t) ->
+              match Vamana.Analysis.errors a with
+              | [] -> ()
+              | d :: _ ->
+                  failwith
+                    (Printf.sprintf "%s: lint error: %s" label
+                       (Vamana.Analysis.diagnostic_to_string d)))
+            p.Vamana.Engine.analyses)
+    queries
+
 let build_sized mb =
   let store = Store.create ~pool_pages:65536 () in
   let tree = Xmark.generate mb in
   let doc = Store.load store ~name:"auction.xml" tree in
+  assert_lint_clean store doc;
   { mb; store; doc; source = Xml.Writer.to_string tree }
 
 let time f =

@@ -2,6 +2,7 @@
 
      vamana query   [-f doc.xml | -x MB] [--no-optimize] [-v] QUERY
      vamana explain [-f doc.xml | -x MB] QUERY
+     vamana lint    [-f doc.xml | -x MB] [--json] [-q queries.txt | QUERY]
      vamana stats   [-f doc.xml | -x MB] [--tags N]
      vamana generate -x MB [-o out.xml]
      vamana serve   [-f doc.xml | -x MB | -s SNAP] [-q queries.txt]
@@ -275,6 +276,110 @@ let is_query line =
   let line = String.trim line in
   String.length line > 0 && line.[0] <> '#'
 
+(* ---- lint: static plan diagnostics without execution ---- *)
+
+let run_lint file xmark_mb snapshot no_optimize json queries_file query =
+  handle_parse_errors @@ fun () ->
+  let store, doc = input_doc file xmark_mb snapshot in
+  let queries =
+    match query with
+    | Some q -> [ q ]
+    | None -> List.filter is_query (read_queries queries_file)
+  in
+  if queries = [] then begin
+    Printf.eprintf "no queries (pass one as an argument, or -q FILE / stdin, one per line)\n";
+    exit 1
+  end;
+  let scope = Some doc.Store.doc_key in
+  let errors = ref 0 and warnings = ref 0 in
+  let module A = Vamana.Analysis in
+  let module J = Vamana.Profile.Json in
+  let lint_one q =
+    match Vamana.Engine.prepare ~optimize:(not no_optimize) store ~scope q with
+    | Error msg ->
+        incr errors;
+        Error msg
+    | Ok p ->
+        let pairs = List.combine p.Vamana.Engine.executed_plans p.Vamana.Engine.analyses in
+        List.iter
+          (fun (_, (a : A.t)) ->
+            List.iter
+              (fun (d : A.diagnostic) ->
+                match d.A.severity with
+                | A.Error -> incr errors
+                | A.Warning -> incr warnings
+                | A.Info -> ())
+              a.A.diagnostics)
+          pairs;
+        Ok pairs
+  in
+  let results = List.map (fun q -> (q, lint_one q)) queries in
+  (if json then
+     let rows =
+       List.map
+         (fun (q, r) ->
+           match r with
+           | Error msg -> J.Obj [ ("query", J.Str q); ("error", J.Str msg) ]
+           | Ok pairs ->
+               J.Obj
+                 [ ("query", J.Str q);
+                   ("branches", J.Arr (List.map (fun (plan, a) -> A.to_json a plan) pairs)) ])
+         results
+     in
+     print_endline
+       (J.to_string
+          (J.Obj
+             [ ("queries", J.Arr rows);
+               ("errors", J.Int !errors);
+               ("warnings", J.Int !warnings) ]))
+   else begin
+     List.iter
+       (fun (q, r) ->
+         Printf.printf "%s\n" q;
+         match r with
+         | Error msg -> Printf.printf "  error [compile] %s\n" msg
+         | Ok pairs ->
+             List.iter
+               (fun (_, (a : A.t)) ->
+                 Printf.printf "  properties: %s%s\n"
+                   (A.props_to_string a.A.root_props)
+                   (if A.statically_empty a then "  -- statically empty, execution skipped"
+                    else "");
+                 match a.A.diagnostics with
+                 | [] -> Printf.printf "  clean\n"
+                 | ds ->
+                     List.iter
+                       (fun d -> Printf.printf "  %s\n" (A.diagnostic_to_string d))
+                       ds)
+               pairs)
+       results;
+     Printf.printf "-- %d queries, %d errors, %d warnings\n" (List.length results) !errors
+       !warnings
+   end);
+  if !errors > 0 then exit 1
+
+let lint_cmd =
+  let json_arg =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit diagnostics as a single JSON document.")
+  in
+  let queries_arg =
+    Arg.(value & opt (some file) None
+         & info [ "q"; "queries" ] ~docv:"FILE"
+             ~doc:"Query batch, one XPath per line ('#' starts a comment). Default: stdin \
+                   when no QUERY argument is given.")
+  in
+  let query_opt_arg =
+    Arg.(value & pos 0 (some string) None & info [] ~docv:"QUERY" ~doc:"XPath expression.")
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:"Statically analyze query plans: inferred stream properties (order, \
+             duplicate-freedom, cardinality bounds, static emptiness) and severity-ranked \
+             diagnostics, without executing anything. Exits non-zero on error-severity \
+             diagnostics.")
+    Term.(const run_lint $ file_arg $ xmark_arg $ snapshot_arg $ no_optimize_arg $ json_arg
+          $ queries_arg $ query_opt_arg)
+
 let run_serve file xmark_mb snapshot queries_file repeat no_optimize plan_cap result_cap json
     quiet slow_ms =
   handle_parse_errors @@ fun () ->
@@ -500,4 +605,4 @@ let save_cmd =
 
 let () =
   let info = Cmd.info "vamana" ~version:"1.0.0" ~doc:"Cost-driven XPath engine over the MASS storage structure" in
-  exit (Cmd.eval (Cmd.group info [ query_cmd; xquery_cmd; explain_cmd; stats_cmd; generate_cmd; save_cmd; serve_cmd; events_cmd ]))
+  exit (Cmd.eval (Cmd.group info [ query_cmd; xquery_cmd; explain_cmd; lint_cmd; stats_cmd; generate_cmd; save_cmd; serve_cmd; events_cmd ]))

@@ -255,6 +255,12 @@ let text_value_count t ?scope v =
   let lo, hi = scope_bounds scope in
   TagTree.count_range t.value_index ~lo:(tag_probe v lo) ~hi:(tag_probe v hi)
 
+(* emptiness probes: a zero count from the counted indexes is a proof
+   that no matching node exists (counts are exact or sound upper
+   bounds), which static analysis turns into plan pruning *)
+let test_present t ?scope ~principal test = count_test t ?scope ~principal test > 0
+let value_present t ?scope v = text_value_count t ?scope v > 0
+
 let total_records t = DocTree.length t.doc_index
 
 let preorder_rank t key = DocTree.rank t.doc_index (key_probe (Flex.Before key))

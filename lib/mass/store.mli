@@ -83,6 +83,14 @@ val text_value_count : t -> ?scope:Flex.t -> string -> int
 (** The paper's TC: occurrences of a literal as a full text-node or
     attribute value. *)
 
+val test_present : t -> ?scope:Flex.t -> principal:Record.kind -> Xpath.Ast.node_test -> bool
+(** [count_test > 0].  A [false] answer is a proof of absence — counts
+    are exact or sound upper bounds — which the static analyzer turns
+    into plan pruning (a step on an absent tag is provably empty). *)
+
+val value_present : t -> ?scope:Flex.t -> string -> bool
+(** [text_value_count > 0]; same proof-of-absence reading for values. *)
+
 val subtree_size : t -> Flex.t -> int
 (** Number of records (all kinds) in a subtree, the node included. *)
 

@@ -159,7 +159,9 @@ let prepared t ~scope key src =
                       Metrics.inc ~by:s.Vamana.Optimizer.considered t.metrics
                         "optimizer_rules_considered";
                       Metrics.inc ~by:s.Vamana.Optimizer.rejected t.metrics
-                        "optimizer_rules_rejected")
+                        "optimizer_rules_rejected";
+                      Metrics.inc ~by:s.Vamana.Optimizer.property_rejected t.metrics
+                        "optimizer_rules_property_rejected")
                     o.Vamana.Optimizer.iteration_stats)
                 outcomes);
           if Lru.put t.plans key p <> None then

@@ -15,6 +15,7 @@ type result = {
   io : Storage.Stats.t;
   spans : Profile.span list;
   profile : Profile.report option;
+  analysis : Analysis.t;
 }
 
 let time f =
@@ -40,6 +41,9 @@ type prepared = {
   default_plans : Plan.op list;  (** one per union branch *)
   executed_plans : Plan.op list;
   outcomes : Optimizer.outcome list option;
+  analyses : Analysis.t list;
+  prep_scope : Flex.t option;
+  prep_epoch : int;
   prep_compile_time : float;
   prep_optimize_time : float;
   prep_spans : Profile.span list;
@@ -58,7 +62,8 @@ let iteration_spans (o : Optimizer.outcome) =
               | Some rule -> Profile.Json.Str rule
               | None -> Profile.Json.Null );
             ("considered", Profile.Json.Int s.Optimizer.considered);
-            ("rejected", Profile.Json.Int s.Optimizer.rejected) ]
+            ("rejected", Profile.Json.Int s.Optimizer.rejected);
+            ("property_rejected", Profile.Json.Int s.Optimizer.property_rejected) ]
         s.Optimizer.duration)
     o.Optimizer.iteration_stats
 
@@ -103,8 +108,10 @@ let prepare ?(optimize = true) store ~scope src =
           | Some (o :: _) -> iteration_spans o
           | Some [] | None -> [])
       in
+      let analyses = List.map (Analysis.analyze store ~scope) executed_plans in
       Ok
-        { source = src; default_plans; executed_plans; outcomes;
+        { source = src; default_plans; executed_plans; outcomes; analyses;
+          prep_scope = scope; prep_epoch = Store.epoch store;
           prep_compile_time = parse_time +. compile_only_time;
           prep_optimize_time = optimize_time; prep_spans }
 
@@ -157,14 +164,45 @@ let execute_prepared ?(profile = false) store ~context p =
     else []
   in
   let io_before = Storage.Stats.copy (Store.io_stats store) in
+  (* prepared analyses are statistics snapshots: reusable exactly while
+     the store reports the preparation epoch and the context stays in the
+     analyzed scope; otherwise re-derive (cheap, index-count probes) *)
+  let analyses =
+    if
+      p.prep_epoch = Store.epoch store
+      && Option.equal Flex.equal p.prep_scope (scope_of_context context)
+    then p.analyses
+    else
+      List.map (Analysis.analyze store ~scope:(scope_of_context context)) p.executed_plans
+  in
+  let skip plan a =
+    if Analysis.statically_empty a then begin
+      if Obs.active () then
+        Obs.emit ~category:"engine" "static_empty_skip"
+          [ ("query", Obs.Str p.source); ("plan", Obs.Str (Plan.kind_to_string (Plan.leaf plan))) ];
+      true
+    end
+    else false
+  in
   let keys, execute_time =
     time (fun () ->
-        match p.executed_plans with
-        | [ plan ] -> Exec.run ?profile:pctx store ~context plan
-        | plans ->
+        match List.combine p.executed_plans analyses with
+        | [ (plan, a) ] ->
+            if skip plan a then []
+            else
+              let rp = a.Analysis.root_props in
+              if rp.Analysis.order = Analysis.Doc && rp.Analysis.distinct then
+                (* the analyzer proved the raw stream sorted and
+                   duplicate-free: the final sort_uniq is a no-op *)
+                Exec.run_raw ?profile:pctx store ~context plan
+              else Exec.run ?profile:pctx store ~context plan
+        | pairs ->
             (* union branches execute independently; the result sets merge *)
             List.sort_uniq Flex.compare
-              (List.concat_map (fun plan -> Exec.run ?profile:pctx store ~context plan) plans))
+              (List.concat_map
+                 (fun (plan, a) ->
+                   if skip plan a then [] else Exec.run ?profile:pctx store ~context plan)
+                 pairs))
   in
   let io = Storage.Stats.diff (Store.io_stats store) io_before in
   let spans = p.prep_spans @ [ Profile.span "execute" execute_time ] in
@@ -193,7 +231,8 @@ let execute_prepared ?(profile = false) store ~context p =
     optimizer = Option.map List.hd p.outcomes;
     compile_time = p.prep_compile_time;
     optimize_time = p.prep_optimize_time;
-    execute_time; io; spans; profile = profile_report }
+    execute_time; io; spans; profile = profile_report;
+    analysis = List.hd analyses }
 
 let query ?optimize ?profile store ~context src =
   match prepare ?optimize store ~scope:(scope_of_context context) src with
@@ -238,17 +277,32 @@ let explain ?(optimize = true) store doc src =
       let buf = Buffer.create 512 in
       let ppf = Format.formatter_of_buffer buf in
       let costed = Cost.estimate store ~scope default_plan in
-      Format.fprintf ppf "Default plan:@.%a@." (Cost.pp_annotated costed) default_plan;
-      (if optimize then begin
-         let o = Optimizer.optimize store ~scope default_plan in
-         List.iter
-           (fun (t : Optimizer.trace_entry) ->
-             Format.fprintf ppf "applied %s at %s: cost %d -> %d@." t.Optimizer.rule
-               t.Optimizer.target t.Optimizer.cost_before t.Optimizer.cost_after)
-           o.Optimizer.trace;
-         Format.fprintf ppf "Optimized plan (%d iterations):@.%a@." o.Optimizer.iterations
-           (Cost.pp_annotated o.Optimizer.cost) o.Optimizer.plan
-       end);
+      let a0 = Analysis.analyze store ~scope default_plan in
+      Format.fprintf ppf "Default plan:@.%a@." (Analysis.pp_annotated ~costed a0) default_plan;
+      let final_analysis =
+        if optimize then begin
+          let o = Optimizer.optimize store ~scope default_plan in
+          List.iter
+            (fun (t : Optimizer.trace_entry) ->
+              Format.fprintf ppf "applied %s at %s: cost %d -> %d@." t.Optimizer.rule
+                t.Optimizer.target t.Optimizer.cost_before t.Optimizer.cost_after)
+            o.Optimizer.trace;
+          let a1 = Analysis.analyze store ~scope o.Optimizer.plan in
+          Format.fprintf ppf "Optimized plan (%d iterations):@.%a@." o.Optimizer.iterations
+            (Analysis.pp_annotated ~costed:o.Optimizer.cost a1) o.Optimizer.plan;
+          a1
+        end
+        else a0
+      in
+      (if Analysis.statically_empty final_analysis then
+         Format.fprintf ppf "Statically empty: execution will be skipped@.");
+      (match final_analysis.Analysis.diagnostics with
+      | [] -> ()
+      | ds ->
+          Format.fprintf ppf "Diagnostics:@.";
+          List.iter
+            (fun d -> Format.fprintf ppf "  %s@." (Analysis.diagnostic_to_string d))
+            ds);
       Format.pp_print_flush ppf ();
       Ok (Buffer.contents buf)
 
@@ -265,8 +319,23 @@ let explain_analyze ?(optimize = true) ?(json = false) store doc src =
                  (Profile.Json.Obj
                     [ ("query", Profile.Json.Str src);
                       ("results", Profile.Json.Int (List.length r.keys));
-                      ("report", Profile.render_json rep) ]))
+                      ("report", Profile.render_json rep);
+                      ("analysis", Analysis.to_json r.analysis r.executed_plan) ]))
           else
+            let props_section =
+              Format.asprintf "Static properties:@.%a"
+                (Analysis.pp_annotated ?costed:None r.analysis)
+                r.executed_plan
+            in
+            let diag_section =
+              match r.analysis.Analysis.diagnostics with
+              | [] -> ""
+              | ds ->
+                  "Diagnostics:\n"
+                  ^ String.concat "\n"
+                      (List.map (fun d -> "  " ^ Analysis.diagnostic_to_string d) ds)
+                  ^ "\n"
+            in
             Ok
-              (Printf.sprintf "Query: %s\n%d results\n%s" src (List.length r.keys)
-                 (Profile.render_text rep)))
+              (Printf.sprintf "Query: %s\n%d results\n%s%s%s" src (List.length r.keys)
+                 (Profile.render_text rep) props_section diag_section))

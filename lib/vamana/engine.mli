@@ -21,6 +21,9 @@ type result = {
   profile : Profile.report option;
       (** per-operator actuals joined with estimates; [Some] only when
           the query ran with [~profile:true] *)
+  analysis : Analysis.t;
+      (** inferred stream properties and diagnostics of the executed plan
+          (first branch for a union), as consulted by the execution path *)
 }
 
 type prepared = {
@@ -28,6 +31,9 @@ type prepared = {
   default_plans : Plan.op list;  (** one per union branch *)
   executed_plans : Plan.op list;  (** = [default_plans] when optimization is off *)
   outcomes : Optimizer.outcome list option;
+  analyses : Analysis.t list;  (** one per executed plan, at [prep_epoch]/[prep_scope] *)
+  prep_scope : Flex.t option;
+  prep_epoch : int;  (** {!Mass.Store.epoch} at preparation time *)
   prep_compile_time : float;  (** seconds *)
   prep_optimize_time : float;
   prep_spans : Profile.span list;  (** parse/compile/optimize spans *)
@@ -37,7 +43,10 @@ type prepared = {
     and scope-dependent only through the statistics the optimizer saw, so
     a [prepared] value stays {e semantically} valid across store updates
     (the optimizer guarantees any plan it emits computes the same result
-    set); only its cost estimates can go stale. *)
+    set); only its cost estimates can go stale.  The stored analyses are
+    statistics {e snapshots}: {!execute_prepared} re-derives them when the
+    store epoch or the execution scope has moved, so a cached
+    static-emptiness verdict can never leak across an update. *)
 
 val prepare :
   ?optimize:bool -> Mass.Store.t -> scope:Flex.t option -> string -> (prepared, string) Result.t
@@ -52,7 +61,13 @@ val execute_prepared : ?profile:bool -> Mass.Store.t -> context:Flex.t -> prepar
     the [prepared] value (zero cost was paid on this call).  [profile]
     (default [false]) instruments every operator and fills the result's
     [profile] report; for a union, the report tree covers the first
-    branch.  The unprofiled path allocates no profiling structures. *)
+    branch.  The unprofiled path allocates no profiling structures.
+
+    Statically-empty plans (per {!Analysis.statically_empty}) return []
+    without instantiating the executor — zero page reads — and emit an
+    [Obs] [static_empty_skip] event.  When the analyzer proves the raw
+    tuple stream already sorted and duplicate-free, the final
+    sort/deduplication pass is skipped. *)
 
 val scope_of_context : Flex.t -> Flex.t option
 (** Statistics scope of an execution context: the context's document root
@@ -101,7 +116,8 @@ val materialize : Mass.Store.t -> Flex.t list -> Mass.Record.t list
 
 val explain : ?optimize:bool -> Mass.Store.t -> Mass.Store.doc -> string -> (string, string) Result.t
 (** Cost-annotated plan rendering (paper Figures 6–9 style), including
-    the optimizer trace. *)
+    the optimizer trace, the inferred per-operator stream properties and
+    the analyzer's diagnostics. *)
 
 val explain_analyze :
   ?optimize:bool ->

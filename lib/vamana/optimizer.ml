@@ -13,6 +13,7 @@ type iteration_stat = {
   duration : float;
   considered : int;
   rejected : int;
+  property_rejected : int;
   accepted : string option;
 }
 
@@ -32,10 +33,12 @@ let optimize ?(rules = Rewrite.cost_rules) ?stats store ~scope plan =
     if iterations >= max_iterations then finish plan iterations trace stats_acc
     else begin
       let t0 = Unix.gettimeofday () in
-      let considered = ref 0 and rejected = ref 0 in
+      let considered = ref 0 and rejected = ref 0 and property_rejected = ref 0 in
       let costed = Cost.estimate ?stats store ~scope plan in
       let current_cost = Cost.total_output costed plan in
       let ordered = Cost.ordered_by_selectivity costed plan in
+      let analysis = Analysis.analyze ?stats store ~scope plan in
+      let sig_before = Analysis.signature_of analysis plan in
       (* most selective operator first; first admissible rewrite wins *)
       let candidate =
         List.fold_left
@@ -56,18 +59,47 @@ let optimize ?(rules = Rewrite.cost_rules) ?stats store ~scope plan =
                             let costed' = Cost.estimate ?stats store ~scope plan' in
                             let cost' = Cost.total_output costed' plan' in
                             if cost' <= current_cost then begin
-                              if Obs.active () then
-                                Obs.emit ~category:"optimizer" "rule_accepted"
-                                  [ ("rule", Obs.Str rule.Rewrite.name);
-                                    ("target", Obs.Str (Plan.kind_to_string op));
-                                    ("cost_before", Obs.Int current_cost);
-                                    ("cost_after", Obs.Int cost') ];
-                              Some
-                                ( plan',
-                                  { rule = rule.Rewrite.name;
-                                    target = Plan.kind_to_string op;
-                                    cost_before = current_cost;
-                                    cost_after = cost' } )
+                              (* cost admits the rewrite; semantics must
+                                 agree too — a rule that changes the
+                                 plan's inferred properties is buggy no
+                                 matter how cheap its plan looks *)
+                              let analysis' = Analysis.analyze ?stats store ~scope plan' in
+                              match
+                                Analysis.check_rewrite
+                                  ~before:sig_before
+                                  ~after:(Analysis.signature_of analysis' plan')
+                                  ~after_errors:(Analysis.errors analysis')
+                              with
+                              | Error reason ->
+                                  incr property_rejected;
+                                  if Obs.active () then
+                                    Obs.emit ~severity:Obs.Warn ~category:"optimizer"
+                                      "rule_property_violation"
+                                      [ ("rule", Obs.Str rule.Rewrite.name);
+                                        ("target", Obs.Str (Plan.kind_to_string op));
+                                        ("reason", Obs.Str reason) ];
+                                  Log.warn (fun m ->
+                                      m "rejected %s at %s: %s" rule.Rewrite.name
+                                        (Plan.kind_to_string op) reason);
+                                  if !Analysis.strict then
+                                    raise
+                                      (Analysis.Property_violation
+                                         (Printf.sprintf "%s at %s: %s" rule.Rewrite.name
+                                            (Plan.kind_to_string op) reason));
+                                  None
+                              | Ok () ->
+                                  if Obs.active () then
+                                    Obs.emit ~category:"optimizer" "rule_accepted"
+                                      [ ("rule", Obs.Str rule.Rewrite.name);
+                                        ("target", Obs.Str (Plan.kind_to_string op));
+                                        ("cost_before", Obs.Int current_cost);
+                                        ("cost_after", Obs.Int cost') ];
+                                  Some
+                                    ( plan',
+                                      { rule = rule.Rewrite.name;
+                                        target = Plan.kind_to_string op;
+                                        cost_before = current_cost;
+                                        cost_after = cost' } )
                             end
                             else begin
                               incr rejected;
@@ -87,6 +119,7 @@ let optimize ?(rules = Rewrite.cost_rules) ?stats store ~scope plan =
         { duration = Unix.gettimeofday () -. t0;
           considered = !considered;
           rejected = !rejected;
+          property_rejected = !property_rejected;
           accepted }
       in
       match candidate with

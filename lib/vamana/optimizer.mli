@@ -20,6 +20,9 @@ type iteration_stat = {
   duration : float;  (** seconds spent costing + searching this iteration *)
   considered : int;  (** rewrites that produced a candidate plan *)
   rejected : int;  (** candidates whose re-estimated cost increased *)
+  property_rejected : int;
+      (** cost-admissible candidates rejected because
+          {!Analysis.check_rewrite} found a semantic-property change *)
   accepted : string option;  (** admitted rule, [None] on the fixpoint iteration *)
 }
 
@@ -44,7 +47,13 @@ val optimize :
 (** [rules] defaults to the full transformation library
     ({!Rewrite.cost_rules}); restricting it supports ablation studies.
     [stats] defaults to live index-backed statistics; a frozen source
-    ({!Frozen_stats}) reproduces stale-dictionary behaviour. *)
+    ({!Frozen_stats}) reproduces stale-dictionary behaviour.
+
+    Every cost-admissible candidate is additionally vetted by
+    {!Analysis.check_rewrite} against the current plan's semantic
+    signature; a violating candidate is skipped (with an [Obs]
+    [rule_property_violation] event) — or, when {!Analysis.strict} is
+    set, escalated to {!Analysis.Property_violation}. *)
 
 val max_iterations : int
 (** Safety bound on optimization iterations (the rewrite system

@@ -1,0 +1,461 @@
+(* Static-analysis tests: per-operator property inference, static
+   emptiness (with the engine short-circuit's page-read delta), update
+   safety of cached verdicts, structural well-formedness, the seeded
+   order-breaking rewrite trip-check, and a differential harness that
+   validates every analyzer claim against observed executor behaviour on
+   generated queries. *)
+
+open Vamana
+module Store = Mass.Store
+module Ast = Xpath.Ast
+module A = Analysis
+
+let compile src =
+  match Compile.compile_query src with
+  | Ok p -> p
+  | Error e -> Alcotest.fail e
+
+let cleaned src = Rewrite.apply_cleanup (compile src)
+
+let analyze store (doc : Store.doc) plan = A.analyze store ~scope:(Some doc.Store.doc_key) plan
+
+let root_props store doc src = (analyze store doc (cleaned src)).A.root_props
+
+let check_props label (p : A.props) ~order ~distinct ~card =
+  Alcotest.(check bool) (label ^ " order") true (p.A.order = order);
+  Alcotest.(check bool) (label ^ " distinct") distinct p.A.distinct;
+  Alcotest.(check (option int)) (label ^ " card") card p.A.card_max
+
+(* ---- per-operator property inference ---- *)
+
+let test_step_props () =
+  let store, doc = Test_vamana.setup () in
+  (* descendant over the single root context: sorted, distinct, bounded
+     by COUNT(person) = 3 *)
+  check_props "//person" (root_props store doc "//person") ~order:A.Doc ~distinct:true
+    ~card:(Some 3);
+  (* child chain: child preserves distinctness (one parent per node),
+     but over a possibly-nesting descendant input order is forfeited *)
+  check_props "//person/address" (root_props store doc "//person/address") ~order:A.Unordered
+    ~distinct:true ~card:(Some 2);
+  (* attribute axis: leaf-kind stream, never nests *)
+  let p = root_props store doc "//watch/@open_auction" in
+  check_props "//watch/@open_auction" p ~order:A.Unordered ~distinct:true ~card:(Some 3);
+  Alcotest.(check bool) "attrs disjoint" true p.A.no_nesting;
+  (* ancestor over a multi-tuple stream: nothing provable *)
+  check_props "//watch/ancestor::person" (root_props store doc "//watch/ancestor::person")
+    ~order:A.Unordered ~distinct:false ~card:(Some 3);
+  (* self over a proven stream keeps its properties *)
+  check_props "//person/self::node()" (root_props store doc "//person/self::node()")
+    ~order:A.Doc ~distinct:true ~card:(Some 3);
+  (* parent from a bounded input: card min(input, COUNT) *)
+  check_props "/child::site/parent::node()" (root_props store doc "/child::site/parent::node()")
+    ~order:A.Doc ~distinct:true ~card:(Some 1)
+
+let test_root_and_generic_props () =
+  let store, doc = Test_vamana.setup () in
+  (* R passes its context through *)
+  let plan = cleaned "//person" in
+  let a = analyze store doc plan in
+  let chain = Plan.context_chain plan in
+  let step = List.nth chain 1 in
+  Alcotest.(check bool) "R = step props" true
+    (A.props_of a plan = A.props_of a step);
+  (* a last() predicate compiles to a generic step; the evaluator sorts
+     per context, and the single root context makes the claim exact *)
+  let gplan = cleaned "//person[last()]" in
+  Alcotest.(check bool) "generic step present" true
+    (List.exists
+       (fun (op : Plan.op) ->
+         match op.Plan.kind with Plan.Step_generic _ -> true | _ -> false)
+       (Plan.subtree_ops gplan));
+  let ga = (analyze store doc gplan).A.root_props in
+  Alcotest.(check bool) "generic card bounded" true
+    (match ga.A.card_max with Some n -> n <= 3 | None -> false)
+
+let test_value_step_props () =
+  let store, doc = Test_vamana.setup () in
+  let scope = Some doc.Store.doc_key in
+  let o = Optimizer.optimize store ~scope (compile "//name[text()='Yung Flach']") in
+  let has_value_step =
+    List.exists
+      (fun (op : Plan.op) ->
+        match op.Plan.kind with Plan.Value_step _ -> true | _ -> false)
+      (Plan.subtree_ops o.Optimizer.plan)
+  in
+  Alcotest.(check bool) "value_index fired" true has_value_step;
+  let p = (analyze store doc o.Optimizer.plan).A.root_props in
+  (* TC('Yung Flach') = 1: a single-tuple stream, every property holds *)
+  check_props "value plan" p ~order:A.Doc ~distinct:true ~card:(Some 1)
+
+(* ---- static emptiness and dead predicates ---- *)
+
+let test_emptiness () =
+  let store, doc = Test_vamana.setup () in
+  let empty src =
+    let a = analyze store doc (cleaned src) in
+    A.statically_empty a
+  in
+  Alcotest.(check bool) "absent tag" true (empty "//nosuchtag");
+  Alcotest.(check bool) "absent tag deeper" true (empty "//nosuchtag/child::x");
+  Alcotest.(check bool) "position beyond COUNT" true (empty "//person[5]");
+  Alcotest.(check bool) "absent value" true (empty "//province[text()='Nowhere']");
+  Alcotest.(check bool) "present value not empty" false (empty "//province[text()='Vermont']");
+  Alcotest.(check bool) "present tag not empty" false (empty "//person");
+  (* the diagnostics name the cause *)
+  let a = analyze store doc (cleaned "//province[text()='Nowhere']") in
+  Alcotest.(check bool) "dead-predicate reported" true
+    (List.exists (fun (d : A.diagnostic) -> d.A.code = "dead-predicate") a.A.diagnostics);
+  let a = analyze store doc (cleaned "//nosuchtag") in
+  Alcotest.(check bool) "empty-step reported" true
+    (List.exists (fun (d : A.diagnostic) -> d.A.code = "empty-step") a.A.diagnostics);
+  (* a tautological position predicate is flagged as redundant *)
+  let a = analyze store doc (cleaned "//person[position()>=1]") in
+  Alcotest.(check bool) "redundant-predicate reported" true
+    (List.exists (fun (d : A.diagnostic) -> d.A.code = "redundant-predicate") a.A.diagnostics)
+
+(* the engine must skip execution entirely: zero page reads *)
+let test_engine_short_circuit () =
+  let store, doc = Test_vamana.setup () in
+  (match Engine.query store ~context:doc.Store.doc_key "//person" with
+  | Error e -> Alcotest.fail e
+  | Ok r ->
+      Alcotest.(check bool) "control query reads pages" true
+        (r.Engine.io.Storage.Stats.logical_reads > 0));
+  match Engine.query store ~context:doc.Store.doc_key "//nosuchtag" with
+  | Error e -> Alcotest.fail e
+  | Ok r ->
+      Alcotest.(check (list string)) "no results" []
+        (List.map Flex.to_string r.Engine.keys);
+      Alcotest.(check bool) "statically empty" true (A.statically_empty r.Engine.analysis);
+      Alcotest.(check int) "zero logical reads" 0 r.Engine.io.Storage.Stats.logical_reads;
+      Alcotest.(check int) "zero physical reads" 0 r.Engine.io.Storage.Stats.physical_reads
+
+let test_short_circuit_event () =
+  let store, doc = Test_vamana.setup () in
+  Obs.reset ();
+  Obs.attach_ring ();
+  Fun.protect
+    ~finally:(fun () -> Obs.reset ())
+    (fun () ->
+      (match Engine.query store ~context:doc.Store.doc_key "//nosuchtag" with
+      | Error e -> Alcotest.fail e
+      | Ok _ -> ());
+      let events = Obs.drain () in
+      Alcotest.(check bool) "static_empty_skip emitted" true
+        (List.exists (fun (e : Obs.event) -> e.Obs.name = "static_empty_skip") events))
+
+(* a cached emptiness verdict must not survive a store update *)
+let test_update_safety () =
+  let store, doc = Test_vamana.setup () in
+  let scope = Some doc.Store.doc_key in
+  match Engine.prepare store ~scope "//freshtag" with
+  | Error e -> Alcotest.fail e
+  | Ok p ->
+      let r0 = Engine.execute_prepared store ~context:doc.Store.doc_key p in
+      Alcotest.(check int) "empty before insert" 0 (List.length r0.Engine.keys);
+      let parent =
+        match Store.root_element_key doc store with
+        | Some k -> k
+        | None -> Alcotest.fail "no root element"
+      in
+      let _ = Store.insert_element store ~parent "freshtag" [] (Some "hello") in
+      (* same prepared value, post-update epoch: verdict is re-derived *)
+      let r1 = Engine.execute_prepared store ~context:doc.Store.doc_key p in
+      Alcotest.(check int) "found after insert" 1 (List.length r1.Engine.keys)
+
+(* ---- structural well-formedness and the strict gate ---- *)
+
+let test_structural () =
+  let leaf = Plan.mk (Plan.Step (Ast.Descendant, Ast.Name_test "person")) in
+  let ok_plan = Plan.mk ~context:leaf Plan.Root in
+  Alcotest.(check int) "well-formed plan" 0 (List.length (A.structural_diagnostics ok_plan));
+  A.assert_well_formed ok_plan;
+  (* R with predicates: the executor would silently ignore them *)
+  let bad = Plan.mk ~context:leaf ~predicates:[ Plan.Position (Ast.Eq, 1.) ] Plan.Root in
+  Alcotest.(check bool) "R-with-predicates flagged" true
+    (List.exists (fun (d : A.diagnostic) -> d.A.severity = A.Error) (A.structural_diagnostics bad));
+  (match A.assert_well_formed bad with
+  | () -> Alcotest.fail "assert_well_formed accepted a bad plan"
+  | exception A.Ill_formed _ -> ());
+  (* β with a non-comparison operator: the executor raises mid-stream *)
+  let bad_beta =
+    Plan.mk
+      ~context:(Plan.mk (Plan.Step (Ast.Descendant_or_self, Ast.Node_test)))
+      ~predicates:
+        [ Plan.Binary
+            (Plan.fresh_id (), Ast.Add, Plan.Number_operand 1., Plan.Number_operand 2.) ]
+      (Plan.Step (Ast.Child, Ast.Name_test "person"))
+  in
+  let root = Plan.mk ~context:bad_beta Plan.Root in
+  Alcotest.(check bool) "non-comparison β flagged" true
+    (List.exists (fun (d : A.diagnostic) -> d.A.severity = A.Error) (A.structural_diagnostics root));
+  (* the strict gate validates before instantiating iterators *)
+  let store, doc = Test_vamana.setup () in
+  A.strict := true;
+  Fun.protect
+    ~finally:(fun () -> A.strict := false)
+    (fun () ->
+      match Exec.run store ~context:doc.Store.doc_key root with
+      | _ -> Alcotest.fail "strict executor accepted a malformed plan"
+      | exception A.Ill_formed _ -> ());
+  (* without strict the plan still opens (and raises only if the bad
+     predicate is ever evaluated) — the gate is opt-in *)
+  Alcotest.(check pass) "lenient by default" () ()
+
+(* ---- seeded-bug trip-check: an order-breaking rule must be rejected ---- *)
+
+(* descendant_merge with the positional-safety guard deliberately
+   removed: merging [dos::node()/child::t[position()]] into
+   [descendant::t[position()]] re-streams the positional candidates on a
+   different axis, changing which node is "the 2nd" *)
+let buggy_descendant_merge : Rewrite.rule =
+  let apply root ~target =
+    let chain = Plan.context_chain root in
+    let rec go acc = function
+      | (a : Plan.op) :: (b : Plan.op) :: rest when a.Plan.id = target -> (
+          match (a.Plan.kind, b.Plan.kind) with
+          | Plan.Step (Ast.Child, t), Plan.Step (Ast.Descendant_or_self, Ast.Node_test)
+            when b.Plan.predicates = [] ->
+              let merged = Plan.mk ~predicates:a.Plan.predicates (Plan.Step (Ast.Descendant, t)) in
+              Plan.rebuild_chain (List.rev_append acc (merged :: rest))
+          | _ -> None)
+      | x :: rest -> go (x :: acc) rest
+      | [] -> None
+    in
+    go [] chain
+  in
+  { Rewrite.name = "buggy-descendant-merge";
+    description = "seeded bug: descendant merge without the positional guard";
+    apply }
+
+let test_seeded_bug_rejected () =
+  let store, doc = Test_vamana.setup () in
+  let scope = Some doc.Store.doc_key in
+  let plan = compile "//person[2]" in
+  let o = Optimizer.optimize ~rules:[ buggy_descendant_merge ] store ~scope plan in
+  Alcotest.(check int) "no rewrite admitted" 0 (List.length o.Optimizer.trace);
+  let property_rejections =
+    List.fold_left
+      (fun acc (s : Optimizer.iteration_stat) -> acc + s.Optimizer.property_rejected)
+      0 o.Optimizer.iteration_stats
+  in
+  Alcotest.(check bool) "property check tripped" true (property_rejections > 0);
+  (* the surviving plan still answers correctly *)
+  let keys = Exec.run store ~context:doc.Store.doc_key o.Optimizer.plan in
+  Alcotest.(check int) "correct result" 1 (List.length keys);
+  (* sanity: the same merge on a positional-free plan preserves the
+     signature — the rejection above is specifically about the
+     positional fingerprint, not the rule shape.  (The optimizer never
+     sees this case: cleanup merges positional-free dos/child pairs
+     before the cost search runs.) *)
+  let before = compile "//person" in
+  let target = (Plan.leaf before).Plan.id in
+  (* the chain is [R; child::person; dos::node()]: target the child step *)
+  let target =
+    match Plan.context_chain before with
+    | [ _; c; _ ] -> c.Plan.id
+    | _ -> target
+  in
+  match buggy_descendant_merge.Rewrite.apply before ~target with
+  | None -> Alcotest.fail "merge did not fire on //person"
+  | Some after ->
+      let analyze p = A.analyze store ~scope p in
+      let a_before = analyze before and a_after = analyze after in
+      (match
+         A.check_rewrite
+           ~before:(A.signature_of a_before before)
+           ~after:(A.signature_of a_after after)
+           ~after_errors:(A.errors a_after)
+       with
+      | Ok () -> ()
+      | Error reason -> Alcotest.fail ("positional-free merge rejected: " ^ reason))
+
+let test_seeded_bug_strict_and_event () =
+  let store, doc = Test_vamana.setup () in
+  let scope = Some doc.Store.doc_key in
+  let plan = compile "//person[2]" in
+  (* the violation is visible on the bus *)
+  Obs.reset ();
+  Obs.attach_ring ();
+  Fun.protect
+    ~finally:(fun () -> Obs.reset ())
+    (fun () ->
+      let _ = Optimizer.optimize ~rules:[ buggy_descendant_merge ] store ~scope plan in
+      let events = Obs.drain () in
+      Alcotest.(check bool) "rule_property_violation emitted" true
+        (List.exists
+           (fun (e : Obs.event) ->
+             e.Obs.name = "rule_property_violation" && e.Obs.severity = Obs.Warn)
+           events));
+  (* under the debug flag the rejection escalates to a hard error *)
+  A.strict := true;
+  Fun.protect
+    ~finally:(fun () -> A.strict := false)
+    (fun () ->
+      match Optimizer.optimize ~rules:[ buggy_descendant_merge ] store ~scope plan with
+      | _ -> Alcotest.fail "strict mode did not raise on the seeded bug"
+      | exception A.Property_violation _ -> ())
+
+(* the stock rule library never trips the property check *)
+let test_stock_rules_clean () =
+  let store, doc = Test_vamana.setup () in
+  let scope = Some doc.Store.doc_key in
+  List.iter
+    (fun src ->
+      let o = Optimizer.optimize store ~scope (compile src) in
+      let rejections =
+        List.fold_left
+          (fun acc (s : Optimizer.iteration_stat) -> acc + s.Optimizer.property_rejected)
+          0 o.Optimizer.iteration_stats
+      in
+      Alcotest.(check int) (src ^ " property rejections") 0 rejections)
+    Test_vamana.paper_queries
+
+(* ---- differential harness: analyzer claims vs observed behaviour ---- *)
+
+(* deterministic LCG so the generated corpus is identical on every run *)
+let mk_rng seed =
+  let st = ref seed in
+  fun bound ->
+    st := ((!st * 1103515245) + 12345) land 0x3FFFFFFF;
+    !st mod bound
+
+let pick rng l = List.nth l (rng (List.length l))
+
+let axes =
+  [ "child"; "child"; "child"; "descendant"; "descendant"; "descendant-or-self"; "self";
+    "parent"; "ancestor"; "ancestor-or-self"; "following-sibling"; "preceding-sibling";
+    "following"; "preceding"; "attribute" ]
+
+let elem_tests =
+  [ "person"; "name"; "address"; "city"; "watches"; "watch"; "open_auction"; "price";
+    "itemref"; "province"; "item"; "nosuchtag"; "*"; "text()"; "node()" ]
+
+let attr_tests = [ "id"; "open_auction"; "item"; "nosuchattr"; "*" ]
+
+let predicates =
+  [ ""; ""; ""; ""; ""; "[1]"; "[2]"; "[5]"; "[last()]"; "[position()>1]"; "[name]";
+    "[child::name]"; "[text()='Vermont']"; "[text()='zzz-absent']"; "[@id='person0']";
+    "[not(child::watches)]" ]
+
+(* a step is "heavy" when it can fan out per context; allowing heavy
+   steps only in first position (single context) keeps the harness fast
+   without narrowing the grammar *)
+let heavy axis test =
+  match axis with
+  | "following" | "preceding" -> true
+  | "descendant" | "descendant-or-self" | "ancestor" | "ancestor-or-self" ->
+      test = "node()" || test = "*"
+  | _ -> false
+
+let gen_query rng =
+  let rec gen_steps n first acc =
+    if n = 0 then List.rev acc
+    else
+      let axis = pick rng axes in
+      let test = if axis = "attribute" then pick rng attr_tests else pick rng elem_tests in
+      if heavy axis test && not first then gen_steps n first acc
+      else
+        let pred = pick rng predicates in
+        (* positional / value predicates over an attribute step parse but
+           add nothing; keep them to exercise the analyzer anyway *)
+        gen_steps (n - 1) false ((axis ^ "::" ^ test ^ pred) :: acc)
+  in
+  let n = 1 + rng 3 in
+  "/" ^ String.concat "/" (gen_steps n true [])
+
+let is_sorted cmp l =
+  let rec go = function a :: (b :: _ as rest) -> cmp a b <= 0 && go rest | _ -> true in
+  go l
+
+let is_ancestor a b =
+  Flex.depth a < Flex.depth b && Flex.equal a (Flex.prefix b (Flex.depth a))
+
+let check_claims store (doc : Store.doc) src plan =
+  let a = A.analyze store ~scope:(Some doc.Store.doc_key) plan in
+  let raw = Exec.run_raw store ~context:doc.Store.doc_key plan in
+  let set = List.sort_uniq Flex.compare raw in
+  let p = a.A.root_props in
+  (match p.A.order with
+  | A.Doc ->
+      if not (is_sorted Flex.compare raw) then
+        Alcotest.failf "%s: claimed doc-order, stream is not sorted" src
+  | A.Rev_doc ->
+      if not (is_sorted (fun x y -> Flex.compare y x) raw) then
+        Alcotest.failf "%s: claimed reverse-order, stream is not reverse-sorted" src
+  | A.Unordered -> ());
+  if p.A.distinct && List.length raw <> List.length set then
+    Alcotest.failf "%s: claimed distinct, stream has duplicates" src;
+  (match p.A.card_max with
+  | Some n ->
+      if List.length set > n then
+        Alcotest.failf "%s: claimed card<=%d, result set has %d" src n (List.length set)
+  | None -> ());
+  (if p.A.no_nesting then
+     let rec adjacent = function
+       | x :: (y :: _ as rest) ->
+           if is_ancestor x y then
+             Alcotest.failf "%s: claimed disjoint, %s nests %s" src (Flex.to_string x)
+               (Flex.to_string y)
+           else adjacent rest
+       | _ -> ()
+     in
+     adjacent set);
+  if A.statically_empty a && raw <> [] then
+    Alcotest.failf "%s: claimed statically empty, stream has %d tuples" src (List.length raw);
+  set
+
+let test_differential () =
+  let store = Store.create ~pool_pages:16384 () in
+  let doc = Xmark.load store 0.1 in
+  let rng = mk_rng 20260806 in
+  let n_queries = 220 in
+  let checked = ref 0 in
+  for _ = 1 to n_queries do
+    let src = gen_query rng in
+    match (Engine.query ~optimize:false store ~context:doc.Store.doc_key src,
+           Engine.query ~optimize:true store ~context:doc.Store.doc_key src)
+    with
+    | Error e, _ | _, Error e -> Alcotest.failf "%s: %s" src e
+    | Ok r0, Ok r1 ->
+        (* the engine's two pipelines must agree on the node set *)
+        if not (List.equal Flex.equal r0.Engine.keys r1.Engine.keys) then
+          Alcotest.failf "%s: unoptimized %d keys, optimized %d keys — result sets differ" src
+            (List.length r0.Engine.keys) (List.length r1.Engine.keys);
+        (* every analyzer claim must hold on both plans, observed on the
+           raw (unsorted, undeduplicated) executor stream *)
+        let s0 = check_claims store doc src r0.Engine.executed_plan in
+        let s1 = check_claims store doc src r1.Engine.executed_plan in
+        if not (List.equal Flex.equal s0 s1) then
+          Alcotest.failf "%s: raw streams disagree with engine results" src;
+        if not (List.equal Flex.equal s0 r0.Engine.keys) then
+          Alcotest.failf "%s: engine keys differ from observed node set" src;
+        incr checked
+  done;
+  Alcotest.(check int) "all generated queries checked" n_queries !checked;
+  (* the analyzer's emptiness verdicts agree with the index probes the
+     storage layer exposes *)
+  Alcotest.(check bool) "test_present agrees" true
+    (Store.test_present store ~scope:doc.Store.doc_key ~principal:Mass.Record.Element
+       (Ast.Name_test "person"));
+  Alcotest.(check bool) "absent tag agrees" false
+    (Store.test_present store ~scope:doc.Store.doc_key ~principal:Mass.Record.Element
+       (Ast.Name_test "nosuchtag"));
+  Alcotest.(check bool) "value_present agrees" false
+    (Store.value_present store ~scope:doc.Store.doc_key "zzz-absent")
+
+let suite =
+  ( "analysis",
+    [ Alcotest.test_case "step properties" `Quick test_step_props;
+      Alcotest.test_case "root and generic properties" `Quick test_root_and_generic_props;
+      Alcotest.test_case "value step properties" `Quick test_value_step_props;
+      Alcotest.test_case "static emptiness" `Quick test_emptiness;
+      Alcotest.test_case "engine short-circuit" `Quick test_engine_short_circuit;
+      Alcotest.test_case "short-circuit event" `Quick test_short_circuit_event;
+      Alcotest.test_case "update safety" `Quick test_update_safety;
+      Alcotest.test_case "structural well-formedness" `Quick test_structural;
+      Alcotest.test_case "seeded bug rejected" `Quick test_seeded_bug_rejected;
+      Alcotest.test_case "seeded bug strict + event" `Quick test_seeded_bug_strict_and_event;
+      Alcotest.test_case "stock rules property-clean" `Quick test_stock_rules_clean;
+      Alcotest.test_case "differential harness" `Slow test_differential ] )

@@ -152,6 +152,42 @@ let prop_rule_equivalence =
             (Rewrite.cleanup_rules @ Rewrite.cost_rules))
         rule_equivalence_queries)
 
+(* ---- per-rule property-signature preservation ---- *)
+
+(* every stock rule, applied to a query it fires on, must keep the
+   analyzer's rewrite signature intact: same static-emptiness verdict, a
+   result description no wider than before, identical positional
+   fingerprints — the admission contract the optimizer enforces *)
+let test_signature_preservation () =
+  let store, doc = Test_vamana.setup () in
+  let scope = Some doc.Store.doc_key in
+  let analyze p = Analysis.analyze store ~scope p in
+  let firing =
+    [ (Rewrite.self_merge, raw_compile "//a/self::a");
+      (Rewrite.descendant_merge, raw_compile "//person");
+      (Rewrite.parent_elim, compile "descendant::name/parent::person");
+      (Rewrite.ancestor_pushdown, compile "descendant::watch/ancestor::person");
+      (Rewrite.child_pushdown, compile "descendant::person/child::address");
+      (Rewrite.value_index, compile "descendant::name[text()='Yung Flach']") ]
+  in
+  List.iter
+    (fun ((rule : Rewrite.rule), before) ->
+      match apply_rule rule before with
+      | None -> Alcotest.fail (rule.Rewrite.name ^ " did not fire")
+      | Some after ->
+          let a_before = analyze before and a_after = analyze after in
+          let verdict =
+            Analysis.check_rewrite
+              ~before:(Analysis.signature_of a_before before)
+              ~after:(Analysis.signature_of a_after after)
+              ~after_errors:(Analysis.errors a_after)
+          in
+          (match verdict with
+          | Ok () -> ()
+          | Error reason ->
+              Alcotest.fail (rule.Rewrite.name ^ ": signature not preserved: " ^ reason)))
+    firing
+
 let test_cleanup_idempotent () =
   List.iter
     (fun src ->
@@ -169,4 +205,5 @@ let suite =
       Alcotest.test_case "child pushdown" `Quick test_child_pushdown;
       Alcotest.test_case "value index" `Quick test_value_index;
       Alcotest.test_case "cleanup idempotent" `Quick test_cleanup_idempotent;
+      Alcotest.test_case "signature preservation" `Quick test_signature_preservation;
       QCheck_alcotest.to_alcotest prop_rule_equivalence ] )
