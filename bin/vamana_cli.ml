@@ -3,6 +3,7 @@
      vamana query   [-f doc.xml | -x MB] [--no-optimize] [-v] QUERY
      vamana explain [-f doc.xml | -x MB] QUERY
      vamana lint    [-f doc.xml | -x MB] [--json] [-q queries.txt | QUERY]
+     vamana synopsis [-f doc.xml | -x MB] [--json | --check]
      vamana stats   [-f doc.xml | -x MB] [--tags N]
      vamana generate -x MB [-o out.xml]
      vamana serve   [-f doc.xml | -x MB | -s SNAP] [-q queries.txt]
@@ -293,8 +294,16 @@ let run_lint file xmark_mb snapshot no_optimize json queries_file query =
   let scope = Some doc.Store.doc_key in
   let errors = ref 0 and warnings = ref 0 in
   let module A = Vamana.Analysis in
+  let module T = Xpath.Typecheck in
   let module J = Vamana.Profile.Json in
   let lint_one q =
+    (* parse separately first: the engine's error string is one line,
+       the lint report wants the caret rendering under the source *)
+    match Xpath.Parser.parse_spanned q with
+    | exception (Xpath.Parser.Error _ as exn) ->
+        incr errors;
+        Error (Option.value ~default:"parse error" (Xpath.Parser.error_caret q exn))
+    | _ -> (
     match Vamana.Engine.prepare ~optimize:(not no_optimize) store ~scope q with
     | Error msg ->
         incr errors;
@@ -311,18 +320,59 @@ let run_lint file xmark_mb snapshot no_optimize json queries_file query =
                 | A.Info -> ())
               a.A.diagnostics)
           pairs;
-        Ok pairs
+        let rep = p.Vamana.Engine.prep_report in
+        List.iter
+          (fun (d : T.diagnostic) ->
+            match d.T.severity with
+            | T.Error -> incr errors
+            | T.Warning -> incr warnings
+            | T.Info -> ())
+          rep.T.rep_diagnostics;
+        Ok (rep, pairs))
   in
   let results = List.map (fun q -> (q, lint_one q)) queries in
+  let span_json = function
+    | None -> J.Null
+    | Some (s : Xpath.Parser.span) ->
+        J.Obj [ ("start", J.Int s.Xpath.Parser.sp_start); ("stop", J.Int s.Xpath.Parser.sp_stop) ]
+  in
+  let typecheck_json (rep : T.report) =
+    J.Obj
+      [ ("type", J.Str (T.ty_to_string rep.T.rep_ty));
+        ("schema_empty", J.Bool rep.T.rep_empty);
+        ( "diagnostics",
+          J.Arr
+            (List.map
+               (fun (d : T.diagnostic) ->
+                 J.Obj
+                   [ ("severity", J.Str (T.severity_to_string d.T.severity));
+                     ("code", J.Str d.T.code);
+                     ("span", span_json d.T.span);
+                     ("message", J.Str d.T.message) ])
+               rep.T.rep_diagnostics) );
+        ( "steps",
+          J.Arr
+            (List.map
+               (fun (s : T.step_note) ->
+                 J.Obj
+                   [ ("axis", J.Str (Xpath.Ast.axis_name s.T.sn_axis));
+                     ("test", J.Str (Xpath.Ast.node_test_to_string s.T.sn_test));
+                     ("span", span_json s.T.sn_span);
+                     ("bound", J.Int s.T.sn_bound);
+                     ("exact", J.Bool s.T.sn_exact);
+                     ("empty", J.Bool s.T.sn_empty) ])
+               rep.T.rep_steps) ) ]
+  in
   (if json then
      let rows =
        List.map
          (fun (q, r) ->
            match r with
            | Error msg -> J.Obj [ ("query", J.Str q); ("error", J.Str msg) ]
-           | Ok pairs ->
+           | Ok (rep, pairs) ->
                J.Obj
                  [ ("query", J.Str q);
+                   ("typecheck", typecheck_json rep);
                    ("branches", J.Arr (List.map (fun (plan, a) -> A.to_json a plan) pairs)) ])
          results
      in
@@ -333,12 +383,26 @@ let run_lint file xmark_mb snapshot no_optimize json queries_file query =
                ("errors", J.Int !errors);
                ("warnings", J.Int !warnings) ]))
    else begin
+     (* caret renderings are multi-line; keep the two-space indent on
+        every line so diagnostics stay visually attached to their query *)
+     let print_indented s =
+       List.iter (fun l -> Printf.printf "  %s\n" l) (String.split_on_char '\n' s)
+     in
      List.iter
        (fun (q, r) ->
          Printf.printf "%s\n" q;
          match r with
-         | Error msg -> Printf.printf "  error [compile] %s\n" msg
-         | Ok pairs ->
+         | Error msg ->
+             if String.contains msg '\n' then begin
+               Printf.printf "  error [compile]\n";
+               print_indented msg
+             end
+             else Printf.printf "  error [compile] %s\n" msg
+         | Ok (rep, pairs) ->
+             List.iter
+               (fun (d : T.diagnostic) ->
+                 print_indented (Format.asprintf "%a" (T.pp_diagnostic ~src:q) d))
+               rep.T.rep_diagnostics;
              List.iter
                (fun (_, (a : A.t)) ->
                  Printf.printf "  properties: %s%s\n"
@@ -346,7 +410,7 @@ let run_lint file xmark_mb snapshot no_optimize json queries_file query =
                    (if A.statically_empty a then "  -- statically empty, execution skipped"
                     else "");
                  match a.A.diagnostics with
-                 | [] -> Printf.printf "  clean\n"
+                 | [] -> if rep.T.rep_diagnostics = [] then Printf.printf "  clean\n"
                  | ds ->
                      List.iter
                        (fun d -> Printf.printf "  %s\n" (A.diagnostic_to_string d))
@@ -379,6 +443,63 @@ let lint_cmd =
              diagnostics.")
     Term.(const run_lint $ file_arg $ xmark_arg $ snapshot_arg $ no_optimize_arg $ json_arg
           $ queries_arg $ query_opt_arg)
+
+(* ---- synopsis: dump or verify the path synopsis ---- *)
+
+let run_synopsis file xmark_mb snapshot json check =
+  handle_parse_errors @@ fun () ->
+  let store, _doc = input_doc file xmark_mb snapshot in
+  let module S = Mass.Synopsis in
+  let syn = S.for_store store in
+  if check then (
+    match S.verify store syn with
+    | Ok () ->
+        Printf.printf "synopsis consistent: %d paths, %d records, epoch %d\n" (S.paths syn)
+          (S.records syn) (S.epoch syn)
+    | Error msg ->
+        Printf.eprintf "synopsis check FAILED: %s\n" msg;
+        exit 1)
+  else if json then begin
+    let module J = Vamana.Profile.Json in
+    let rows =
+      List.rev
+        (S.fold syn ~init:[] ~f:(fun acc ~path ~count ->
+             J.Obj [ ("path", J.Str (String.concat "/" path)); ("count", J.Int count) ] :: acc))
+    in
+    print_endline
+      (J.to_string
+         (J.Obj
+            [ ("epoch", J.Int (S.epoch syn));
+              ("paths", J.Int (S.paths syn));
+              ("records", J.Int (S.records syn));
+              ("nodes", J.Arr rows) ]))
+  end
+  else begin
+    Printf.printf "%d paths, %d records (epoch %d)\n" (S.paths syn) (S.records syn)
+      (S.epoch syn);
+    ignore
+      (S.fold syn ~init:() ~f:(fun () ~path ~count ->
+           let depth = List.length path - 1 in
+           let tag = List.nth path depth in
+           Printf.printf "%-48s %9d\n" (String.make (2 * depth) ' ' ^ tag) count))
+  end
+
+let synopsis_cmd =
+  let json_arg =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit the synopsis as a single JSON document.")
+  in
+  let check_arg =
+    Arg.(value & flag
+         & info [ "check" ]
+             ~doc:"Verify the cached synopsis against a fresh store scan and the per-kind \
+                   record counters instead of dumping it; exits non-zero on any discrepancy.")
+  in
+  Cmd.v
+    (Cmd.info "synopsis"
+       ~doc:"Show the DataGuide-style path synopsis: one row per distinct root-to-tag path \
+             with its exact record count — the structural summary behind the static checker \
+             and the optimizer's chain cardinalities")
+    Term.(const run_synopsis $ file_arg $ xmark_arg $ snapshot_arg $ json_arg $ check_arg)
 
 let run_serve file xmark_mb snapshot queries_file repeat no_optimize plan_cap result_cap json
     quiet slow_ms =
@@ -605,4 +726,4 @@ let save_cmd =
 
 let () =
   let info = Cmd.info "vamana" ~version:"1.0.0" ~doc:"Cost-driven XPath engine over the MASS storage structure" in
-  exit (Cmd.eval (Cmd.group info [ query_cmd; xquery_cmd; explain_cmd; lint_cmd; stats_cmd; generate_cmd; save_cmd; serve_cmd; events_cmd ]))
+  exit (Cmd.eval (Cmd.group info [ query_cmd; xquery_cmd; explain_cmd; lint_cmd; synopsis_cmd; stats_cmd; generate_cmd; save_cmd; serve_cmd; events_cmd ]))

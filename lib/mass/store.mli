@@ -51,6 +51,13 @@ val remove_document : t -> doc -> unit
 val documents : t -> doc list
 val find_document : t -> string -> doc option
 
+val tag_of : Record.t -> string
+(** Name-index tag of a record: the element name, ["@name"] for
+    attributes, ["#text"], ["#comment"], ["#pi"], ["#document"].  ['@']
+    and ['#'] cannot start XML names, so the non-element tags never
+    collide with element names.  The path synopsis reuses this spelling
+    for its per-path labels. *)
+
 val epoch : t -> int
 (** Monotonic content-mutation counter: bumped by {!load},
     {!insert_element}, {!delete_subtree} and {!remove_document}.  Two

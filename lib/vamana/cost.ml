@@ -14,12 +14,33 @@ type costed = (int, stats) Hashtbl.t
 type statistics_source = {
   node_count : scope:Flex.t option -> principal:Mass.Record.kind -> Xpath.Ast.node_test -> int;
   value_count : scope:Flex.t option -> string -> int;
+  chain_out :
+    (scope:Flex.t option ->
+     (Xpath.Ast.axis * Xpath.Ast.node_test * bool) list ->
+     (int * bool) option)
+    option;
+      (* path-synopsis refinement of a step chain's output (root-side
+         first, each step tagged with whether it carries predicates):
+         [Some (n, true)] is the exact raw tuple count, [Some (n, false)]
+         an estimate.  [None] (the source has no synopsis, or the scope
+         is not a whole document) falls back to Table I alone. *)
 }
 
 let live_statistics store =
   {
     node_count = (fun ~scope ~principal test -> Store.count_test store ?scope ~principal test);
     value_count = (fun ~scope v -> Store.text_value_count store ?scope v);
+    chain_out = None;
+  }
+
+let synopsis_statistics store =
+  let live = live_statistics store in
+  {
+    live with
+    chain_out =
+      Some
+        (fun ~scope spec ->
+          Mass.Synopsis.chain_estimate (Mass.Synopsis.for_store store) ~scope spec);
   }
 
 let selectivity_of ~input ~output =
@@ -53,6 +74,52 @@ let value_comparable (pred : Plan.pred) =
       Some v
   | _ -> None
 
+(* Leaf-first [(axis, test, has_predicates)] spec of the step chain that
+   feeds [op], ending with [op] itself carrying [final_preds].  [None]
+   when the chain contains anything but plain steps (a value step, a
+   nested root) — the synopsis walker models location steps only. *)
+let chain_spec (op : Plan.op) ~final_preds =
+  let rec below (o : Plan.op option) =
+    match o with
+    | None -> Some []
+    | Some o -> (
+        match below o.context with
+        | None -> None
+        | Some acc -> (
+            match o.kind with
+            | Plan.Step (axis, test) -> Some (acc @ [ (axis, test, o.predicates <> []) ])
+            | Plan.Step_generic st ->
+                Some
+                  (acc
+                  @ [ (st.Xpath.Ast.axis, st.Xpath.Ast.test,
+                       st.Xpath.Ast.predicates <> [] || o.predicates <> []) ])
+            | Plan.Root | Plan.Value_step _ -> None))
+  in
+  match below op.context with
+  | None -> None
+  | Some acc -> (
+      match op.kind with
+      | Plan.Step (axis, test) -> Some (acc @ [ (axis, test, final_preds) ])
+      | Plan.Step_generic st ->
+          Some (acc @ [ (st.Xpath.Ast.axis, st.Xpath.Ast.test, final_preds) ])
+      | Plan.Root | Plan.Value_step _ -> None)
+
+(* Synopsis refinement of the Table I bound: exact chain counts replace
+   it, estimates only tighten it.  Applies to the main context chain
+   only — predicate sub-plans ([leaf_input] set) run from candidate
+   tuples, not the document node the synopsis walk starts at. *)
+let refine_with_chain stats ~scope ~leaf_input (op : Plan.op) ~final_preds axis_out =
+  match (stats.chain_out, leaf_input) with
+  | Some chain, None -> (
+      match chain_spec op ~final_preds with
+      | None -> axis_out
+      | Some spec -> (
+          match chain ~scope spec with
+          | Some (n, true) -> n
+          | Some (n, false) -> min axis_out n
+          | None -> axis_out))
+  | _ -> axis_out
+
 let rec estimate_op stats ~scope ~costed ~leaf_input (op : Plan.op) : stats =
   match op.kind with
   | Plan.Root ->
@@ -75,6 +142,9 @@ let rec estimate_op stats ~scope ~costed ~leaf_input (op : Plan.op) : stats =
         | None -> ( match leaf_input with Some n -> n | None -> count)
       in
       let axis_out = table_one axis ~count ~input in
+      let axis_out =
+        refine_with_chain stats ~scope ~leaf_input op ~final_preds:false axis_out
+      in
       let output = estimate_predicates stats ~scope ~costed ~candidates:axis_out op.predicates in
       let s = { count; tc = None; input; output; selectivity = selectivity_of ~input ~output } in
       record s ~costed op.id;
@@ -102,6 +172,10 @@ let rec estimate_op stats ~scope ~costed ~leaf_input (op : Plan.op) : stats =
         | None -> ( match leaf_input with Some n -> n | None -> count)
       in
       let output = table_one st.Ast.axis ~count ~input in
+      let output =
+        refine_with_chain stats ~scope ~leaf_input op
+          ~final_preds:(st.Ast.predicates <> []) output
+      in
       let s = { count; tc = None; input; output; selectivity = selectivity_of ~input ~output } in
       record s ~costed op.id;
       s
@@ -126,7 +200,18 @@ and estimate_predicates stats ~scope ~costed ~candidates preds =
 
 and cost_pred_subplans stats ~scope ~costed ~candidates (pred : Plan.pred) =
   match pred with
-  | Plan.Exists sub -> ignore (estimate_op stats ~scope ~costed ~leaf_input:(Some candidates) sub)
+  | Plan.Exists sub ->
+      let s = estimate_op stats ~scope ~costed ~leaf_input:(Some candidates) sub in
+      (* an existence probe resets per candidate and stops at its first
+         witness, so it emits at most one tuple per candidate; the
+         refined-statistics source models that (the pure Table I source
+         keeps the paper's figures) *)
+      if stats.chain_out <> None && s.output > candidates then
+        record
+          { s with
+            output = candidates;
+            selectivity = selectivity_of ~input:s.input ~output:candidates }
+          ~costed sub.Plan.id
   | Plan.Binary (_, _, a, b) ->
       cost_operand stats ~scope ~costed ~candidates a;
       cost_operand stats ~scope ~costed ~candidates b

@@ -34,6 +34,18 @@ type costed = (int, stats) Hashtbl.t
 type statistics_source = {
   node_count : scope:Flex.t option -> principal:Mass.Record.kind -> Xpath.Ast.node_test -> int;
   value_count : scope:Flex.t option -> string -> int;
+  chain_out :
+    (scope:Flex.t option ->
+     (Xpath.Ast.axis * Xpath.Ast.node_test * bool) list ->
+     (int * bool) option)
+    option;
+      (** optional path-synopsis refinement for a whole step chain
+          (leaf-side first, each step tagged with whether it carries
+          predicates): [Some (n, true)] is the exact raw tuple count of
+          the chain's last step, [Some (n, false)] an estimate that only
+          tightens the Table I bound, [None] makes no claim.  The
+          refinement assumes the document node as evaluation context and
+          is consulted for main-chain operators only. *)
 }
 (** Where the estimator reads COUNT and TC from.  The engine uses
     {!live_statistics} (exact, index-backed, always current); alternative
@@ -41,6 +53,15 @@ type statistics_source = {
     data dictionaries the paper argues against. *)
 
 val live_statistics : Mass.Store.t -> statistics_source
+(** Exact index-backed COUNT/TC; no synopsis refinement, so estimates
+    are the pure Table I model. *)
+
+val synopsis_statistics : Mass.Store.t -> statistics_source
+(** {!live_statistics} plus {!Mass.Synopsis} chain refinement: exact
+    multi-step IN/OUT where the synopsis walk stays exact, tightened
+    bounds elsewhere.  The synopsis is the store-cached one
+    ({!Mass.Synopsis.for_store}), so the first estimate after a store
+    mutation pays one rebuild scan. *)
 
 val estimate :
   ?stats:statistics_source -> Mass.Store.t -> scope:Flex.t option -> Plan.op -> costed

@@ -42,6 +42,7 @@ type prepared = {
   executed_plans : Plan.op list;
   outcomes : Optimizer.outcome list option;
   analyses : Analysis.t list;
+  prep_report : Xpath.Typecheck.report;
   prep_scope : Flex.t option;
   prep_epoch : int;
   prep_compile_time : float;
@@ -70,50 +71,64 @@ let iteration_spans (o : Optimizer.outcome) =
 let prepare ?(optimize = true) store ~scope src =
   let parsed, parse_time =
     time (fun () ->
-        match Xpath.Parser.parse src with
-        | ast -> Ok ast
+        match Xpath.Parser.parse_spanned src with
+        | parsed -> Ok parsed
         | exception (Xpath.Parser.Error _ as exn) ->
             Error (Option.value ~default:"parse error" (Xpath.Parser.error_to_string exn)))
   in
-  let compiled, compile_only_time =
-    time (fun () ->
-        match parsed with
-        | Error _ as e -> e
-        | Ok (Xpath.Ast.Path p) -> Ok [ Compile.compile_path p ]
-        | Ok ast -> (
-            (* not a single path: try a union of paths *)
-            match union_branches ast with
-            | Some paths -> Ok (List.map Compile.compile_path paths)
-            | None -> Error "expression is not a location path or union of paths"))
-  in
-  match compiled with
+  match parsed with
   | Error msg -> Error msg
-  | Ok default_plans ->
-      let outcomes, optimize_time =
-        if optimize then
-          let os, t =
-            time (fun () -> List.map (Optimizer.optimize store ~scope) default_plans)
+  | Ok (ast, spans) -> (
+      (* source-level static check against the path synopsis: runs before
+         plan construction, so a schema-level emptiness proof suppresses
+         the optimizer search and (context permitting) execution *)
+      let prep_report, check_time =
+        time (fun () ->
+            let schema = Mass.Synopsis.schema (Mass.Synopsis.for_store store) ~scope in
+            Xpath.Typecheck.check ~schema ~spans ast)
+      in
+      let compiled, compile_only_time =
+        time (fun () ->
+            match ast with
+            | Xpath.Ast.Path p -> Ok [ Compile.compile_path p ]
+            | ast -> (
+                (* not a single path: try a union of paths *)
+                match union_branches ast with
+                | Some paths -> Ok (List.map Compile.compile_path paths)
+                | None -> Error "expression is not a location path or union of paths"))
+      in
+      match compiled with
+      | Error msg -> Error msg
+      | Ok default_plans ->
+          let outcomes, optimize_time =
+            if optimize && not prep_report.Xpath.Typecheck.rep_empty then
+              let stats = Cost.synopsis_statistics store in
+              let os, t =
+                time (fun () ->
+                    List.map (Optimizer.optimize ~stats store ~scope) default_plans)
+              in
+              (Some os, t)
+            else (None, 0.0)
           in
-          (Some os, t)
-        else (None, 0.0)
-      in
-      let executed_plans =
-        match outcomes with
-        | Some os -> List.map (fun (o : Optimizer.outcome) -> o.Optimizer.plan) os
-        | None -> default_plans
-      in
-      let prep_spans =
-        [ Profile.span "parse" parse_time; Profile.span "compile" compile_only_time ]
-        @ (match outcomes with
-          | Some (o :: _) -> iteration_spans o
-          | Some [] | None -> [])
-      in
-      let analyses = List.map (Analysis.analyze store ~scope) executed_plans in
-      Ok
-        { source = src; default_plans; executed_plans; outcomes; analyses;
-          prep_scope = scope; prep_epoch = Store.epoch store;
-          prep_compile_time = parse_time +. compile_only_time;
-          prep_optimize_time = optimize_time; prep_spans }
+          let executed_plans =
+            match outcomes with
+            | Some os -> List.map (fun (o : Optimizer.outcome) -> o.Optimizer.plan) os
+            | None -> default_plans
+          in
+          let prep_spans =
+            [ Profile.span "parse" parse_time;
+              Profile.span "typecheck" check_time;
+              Profile.span "compile" compile_only_time ]
+            @ (match outcomes with
+              | Some (o :: _) -> iteration_spans o
+              | Some [] | None -> [])
+          in
+          let analyses = List.map (Analysis.analyze store ~scope) executed_plans in
+          Ok
+            { source = src; default_plans; executed_plans; outcomes; analyses; prep_report;
+              prep_scope = scope; prep_epoch = Store.epoch store;
+              prep_compile_time = parse_time +. check_time +. compile_only_time;
+              prep_optimize_time = optimize_time; prep_spans })
 
 (* telemetry: primitive span metadata rides along as event attributes *)
 let attrs_of_meta meta =
@@ -184,8 +199,25 @@ let execute_prepared ?(profile = false) store ~context p =
     end
     else false
   in
+  (* The typecheck walk interprets the query with the document node as
+     context, so its emptiness proof only transfers when this execution
+     really starts there (and the store hasn't moved since preparation). *)
+  let schema_skip =
+    p.prep_report.Xpath.Typecheck.rep_empty
+    && p.prep_epoch = Store.epoch store
+    && (match p.prep_scope with
+       | Some dk -> Flex.equal dk context
+       | None -> Flex.depth context = 0)
+  in
   let keys, execute_time =
     time (fun () ->
+        if schema_skip then begin
+          if Obs.active () then
+            Obs.emit ~category:"engine" "static_empty_skip"
+              [ ("query", Obs.Str p.source); ("source", Obs.Str "synopsis") ];
+          []
+        end
+        else
         match List.combine p.executed_plans analyses with
         | [ (plan, a) ] ->
             if skip plan a then []

@@ -32,6 +32,13 @@ type prepared = {
   executed_plans : Plan.op list;  (** = [default_plans] when optimization is off *)
   outcomes : Optimizer.outcome list option;
   analyses : Analysis.t list;  (** one per executed plan, at [prep_epoch]/[prep_scope] *)
+  prep_report : Xpath.Typecheck.report;
+      (** source-level static check against the path synopsis: XPath 1.0
+          type/coercion diagnostics with source spans, per-step schema
+          cardinalities, and the schema-emptiness verdict.  Derived at
+          [prep_epoch]; {!execute_prepared} only acts on the emptiness
+          proof while the store still reports that epoch and the
+          execution context is the checked document node. *)
   prep_scope : Flex.t option;
   prep_epoch : int;  (** {!Mass.Store.epoch} at preparation time *)
   prep_compile_time : float;  (** seconds *)
@@ -50,10 +57,17 @@ type prepared = {
 
 val prepare :
   ?optimize:bool -> Mass.Store.t -> scope:Flex.t option -> string -> (prepared, string) Result.t
-(** Parse, compile and (by default) optimize a location path — or a union
-    of location paths — without executing it.  [scope] bounds the
-    statistics the optimizer consults ([None] = whole store);
-    {!scope_of_context} derives it from an execution context. *)
+(** Parse, statically check, compile and (by default) optimize a location
+    path — or a union of location paths — without executing it.  [scope]
+    bounds the statistics the optimizer consults ([None] = whole store);
+    {!scope_of_context} derives it from an execution context.
+
+    The static check ({!Xpath.Typecheck}) runs against the store's path
+    synopsis before plan construction; its report lands in
+    [prep_report].  The optimizer consults the synopsis too
+    ({!Cost.synopsis_statistics}), replacing per-step Table I products
+    with exact multi-step chain counts where the walk stays exact.  A
+    schema-empty query skips the optimizer search entirely. *)
 
 val execute_prepared : ?profile:bool -> Mass.Store.t -> context:Flex.t -> prepared -> result
 (** Run a prepared query rooted at [context].  The returned

@@ -44,6 +44,7 @@ let source t : Cost.statistics_source =
       (fun ~scope v ->
         ignore scope;
         lookup t.values v);
+    Cost.chain_out = None;
   }
 
 let age t ~updates = { t with updates = t.updates + updates }

@@ -55,8 +55,10 @@ let tokenize src =
   let n = String.length src in
   let out = ref [] in
   let prev = ref None in
-  let emit pos tok =
-    out := (tok, pos) :: !out;
+  (* [emit start stop tok]: [stop] is exclusive, so [stop - start] is the
+     token's width in the source — diagnostics use it to size caret spans. *)
+  let emit pos stop tok =
+    out := (tok, pos, stop) :: !out;
     prev := Some tok
   in
   let pos = ref 0 in
@@ -65,31 +67,33 @@ let tokenize src =
     let p = !pos in
     let c = src.[p] in
     if c = ' ' || c = '\t' || c = '\n' || c = '\r' then incr pos
-    else if c = '(' then (emit p LPAREN; incr pos)
-    else if c = ')' then (emit p RPAREN; incr pos)
-    else if c = '[' then (emit p LBRACK; incr pos)
-    else if c = ']' then (emit p RBRACK; incr pos)
-    else if c = '@' then (emit p AT; incr pos)
-    else if c = ',' then (emit p COMMA; incr pos)
-    else if c = '|' then (emit p PIPE; incr pos)
-    else if c = '+' then (emit p PLUS; incr pos)
-    else if c = '-' then (emit p MINUS; incr pos)
-    else if c = '=' then (emit p EQ; incr pos)
+    else if c = '(' then (emit p (p + 1) LPAREN; incr pos)
+    else if c = ')' then (emit p (p + 1) RPAREN; incr pos)
+    else if c = '[' then (emit p (p + 1) LBRACK; incr pos)
+    else if c = ']' then (emit p (p + 1) RBRACK; incr pos)
+    else if c = '@' then (emit p (p + 1) AT; incr pos)
+    else if c = ',' then (emit p (p + 1) COMMA; incr pos)
+    else if c = '|' then (emit p (p + 1) PIPE; incr pos)
+    else if c = '+' then (emit p (p + 1) PLUS; incr pos)
+    else if c = '-' then (emit p (p + 1) MINUS; incr pos)
+    else if c = '=' then (emit p (p + 1) EQ; incr pos)
     else if c = '!' then
-      if peek_at (p + 1) = Some '=' then (emit p NEQ; pos := p + 2)
+      if peek_at (p + 1) = Some '=' then (emit p (p + 2) NEQ; pos := p + 2)
       else fail p "expected '=' after '!'"
     else if c = '<' then
-      if peek_at (p + 1) = Some '=' then (emit p LE; pos := p + 2) else (emit p LT; incr pos)
+      if peek_at (p + 1) = Some '=' then (emit p (p + 2) LE; pos := p + 2)
+      else (emit p (p + 1) LT; incr pos)
     else if c = '>' then
-      if peek_at (p + 1) = Some '=' then (emit p GE; pos := p + 2) else (emit p GT; incr pos)
+      if peek_at (p + 1) = Some '=' then (emit p (p + 2) GE; pos := p + 2)
+      else (emit p (p + 1) GT; incr pos)
     else if c = '/' then
-      if peek_at (p + 1) = Some '/' then (emit p DSLASH; pos := p + 2)
-      else (emit p SLASH; incr pos)
+      if peek_at (p + 1) = Some '/' then (emit p (p + 2) DSLASH; pos := p + 2)
+      else (emit p (p + 1) SLASH; incr pos)
     else if c = ':' then
-      if peek_at (p + 1) = Some ':' then (emit p COLONCOLON; pos := p + 2)
+      if peek_at (p + 1) = Some ':' then (emit p (p + 2) COLONCOLON; pos := p + 2)
       else fail p "unexpected ':'"
     else if c = '*' then begin
-      if operand_ended !prev then emit p MUL else emit p STAR;
+      if operand_ended !prev then emit p (p + 1) MUL else emit p (p + 1) STAR;
       incr pos
     end
     else if c = '$' then begin
@@ -97,14 +101,14 @@ let tokenize src =
       let e = ref start in
       while !e < n && is_name_char src.[!e] do incr e done;
       if !e = start then fail p "expected a name after '$'";
-      emit p (VAR (String.sub src start (!e - start)));
+      emit p !e (VAR (String.sub src start (!e - start)));
       pos := !e
     end
     else if c = '"' || c = '\'' then begin
       let e = ref (p + 1) in
       while !e < n && src.[!e] <> c do incr e done;
       if !e >= n then fail p "unterminated literal";
-      emit p (LIT (String.sub src (p + 1) (!e - p - 1)));
+      emit p (!e + 1) (LIT (String.sub src (p + 1) (!e - p - 1)));
       pos := !e + 1
     end
     else if is_digit c || (c = '.' && (match peek_at (p + 1) with Some d -> is_digit d | None -> false))
@@ -117,13 +121,13 @@ let tokenize src =
       end;
       let s = String.sub src p (!e - p) in
       (match float_of_string_opt s with
-      | Some f -> emit p (NUM f)
+      | Some f -> emit p !e (NUM f)
       | None -> fail p "malformed number %S" s);
       pos := !e
     end
     else if c = '.' then
-      if peek_at (p + 1) = Some '.' then (emit p DOTDOT; pos := p + 2)
-      else (emit p DOT; incr pos)
+      if peek_at (p + 1) = Some '.' then (emit p (p + 2) DOTDOT; pos := p + 2)
+      else (emit p (p + 1) DOT; incr pos)
     else if is_name_start c then begin
       let e = ref p in
       while !e < n && is_name_char src.[!e] do incr e done;
@@ -150,12 +154,12 @@ let tokenize src =
           | _ -> NAME name
         else NAME name
       in
-      emit p tok;
+      emit p !e tok;
       pos := !e
     end
     else fail p "unexpected character %C" c
   done;
-  emit n EOF;
+  emit n n EOF;
   Array.of_list (List.rev !out)
 
 let token_to_string = function

@@ -42,7 +42,9 @@ type token =
 exception Error of { pos : int; msg : string }
 (** Lexical error with a 0-based character offset. *)
 
-val tokenize : string -> (token * int) array
-(** Token stream with source offsets, ending in [EOF]. *)
+val tokenize : string -> (token * int * int) array
+(** Token stream with source offsets, ending in [EOF].  Each entry is
+    [(token, start, stop)] with [stop] exclusive, so [stop - start] is
+    the token's width in the source text. *)
 
 val token_to_string : token -> string

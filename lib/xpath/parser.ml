@@ -1,18 +1,56 @@
-exception Error of { pos : int; msg : string }
+exception Error of { pos : int; msg : string; expected : string option }
 
-let fail pos fmt = Format.kasprintf (fun msg -> raise (Error { pos; msg })) fmt
+let fail pos fmt =
+  Format.kasprintf (fun msg -> raise (Error { pos; msg; expected = None })) fmt
 
-type state = { toks : (Lexer.token * int) array; mutable i : int }
+type span = { sp_start : int; sp_stop : int }
 
-let peek st = fst st.toks.(st.i)
-let peek2 st = if st.i + 1 < Array.length st.toks then fst st.toks.(st.i + 1) else Lexer.EOF
-let pos st = snd st.toks.(st.i)
+(* Spans are keyed by physical identity: every AST node comes out of a
+   fresh constructor application, so [==] identifies the exact parse-tree
+   occurrence even when two steps are structurally equal. *)
+type spans = {
+  sp_src : string;
+  sp_steps : (Ast.step * span) list;
+  sp_exprs : (Ast.expr * span) list;
+}
+
+type state = {
+  toks : (Lexer.token * int * int) array;
+  mutable i : int;
+  mutable steps : (Ast.step * span) list;
+  mutable exprs : (Ast.expr * span) list;
+}
+
+let peek st = let t, _, _ = st.toks.(st.i) in t
+let peek2 st =
+  if st.i + 1 < Array.length st.toks then let t, _, _ = st.toks.(st.i + 1) in t
+  else Lexer.EOF
+let pos st = let _, p, _ = st.toks.(st.i) in p
 let advance st = st.i <- st.i + 1
+
+(* End offset of the most recently consumed token. *)
+let prev_stop st =
+  if st.i = 0 then 0 else let _, _, q = st.toks.(st.i - 1) in q
+
+let note_step st start step =
+  st.steps <- (step, { sp_start = start; sp_stop = prev_stop st }) :: st.steps;
+  step
+
+let note_expr st start expr =
+  st.exprs <- (expr, { sp_start = start; sp_stop = prev_stop st }) :: st.exprs;
+  expr
 
 let expect st tok =
   if peek st = tok then advance st
-  else fail (pos st) "expected %s, found %s" (Lexer.token_to_string tok)
-         (Lexer.token_to_string (peek st))
+  else
+    let expected = Lexer.token_to_string tok in
+    raise
+      (Error
+         { pos = pos st;
+           msg =
+             Printf.sprintf "expected %s, found %s" expected
+               (Lexer.token_to_string (peek st));
+           expected = Some expected })
 
 let node_type_names = [ "text"; "node"; "comment"; "processing-instruction" ]
 
@@ -44,21 +82,29 @@ let parse_node_test st : Ast.node_test =
   | Lexer.NAME name ->
       advance st;
       Ast.Name_test name
-  | t -> fail (pos st) "expected a node test, found %s" (Lexer.token_to_string t)
+  | t ->
+      raise
+        (Error
+           { pos = pos st;
+             msg =
+               Printf.sprintf "expected a node test, found %s"
+                 (Lexer.token_to_string t);
+             expected = Some "a node test" })
 
 let rec parse_step st : Ast.step =
+  let start = pos st in
   match peek st with
   | Lexer.DOT ->
       advance st;
-      Ast.step Ast.Self Ast.Node_test
+      note_step st start (Ast.step Ast.Self Ast.Node_test)
   | Lexer.DOTDOT ->
       advance st;
-      Ast.step Ast.Parent Ast.Node_test
+      note_step st start (Ast.step Ast.Parent Ast.Node_test)
   | Lexer.AT ->
       advance st;
       let test = parse_node_test st in
       let predicates = parse_predicates st in
-      { Ast.axis = Ast.Attribute; test; predicates }
+      note_step st start { Ast.axis = Ast.Attribute; test; predicates }
   | Lexer.NAME name when peek2 st = Lexer.COLONCOLON -> (
       match Ast.axis_of_name name with
       | Some axis ->
@@ -66,21 +112,29 @@ let rec parse_step st : Ast.step =
           advance st;
           let test = parse_node_test st in
           let predicates = parse_predicates st in
-          { Ast.axis; test; predicates }
+          note_step st start { Ast.axis; test; predicates }
       | None -> fail (pos st) "unknown axis %S" name)
   | _ ->
       let test = parse_node_test st in
       let predicates = parse_predicates st in
-      { Ast.axis = Ast.Child; test; predicates }
+      note_step st start { Ast.axis = Ast.Child; test; predicates }
 
 and parse_predicates st =
   if peek st = Lexer.LBRACK then begin
     advance st;
-    let e = parse_or st in
+    let start = pos st in
+    let e = note_expr st start (parse_or st) in
     expect st Lexer.RBRACK;
     e :: parse_predicates st
   end
   else []
+
+(* The [//] abbreviation synthesizes a descendant-or-self::node() step;
+   its span is the two-character token itself. *)
+and dslash_step st =
+  let start = pos st in
+  advance st;
+  note_step st start (Ast.step Ast.Descendant_or_self Ast.Node_test)
 
 and parse_relative_path st : Ast.step list =
   let s = parse_step st in
@@ -89,8 +143,9 @@ and parse_relative_path st : Ast.step list =
       advance st;
       s :: parse_relative_path st
   | Lexer.DSLASH ->
-      advance st;
-      s :: Ast.step Ast.Descendant_or_self Ast.Node_test :: parse_relative_path st
+      let d = dslash_step st in
+      let rest = parse_relative_path st in
+      s :: d :: rest
   | _ -> [ s ]
 
 and parse_location_path st : Ast.path =
@@ -105,9 +160,9 @@ and parse_location_path st : Ast.path =
       in
       { Ast.absolute = true; steps }
   | Lexer.DSLASH ->
-      advance st;
+      let d = dslash_step st in
       let steps = parse_relative_path st in
-      { Ast.absolute = true; steps = Ast.step Ast.Descendant_or_self Ast.Node_test :: steps }
+      { Ast.absolute = true; steps = d :: steps }
   | _ -> { Ast.absolute = false; steps = parse_relative_path st }
 
 (* ---- expressions ---- *)
@@ -120,6 +175,7 @@ and starts_location_path st =
   | _ -> false
 
 and parse_primary st : Ast.expr =
+  let start = pos st in
   match peek st with
   | Lexer.LPAREN ->
       advance st;
@@ -128,13 +184,13 @@ and parse_primary st : Ast.expr =
       e
   | Lexer.LIT s ->
       advance st;
-      Ast.Literal s
+      note_expr st start (Ast.Literal s)
   | Lexer.NUM f ->
       advance st;
-      Ast.Number f
+      note_expr st start (Ast.Number f)
   | Lexer.VAR v ->
       advance st;
-      Ast.Var v
+      note_expr st start (Ast.Var v)
   | Lexer.NAME f when peek2 st = Lexer.LPAREN ->
       advance st;
       expect st Lexer.LPAREN;
@@ -152,8 +208,15 @@ and parse_primary st : Ast.expr =
         end
       in
       expect st Lexer.RPAREN;
-      Ast.Call (f, arguments)
-  | t -> fail (pos st) "expected an expression, found %s" (Lexer.token_to_string t)
+      note_expr st start (Ast.Call (f, arguments))
+  | t ->
+      raise
+        (Error
+           { pos = pos st;
+             msg =
+               Printf.sprintf "expected an expression, found %s"
+                 (Lexer.token_to_string t);
+             expected = Some "an expression" })
 
 and parse_path_expr st : Ast.expr =
   let is_filter_start =
@@ -171,12 +234,9 @@ and parse_path_expr st : Ast.expr =
         advance st;
         Ast.Located (filtered, { Ast.absolute = false; steps = parse_relative_path st })
     | Lexer.DSLASH ->
-        advance st;
-        Ast.Located
-          ( filtered,
-            { Ast.absolute = false;
-              steps = Ast.step Ast.Descendant_or_self Ast.Node_test :: parse_relative_path st
-            } )
+        let d = dslash_step st in
+        let rest = parse_relative_path st in
+        Ast.Located (filtered, { Ast.absolute = false; steps = d :: rest })
     | _ -> filtered
   end
   else if starts_location_path st then Ast.Path (parse_location_path st)
@@ -198,11 +258,13 @@ and parse_unary st =
   else parse_union st
 
 and binary_level ops sub st =
+  let start = pos st in
   let rec loop acc =
     match List.assoc_opt (peek st) ops with
     | Some op ->
         advance st;
-        loop (Ast.Binop (op, acc, sub st))
+        let rhs = sub st in
+        loop (note_expr st start (Ast.Binop (op, acc, rhs)))
     | None -> acc
   in
   loop (sub st)
@@ -225,22 +287,43 @@ and parse_equality st =
 and parse_and st = binary_level [ (Lexer.AND, Ast.And) ] parse_equality st
 and parse_or st = binary_level [ (Lexer.OR, Ast.Or) ] parse_and st
 
-let parse src =
+let parse_spanned src =
   let toks =
     try Lexer.tokenize src
-    with Lexer.Error { pos; msg } -> raise (Error { pos; msg })
+    with Lexer.Error { pos; msg } -> raise (Error { pos; msg; expected = None })
   in
-  let st = { toks; i = 0 } in
+  let st = { toks; i = 0; steps = []; exprs = [] } in
   let e = parse_or st in
   if peek st <> Lexer.EOF then
     fail (pos st) "trailing input starting with %s" (Lexer.token_to_string (peek st));
-  e
+  (e, { sp_src = src; sp_steps = st.steps; sp_exprs = st.exprs })
+
+let parse src = fst (parse_spanned src)
 
 let parse_path src =
   match parse src with
   | Ast.Path p -> p
-  | _ -> raise (Error { pos = 0; msg = "expression is not a plain location path" })
+  | _ ->
+      raise (Error { pos = 0; msg = "expression is not a plain location path"; expected = None })
+
+let step_span spans (s : Ast.step) =
+  List.find_map (fun (s', sp) -> if s' == s then Some sp else None) spans.sp_steps
+
+let expr_span spans (e : Ast.expr) =
+  List.find_map (fun (e', sp) -> if e' == e then Some sp else None) spans.sp_exprs
+
+let caret ~src { sp_start; sp_stop } =
+  let n = String.length src in
+  let start = max 0 (min sp_start n) in
+  let stop = max (start + 1) (min sp_stop n) in
+  Printf.sprintf "%s\n%s%s" src (String.make start ' ') (String.make (stop - start) '^')
 
 let error_to_string = function
-  | Error { pos; msg } -> Some (Printf.sprintf "XPath error at offset %d: %s" pos msg)
+  | Error { pos; msg; expected = _ } -> Some (Printf.sprintf "XPath error at offset %d: %s" pos msg)
+  | _ -> None
+
+let error_caret src = function
+  | Error { pos; msg; expected = _ } ->
+      let at = { sp_start = pos; sp_stop = pos + 1 } in
+      Some (Printf.sprintf "XPath error at offset %d: %s\n%s" pos msg (caret ~src at))
   | _ -> None

@@ -1,7 +1,23 @@
 (** Recursive-descent XPath 1.0 parser. *)
 
-exception Error of { pos : int; msg : string }
-(** Syntax error with a 0-based character offset into the source. *)
+exception Error of { pos : int; msg : string; expected : string option }
+(** Syntax error with a 0-based character offset into the source.
+    [expected] names the token class the parser needed at that point,
+    when it knows one — diagnostics use it for "expected X" hints. *)
+
+type span = { sp_start : int; sp_stop : int }
+(** Half-open byte range [\[sp_start, sp_stop)] into the source text. *)
+
+type spans = {
+  sp_src : string;
+  sp_steps : (Ast.step * span) list;
+  sp_exprs : (Ast.expr * span) list;
+}
+(** Source spans for the parse tree, keyed by physical identity of the
+    AST nodes (every node is a fresh allocation, so [==] pins the exact
+    occurrence).  Spans only survive for the tree as parsed — rewritten
+    plans allocate new nodes and lose them, which is fine: static
+    diagnostics run on the source tree. *)
 
 val parse : string -> Ast.expr
 (** Parse a complete XPath expression.
@@ -10,8 +26,25 @@ val parse : string -> Ast.expr
     supplies an environment; bare engine queries reject them at
     evaluation time). *)
 
+val parse_spanned : string -> Ast.expr * spans
+(** Like {!parse}, additionally returning source spans for every step
+    and for predicate / literal / comparison expressions. *)
+
 val parse_path : string -> Ast.path
 (** Parse an expression that must be a location path.
     @raise Error if the expression is not a plain location path. *)
 
+val step_span : spans -> Ast.step -> span option
+(** Span of a step from the parsed tree (physical identity lookup). *)
+
+val expr_span : spans -> Ast.expr -> span option
+
+val caret : src:string -> span -> string
+(** Two-line rendering: the source text, then a caret line underlining
+    the span. *)
+
 val error_to_string : exn -> string option
+
+val error_caret : string -> exn -> string option
+(** Like {!error_to_string} but with a caret rendering of the offending
+    position; the first argument is the source text. *)

@@ -1,0 +1,259 @@
+(* Static checker tests: XPath 1.0 type inference, the constant-folded
+   §3.4 comparison verdicts validated differentially against the generic
+   evaluator, schema-walk cardinalities with emptiness proofs, and the
+   source-span alignment of step notes and diagnostics. *)
+
+module T = Xpath.Typecheck
+module P = Xpath.Parser
+module Store = Mass.Store
+
+let check_plain src =
+  let ast, spans = P.parse_spanned src in
+  T.check ~spans ast
+
+let setup () =
+  let store, doc = Test_vamana.setup () in
+  let schema =
+    Mass.Synopsis.schema (Mass.Synopsis.for_store store) ~scope:(Some doc.Store.doc_key)
+  in
+  (store, doc, schema)
+
+let check_schema schema src =
+  let ast, spans = P.parse_spanned src in
+  T.check ~schema ~spans ast
+
+let ty_of r = T.ty_to_string r.T.rep_ty
+
+let codes r = List.map (fun (d : T.diagnostic) -> d.T.code) r.T.rep_diagnostics
+
+let has_code code r = List.mem code (codes r)
+
+(* ---- type inference ---- *)
+
+let test_infer_types () =
+  let cases =
+    [ ("//person", "node-set");
+      ("//person/address | //item", "node-set");
+      ("count(//person)", "number");
+      ("1 + 2 * 3", "number");
+      ("string-length('abc')", "number");
+      ("concat('a', 'b')", "string");
+      ("string(//person)", "string");
+      ("substring-before('a-b', '-')", "string");
+      ("normalize-space(' x ')", "string");
+      ("true()", "boolean");
+      ("not(//person)", "boolean");
+      ("//person = 'x'", "boolean");
+      ("1 < 2", "boolean");
+      ("starts-with('ab', 'a')", "boolean") ]
+  in
+  List.iter
+    (fun (src, expected) -> Alcotest.(check string) src expected (ty_of (check_plain src)))
+    cases
+
+let test_diagnostic_codes () =
+  let _, _, schema = setup () in
+  (* node-set = boolean tests existence, not value *)
+  Alcotest.(check bool) "lossy-coercion" true
+    (has_code "lossy-coercion" (check_schema schema "//person[@id = true()]"));
+  (* non-numeric string under a relational comparison is always false *)
+  Alcotest.(check bool) "nan relational" true
+    (has_code "const-compare" (check_plain "//person['3' < 'x']"));
+  (* string literal predicate is constant *)
+  Alcotest.(check bool) "const-predicate" true
+    (has_code "const-predicate" (check_plain "//person['yes']"));
+  (* numeric predicate means position() = n: not constant *)
+  Alcotest.(check bool) "positional predicate clean" false
+    (has_code "const-predicate" (check_plain "//person[2]"));
+  (* non-numeric string fed to arithmetic *)
+  Alcotest.(check bool) "nan-arith" true
+    (has_code "nan-arith" (check_plain "//person['x' + 1]"));
+  (* a function the evaluator would reject is an error, and errors sort first *)
+  let r = check_plain "nosuchfn(1)" in
+  Alcotest.(check bool) "unknown-function" true (has_code "unknown-function" r);
+  (match r.T.rep_diagnostics with
+  | d :: _ -> Alcotest.(check string) "errors first" "error" (T.severity_to_string d.T.severity)
+  | [] -> Alcotest.fail "expected a diagnostic");
+  (* a clean query stays clean *)
+  Alcotest.(check (list string)) "clean" [] (codes (check_schema schema "//person/address"))
+
+(* ---- schema walk: per-step cardinalities and emptiness proofs ---- *)
+
+let test_schema_steps () =
+  let _, _, schema = setup () in
+  let last_note r =
+    match List.rev r.T.rep_steps with
+    | n :: _ -> n
+    | [] -> Alcotest.fail "no step notes"
+  in
+  let check_last src ~bound ~exact =
+    let n = last_note (check_schema schema src) in
+    Alcotest.(check int) (src ^ " bound") bound n.T.sn_bound;
+    Alcotest.(check bool) (src ^ " exact") exact n.T.sn_exact
+  in
+  (* exact counts straight off the synopsis: the test document has 3
+     person, 2 address, 3 watch, 2 @id under item *)
+  check_last "//person" ~bound:3 ~exact:true;
+  check_last "//person/address" ~bound:2 ~exact:true;
+  check_last "/site/people/person/watches/watch" ~bound:3 ~exact:true;
+  check_last "//item/@id" ~bound:2 ~exact:true;
+  (* a predicate demotes exactness but keeps the bound *)
+  check_last "//person[@id]/address" ~bound:2 ~exact:false;
+  (* upward step after a downward chain: bounded by its input *)
+  check_last "//address/parent::person" ~bound:2 ~exact:true
+
+let test_schema_emptiness () =
+  let _, _, schema = setup () in
+  let r = check_schema schema "//nosuchtag/name" in
+  Alcotest.(check bool) "empty" true r.T.rep_empty;
+  Alcotest.(check bool) "unknown-tag diagnosed" true (has_code "unknown-tag" r);
+  (* the offending step is identified *)
+  let offender =
+    List.find_opt (fun (n : T.step_note) -> n.T.sn_empty) r.T.rep_steps
+  in
+  (match offender with
+  | Some n -> Alcotest.(check int) "offender bound" 0 n.T.sn_bound
+  | None -> Alcotest.fail "no empty step note");
+  (* a tag that exists but not on this path: empty-step, not unknown-tag *)
+  let r2 = check_schema schema "/site/people/item" in
+  Alcotest.(check bool) "path-level empty" true r2.T.rep_empty;
+  Alcotest.(check bool) "empty-step diagnosed" true (has_code "empty-step" r2);
+  Alcotest.(check bool) "not unknown-tag" false (has_code "unknown-tag" r2);
+  (* an empty predicate never makes the outer path non-empty claims *)
+  let r3 = check_schema schema "//person[nosuchtag]" in
+  Alcotest.(check bool) "empty predicate path" true r3.T.rep_empty;
+  (* without a schema no emptiness claims are made *)
+  Alcotest.(check bool) "no schema, no claim" false (check_plain "//nosuchtag").T.rep_empty
+
+let test_span_alignment () =
+  let _, _, schema = setup () in
+  let src = "//person[@id]/name" in
+  let r = check_schema schema src in
+  let texts =
+    List.map
+      (fun (n : T.step_note) ->
+        match n.T.sn_span with
+        | Some s -> String.sub src s.P.sp_start (s.P.sp_stop - s.P.sp_start)
+        | None -> "?")
+      r.T.rep_steps
+  in
+  (* the // step is noted at the token itself; predicate sub-paths are
+     excluded so the list stays 1:1 with the compiled chain *)
+  Alcotest.(check (list string)) "step spans" [ "//"; "person[@id]"; "name" ] texts;
+  let d = check_schema schema "//person[@id = true()]" in
+  match
+    List.find_opt (fun (d : T.diagnostic) -> d.T.code = "lossy-coercion") d.T.rep_diagnostics
+  with
+  | Some { T.span = Some s; _ } ->
+      Alcotest.(check string) "diagnostic span" "@id = true()"
+        (String.sub "//person[@id = true()]" s.P.sp_start (s.P.sp_stop - s.P.sp_start))
+  | _ -> Alcotest.fail "expected a spanned lossy-coercion diagnostic"
+
+(* ---- differential: folded comparison verdicts vs the evaluator ---- *)
+
+let verdict_of r =
+  let ends_with suf s =
+    let ls = String.length suf and l = String.length s in
+    l >= ls && String.sub s (l - ls) ls = suf
+  in
+  List.fold_left
+    (fun acc (d : T.diagnostic) ->
+      match acc with
+      | Some _ -> acc
+      | None ->
+          if d.T.code <> "const-compare" then None
+          else if ends_with "always true" d.T.message then Some true
+          else if ends_with "always false" d.T.message then Some false
+          else None)
+    None r.T.rep_diagnostics
+
+let test_coercion_corners () =
+  let store, doc, schema = setup () in
+  (* every expression here folds to a constant boolean; the checker's
+     verdict must match what the evaluator actually computes *)
+  let corners =
+    [ "1 = '1'";
+      "1 = 'x'";
+      "1 != 'x'";
+      "'' = false()";
+      "'0' = true()";
+      "true() = 1";
+      "0 < 'x'";
+      "'x' <= 'y'";
+      "'2' < '10'";
+      "false() < true()";
+      "2 >= '2'";
+      "//nosuchtag = 'x'";
+      "//nosuchtag != 'x'";
+      "//nosuchtag = //nosuchtag";
+      "//nosuchtag < 1" ]
+  in
+  List.iter
+    (fun src ->
+      let claimed =
+        match verdict_of (check_schema schema src) with
+        | Some b -> b
+        | None -> Alcotest.fail (src ^ ": checker made no constant verdict")
+      in
+      let actual =
+        match Vamana.Engine.eval store ~context:doc.Store.doc_key src with
+        | Ok (Xpath.Eval.Bool b) -> b
+        | Ok _ -> Alcotest.fail (src ^ ": evaluator returned a non-boolean")
+        | Error e -> Alcotest.fail (src ^ ": " ^ e)
+      in
+      Alcotest.(check bool) src actual claimed)
+    corners
+
+let test_no_false_constants () =
+  let store, doc, schema = setup () in
+  (* comparisons whose outcome depends on the data must NOT be folded;
+     sanity-check the evaluator agrees they are live *)
+  let live =
+    [ ("//province = 'Vermont'", true);
+      ("//province = 'Nowhere'", false);
+      ("count(//person) = 3", true);
+      ("//person/@id != 'person0'", true) ]
+  in
+  List.iter
+    (fun (src, expected) ->
+      (match verdict_of (check_schema schema src) with
+      | Some _ -> Alcotest.fail (src ^ ": checker folded a data-dependent comparison")
+      | None -> ());
+      match Vamana.Engine.eval store ~context:doc.Store.doc_key src with
+      | Ok (Xpath.Eval.Bool b) -> Alcotest.(check bool) src expected b
+      | Ok _ -> Alcotest.fail (src ^ ": evaluator returned a non-boolean")
+      | Error e -> Alcotest.fail (src ^ ": " ^ e))
+    live
+
+(* ---- parser spans: errors carry position and expectation ---- *)
+
+let test_parse_error_spans () =
+  let fails src =
+    match P.parse src with
+    | exception P.Error { pos; _ } ->
+        Alcotest.(check bool) (src ^ " pos in range") true (pos >= 0 && pos <= String.length src)
+    | _ -> Alcotest.fail (src ^ ": expected a parse error")
+  in
+  List.iter fails [ "//person["; "//person]"; "child::"; "1 +"; "concat('a'"; "//a/@" ];
+  (match P.parse "//person[" with
+  | exception (P.Error _ as e) ->
+      let caret = Option.value ~default:"" (P.error_caret "//person[" e) in
+      Alcotest.(check bool) "caret renders source" true
+        (String.length caret > String.length "//person[")
+  | _ -> Alcotest.fail "expected a parse error");
+  match P.parse "//person[1" with
+  | exception P.Error { expected = Some _; _ } -> ()
+  | exception P.Error { expected = None; _ } ->
+      Alcotest.fail "expected an expectation hint"
+  | _ -> Alcotest.fail "expected a parse error"
+
+let suite =
+  ( "typecheck",
+    [ Alcotest.test_case "type inference" `Quick test_infer_types;
+      Alcotest.test_case "diagnostic codes" `Quick test_diagnostic_codes;
+      Alcotest.test_case "schema step cardinalities" `Quick test_schema_steps;
+      Alcotest.test_case "schema emptiness proofs" `Quick test_schema_emptiness;
+      Alcotest.test_case "span alignment" `Quick test_span_alignment;
+      Alcotest.test_case "coercion corners vs evaluator" `Quick test_coercion_corners;
+      Alcotest.test_case "no false constant verdicts" `Quick test_no_false_constants;
+      Alcotest.test_case "parse errors carry spans" `Quick test_parse_error_spans ] )
