@@ -14,29 +14,46 @@
 open Cmdliner
 module Store = Mass.Store
 
-let input_doc file xmark_mb snapshot =
-  match snapshot with
-  | Some path ->
-      let store = Store.load_file ~pool_pages:16384 path in
-      let doc =
-        match Store.documents store with
-        | d :: _ -> d
-        | [] -> failwith "snapshot contains no documents"
-      in
-      (store, doc)
-  | None -> (
-      let store = Store.create ~pool_pages:16384 () in
-      match (file, xmark_mb) with
-      | Some path, _ ->
-          let tree = Xml.Parser.parse_file path in
-          let doc = Store.load store ~name:(Filename.basename path) tree in
-          (store, doc)
-      | None, Some mb ->
-          let doc = Xmark.load store mb in
-          (store, doc)
-      | None, None ->
-          let doc = Xmark.load store 1.0 in
-          (store, doc))
+let first_doc store =
+  match Store.documents store with
+  | d :: _ -> d
+  | [] -> failwith "store contains no documents"
+
+let report_recovery store =
+  match Store.last_recovery store with
+  | Some r ->
+      Printf.eprintf
+        "recovered to epoch %d: %d batches (%d records) replayed, %d bytes of torn log dropped\n"
+        r.Storage.Disk.rec_epoch r.Storage.Disk.rec_batches r.Storage.Disk.rec_records
+        r.Storage.Disk.rec_dropped_bytes
+  | None -> ()
+
+let input_doc ?(pool_pages = 16384) file xmark_mb snapshot data_dir =
+  let backend = Option.map (fun dir -> Store.File { dir }) data_dir in
+  match (data_dir, file, xmark_mb, snapshot) with
+  | Some dir, None, None, None when Storage.Disk.is_store ~dir ->
+      (* no input source: reopen the existing durable store (with recovery) *)
+      let store = Store.open_file ~pool_pages ~dir () in
+      report_recovery store;
+      (store, first_doc store)
+  | _ -> (
+      match snapshot with
+      | Some path ->
+          let store = Store.load_file ~pool_pages ?backend path in
+          (store, first_doc store)
+      | None -> (
+          let store = Store.create ~pool_pages ?backend () in
+          match (file, xmark_mb) with
+          | Some path, _ ->
+              let tree = Xml.Parser.parse_file path in
+              let doc = Store.load store ~name:(Filename.basename path) tree in
+              (store, doc)
+          | None, Some mb ->
+              let doc = Xmark.load store mb in
+              (store, doc)
+          | None, None ->
+              let doc = Xmark.load store 1.0 in
+              (store, doc)))
 
 let file_arg =
   let doc = "XML document to load." in
@@ -50,6 +67,15 @@ let snapshot_arg =
   let doc = "Load the store from a snapshot written by $(b,vamana save)." in
   Arg.(value & opt (some file) None & info [ "s"; "snapshot" ] ~docv:"SNAP" ~doc)
 
+let data_dir_arg =
+  let doc =
+    "Durable file-backed storage directory (data file + write-ahead log + manifest). \
+     Without $(b,-f)/$(b,-x)/$(b,-s) an existing store at $(docv) is reopened, running \
+     crash recovery if the last process died uncleanly; with an input source a fresh \
+     store is built at $(docv) and is durable when the command exits."
+  in
+  Arg.(value & opt (some string) None & info [ "d"; "data-dir" ] ~docv:"DIR" ~doc)
+
 let query_arg =
   Arg.(required & pos 0 (some string) None & info [] ~docv:"QUERY" ~doc:"XPath expression.")
 
@@ -62,9 +88,9 @@ let handle_parse_errors f =
       Printf.eprintf "%s\n" msg;
       exit 1
 
-let run_query file xmark_mb snapshot no_optimize verbose query =
+let run_query file xmark_mb snapshot data_dir no_optimize verbose query =
   handle_parse_errors @@ fun () ->
-  let store, doc = input_doc file xmark_mb snapshot in
+  let store, doc = input_doc file xmark_mb snapshot data_dir in
   match Vamana.Engine.query ~optimize:(not no_optimize) store ~context:doc.Store.doc_key query with
   | Error msg ->
       Printf.eprintf "error: %s\n" msg;
@@ -92,9 +118,9 @@ let run_query file xmark_mb snapshot no_optimize verbose query =
         (r.Vamana.Engine.execute_time *. 1000.)
         r.Vamana.Engine.io.Storage.Stats.logical_reads
 
-let run_explain file xmark_mb snapshot analyze json no_optimize query =
+let run_explain file xmark_mb snapshot data_dir analyze json no_optimize query =
   handle_parse_errors @@ fun () ->
-  let store, doc = input_doc file xmark_mb snapshot in
+  let store, doc = input_doc file xmark_mb snapshot data_dir in
   let rendered =
     if analyze then
       Vamana.Engine.explain_analyze ~optimize:(not no_optimize) ~json store doc query
@@ -131,9 +157,9 @@ let bucket_fanouts fanouts =
   Hashtbl.fold (fun k n acc -> (k, n) :: acc) tbl []
   |> List.sort (fun ((a, _), _) ((b, _), _) -> compare a b)
 
-let run_stats file xmark_mb snapshot top_tags =
+let run_stats file xmark_mb snapshot data_dir top_tags =
   handle_parse_errors @@ fun () ->
-  let store, doc = input_doc file xmark_mb snapshot in
+  let store, doc = input_doc file xmark_mb snapshot data_dir in
   let s = Store.statistics store in
   Printf.printf "document          %s\n" doc.Store.doc_name;
   Printf.printf "records           %d\n" s.Store.record_count;
@@ -173,17 +199,34 @@ let run_stats file xmark_mb snapshot top_tags =
     buckets;
   (* buffer-pool breakdown per index *)
   Printf.printf "\n== buffer pools ==\n";
-  Printf.printf "%-12s %9s %9s %9s %10s %10s %10s %7s\n" "index" "pages" "resident"
-    "capacity" "logical" "physical" "evictions" "hit";
+  Printf.printf "%-12s %9s %9s %9s %10s %10s %10s %11s %7s %7s\n" "index" "pages"
+    "resident" "capacity" "logical" "physical" "evictions" "wb_bytes" "fsyncs" "hit";
   List.iter
     (fun (p : Store.pool_info) ->
-      Printf.printf "%-12s %9d %9d %9d %10d %10d %10d %6.1f%%\n" p.Store.pool_index
-        p.Store.pool_pages_total p.Store.pool_resident p.Store.pool_capacity
-        p.Store.pool_io.Storage.Stats.logical_reads
+      Printf.printf "%-12s %9d %9d %9d %10d %10d %10d %11d %7d %6.1f%%\n"
+        p.Store.pool_index p.Store.pool_pages_total p.Store.pool_resident
+        p.Store.pool_capacity p.Store.pool_io.Storage.Stats.logical_reads
         p.Store.pool_io.Storage.Stats.physical_reads
         p.Store.pool_io.Storage.Stats.evictions
+        p.Store.pool_io.Storage.Stats.write_back_bytes
+        p.Store.pool_io.Storage.Stats.fsyncs
         (100. *. Storage.Stats.hit_ratio p.Store.pool_io))
-    (Store.pool_by_index store)
+    (Store.pool_by_index store);
+  (* disk layer (file backend only): WAL and data-file traffic *)
+  match Store.disk_io store with
+  | None -> ()
+  | Some io ->
+      Printf.printf "\n== disk (%s) ==\n"
+        (Option.value ~default:"?" (Store.data_dir store));
+      Printf.printf "wal records       %d (%d bytes written, %d pending)\n"
+        io.Storage.Disk.wal_records io.Storage.Disk.wal_bytes_written
+        (Option.value ~default:0 (Store.disk_wal_bytes store));
+      Printf.printf "fsyncs            %d\n" io.Storage.Disk.fsyncs;
+      Printf.printf "checkpoints       %d\n" io.Storage.Disk.checkpoints;
+      Printf.printf "data reads        %d (%d bytes)\n" io.Storage.Disk.data_reads
+        io.Storage.Disk.data_read_bytes;
+      Printf.printf "data writes       %d (%d bytes)\n" io.Storage.Disk.data_writes
+        io.Storage.Disk.data_write_bytes
 
 let run_generate mb output seed =
   let text = Xmark.generate_string ?seed:(Option.map Int64.of_int seed) mb in
@@ -202,7 +245,7 @@ let verbose_arg = Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Show FLEX ke
 
 let query_cmd =
   Cmd.v (Cmd.info "query" ~doc:"Run an XPath query")
-    Term.(const run_query $ file_arg $ xmark_arg $ snapshot_arg $ no_optimize_arg $ verbose_arg $ query_arg)
+    Term.(const run_query $ file_arg $ xmark_arg $ snapshot_arg $ data_dir_arg $ no_optimize_arg $ verbose_arg $ query_arg)
 
 let explain_cmd =
   let analyze_arg =
@@ -218,7 +261,7 @@ let explain_cmd =
   Cmd.v
     (Cmd.info "explain"
        ~doc:"Show cost-annotated plans; with --analyze, profile an actual execution")
-    Term.(const run_explain $ file_arg $ xmark_arg $ snapshot_arg $ analyze_arg $ json_arg
+    Term.(const run_explain $ file_arg $ xmark_arg $ snapshot_arg $ data_dir_arg $ analyze_arg $ json_arg
           $ no_optimize_arg $ query_arg)
 
 let stats_cmd =
@@ -230,7 +273,7 @@ let stats_cmd =
     (Cmd.info "stats"
        ~doc:"Show storage statistics: record counts, per-tag counts, depth and fanout \
              histograms, buffer-pool breakdown")
-    Term.(const run_stats $ file_arg $ xmark_arg $ snapshot_arg $ tags_arg)
+    Term.(const run_stats $ file_arg $ xmark_arg $ snapshot_arg $ data_dir_arg $ tags_arg)
 
 let generate_cmd =
   let mb = Arg.(value & opt float 1.0 & info [ "x"; "xmark" ] ~docv:"MB" ~doc:"Document size.") in
@@ -239,9 +282,9 @@ let generate_cmd =
   Cmd.v (Cmd.info "generate" ~doc:"Emit an XMark-style document")
     Term.(const run_generate $ mb $ out $ seed)
 
-let run_xquery file xmark_mb snapshot query =
+let run_xquery file xmark_mb snapshot data_dir query =
   handle_parse_errors @@ fun () ->
-  let store, doc = input_doc file xmark_mb snapshot in
+  let store, doc = input_doc file xmark_mb snapshot data_dir in
   match Xquery.run_to_xml store ~context:doc.Store.doc_key query with
   | xml -> print_endline xml
   | exception Xquery.Error msg ->
@@ -250,7 +293,7 @@ let run_xquery file xmark_mb snapshot query =
 
 let xquery_cmd =
   Cmd.v (Cmd.info "xquery" ~doc:"Run an XQuery-lite FLWOR query")
-    Term.(const run_xquery $ file_arg $ xmark_arg $ snapshot_arg $ query_arg)
+    Term.(const run_xquery $ file_arg $ xmark_arg $ snapshot_arg $ data_dir_arg $ query_arg)
 
 (* ---- serve: batch query service with caches and metrics ---- *)
 
@@ -279,9 +322,9 @@ let is_query line =
 
 (* ---- lint: static plan diagnostics without execution ---- *)
 
-let run_lint file xmark_mb snapshot no_optimize json queries_file query =
+let run_lint file xmark_mb snapshot data_dir no_optimize json queries_file query =
   handle_parse_errors @@ fun () ->
-  let store, doc = input_doc file xmark_mb snapshot in
+  let store, doc = input_doc file xmark_mb snapshot data_dir in
   let queries =
     match query with
     | Some q -> [ q ]
@@ -441,14 +484,14 @@ let lint_cmd =
              duplicate-freedom, cardinality bounds, static emptiness) and severity-ranked \
              diagnostics, without executing anything. Exits non-zero on error-severity \
              diagnostics.")
-    Term.(const run_lint $ file_arg $ xmark_arg $ snapshot_arg $ no_optimize_arg $ json_arg
+    Term.(const run_lint $ file_arg $ xmark_arg $ snapshot_arg $ data_dir_arg $ no_optimize_arg $ json_arg
           $ queries_arg $ query_opt_arg)
 
 (* ---- synopsis: dump or verify the path synopsis ---- *)
 
-let run_synopsis file xmark_mb snapshot json check =
+let run_synopsis file xmark_mb snapshot data_dir json check =
   handle_parse_errors @@ fun () ->
-  let store, _doc = input_doc file xmark_mb snapshot in
+  let store, _doc = input_doc file xmark_mb snapshot data_dir in
   let module S = Mass.Synopsis in
   let syn = S.for_store store in
   if check then (
@@ -499,12 +542,12 @@ let synopsis_cmd =
        ~doc:"Show the DataGuide-style path synopsis: one row per distinct root-to-tag path \
              with its exact record count — the structural summary behind the static checker \
              and the optimizer's chain cardinalities")
-    Term.(const run_synopsis $ file_arg $ xmark_arg $ snapshot_arg $ json_arg $ check_arg)
+    Term.(const run_synopsis $ file_arg $ xmark_arg $ snapshot_arg $ data_dir_arg $ json_arg $ check_arg)
 
-let run_serve file xmark_mb snapshot queries_file repeat no_optimize plan_cap result_cap json
+let run_serve file xmark_mb snapshot data_dir queries_file repeat no_optimize plan_cap result_cap json
     quiet slow_ms =
   handle_parse_errors @@ fun () ->
-  let store, doc = input_doc file xmark_mb snapshot in
+  let store, doc = input_doc file xmark_mb snapshot data_dir in
   let service =
     (* slow-query logging is opt-in on the CLI: without --slow-ms the
        threshold is infinite and the service log stays empty *)
@@ -604,16 +647,16 @@ let serve_cmd =
   Cmd.v
     (Cmd.info "serve"
        ~doc:"Serve a query batch through the cached, metered query service")
-    Term.(const run_serve $ file_arg $ xmark_arg $ snapshot_arg $ queries_arg $ repeat_arg
+    Term.(const run_serve $ file_arg $ xmark_arg $ snapshot_arg $ data_dir_arg $ queries_arg $ repeat_arg
           $ no_optimize_arg $ plan_cap_arg $ result_cap_arg $ json_arg $ quiet_arg
           $ slow_ms_arg)
 
 (* ---- events: run a batch with the telemetry bus attached ---- *)
 
-let run_events file xmark_mb snapshot queries_file repeat no_optimize json follow slow_ms
+let run_events file xmark_mb snapshot data_dir queries_file repeat no_optimize json follow slow_ms
     samples ring_cap =
   handle_parse_errors @@ fun () ->
-  let store, doc = input_doc file xmark_mb snapshot in
+  let store, doc = input_doc file xmark_mb snapshot data_dir in
   let service =
     Vamana_service.Service.create ~optimize:(not no_optimize)
       ~slow_threshold:
@@ -708,12 +751,12 @@ let events_cmd =
   Cmd.v
     (Cmd.info "events"
        ~doc:"Run a query batch with the telemetry bus attached and print its events")
-    Term.(const run_events $ file_arg $ xmark_arg $ snapshot_arg $ queries_arg $ repeat_arg
+    Term.(const run_events $ file_arg $ xmark_arg $ snapshot_arg $ data_dir_arg $ queries_arg $ repeat_arg
           $ no_optimize_arg $ json_arg $ follow_arg $ slow_ms_arg $ sample_arg $ ring_arg)
 
-let run_save file xmark_mb output =
+let run_save file xmark_mb data_dir output =
   handle_parse_errors @@ fun () ->
-  let store, _ = input_doc file xmark_mb None in
+  let store, _ = input_doc file xmark_mb None data_dir in
   Store.save_file store output;
   Printf.eprintf "saved store snapshot to %s\n" output
 
@@ -722,8 +765,179 @@ let save_cmd =
     Arg.(required & opt (some string) None & info [ "o"; "output" ] ~docv:"SNAP" ~doc:"Snapshot path.")
   in
   Cmd.v (Cmd.info "save" ~doc:"Build a store and write a binary snapshot")
-    Term.(const run_save $ file_arg $ xmark_arg $ out)
+    Term.(const run_save $ file_arg $ xmark_arg $ data_dir_arg $ out)
+
+(* ---- snapshot: whole-store save/restore, including across backends ---- *)
+
+let run_snapshot_save file xmark_mb data_dir output =
+  handle_parse_errors @@ fun () ->
+  let store, _ = input_doc file xmark_mb None data_dir in
+  Store.save_file store output;
+  Printf.eprintf "saved store snapshot to %s\n" output;
+  Store.close store
+
+let run_snapshot_load snap data_dir =
+  handle_parse_errors @@ fun () ->
+  let store = Store.load_file ~backend:(Store.File { dir = data_dir }) snap in
+  let docs = Store.documents store in
+  Printf.eprintf "restored %d document(s) (%d records) from %s into %s\n" (List.length docs)
+    (Store.total_records store) snap data_dir;
+  Store.close store
+
+let snapshot_cmd =
+  let save =
+    let out =
+      Arg.(required & opt (some string) None
+           & info [ "o"; "output" ] ~docv:"SNAP" ~doc:"Snapshot path.")
+    in
+    Cmd.v
+      (Cmd.info "save"
+         ~doc:"Write a whole-store binary snapshot (from a file, generated XMark data, or \
+               an existing $(b,--data-dir) store)")
+      Term.(const run_snapshot_save $ file_arg $ xmark_arg $ data_dir_arg $ out)
+  in
+  let load =
+    let snap =
+      Arg.(required & pos 0 (some file) None & info [] ~docv:"SNAP" ~doc:"Snapshot to restore.")
+    in
+    let dir =
+      Arg.(required & opt (some string) None
+           & info [ "d"; "data-dir" ] ~docv:"DIR"
+               ~doc:"Directory to materialize the durable store in.")
+    in
+    Cmd.v
+      (Cmd.info "load"
+         ~doc:"Restore a snapshot into a fresh durable store: the rebuild runs through the \
+               bulk-ingest path (no WAL traffic) and ends with one checkpoint")
+      Term.(const run_snapshot_load $ snap $ dir)
+  in
+  Cmd.group (Cmd.info "snapshot" ~doc:"Whole-store snapshot save/restore") [ save; load ]
+
+(* ---- churn: sustained update loop against a durable store (crash-test target) ---- *)
+
+let run_churn data_dir iters report =
+  handle_parse_errors @@ fun () ->
+  if not (Storage.Disk.is_store ~dir:data_dir) then begin
+    Printf.eprintf "no store at %s (build one first, e.g. vamana snapshot save or -x with -d)\n"
+      data_dir;
+    exit 1
+  end;
+  let store = Store.open_file ~dir:data_dir () in
+  report_recovery store;
+  let doc = first_doc store in
+  let parent =
+    match Store.root_element_key doc store with
+    | Some k -> k
+    | None -> failwith "document has no root element"
+  in
+  let inserted = Queue.create () in
+  let i = ref 0 in
+  while iters = 0 || !i < iters do
+    incr i;
+    let key =
+      Store.insert_element store ~parent "churn"
+        [ ("i", string_of_int !i) ]
+        (Some (Printf.sprintf "payload-%d" !i))
+    in
+    Queue.push key inserted;
+    if !i mod 3 = 0 then ignore (Store.delete_subtree store (Queue.pop inserted));
+    if !i mod report = 0 then begin
+      Printf.printf "churn: %d iterations, epoch %d, wal %d bytes\n" !i (Store.epoch store)
+        (Option.value ~default:0 (Store.disk_wal_bytes store));
+      flush stdout
+    end
+  done;
+  Store.close store;
+  Printf.printf "churn: done, %d iterations, epoch %d\n" !i (Store.epoch store)
+
+let churn_cmd =
+  let dir =
+    Arg.(required & opt (some string) None
+         & info [ "d"; "data-dir" ] ~docv:"DIR" ~doc:"Existing durable store to churn.")
+  in
+  let iters =
+    Arg.(value & opt int 0
+         & info [ "iters" ] ~docv:"N" ~doc:"Stop after N updates (default: run until killed).")
+  in
+  let report =
+    Arg.(value & opt int 100 & info [ "report" ] ~docv:"N" ~doc:"Progress line every N updates.")
+  in
+  Cmd.v
+    (Cmd.info "churn"
+       ~doc:"Run a sustained insert/delete loop against a durable store — every epoch commits \
+             through the WAL, so killing this process at any point must be recoverable \
+             ($(b,vamana fsck) verifies)")
+    Term.(const run_churn $ dir $ iters $ report)
+
+(* ---- fsck: reopen, recover, and cross-check a durable store ---- *)
+
+let fsck_corpus = [ "/*"; "//*"; "//text()"; "//*/*"; "//*[@i]"; "//churn/ancestor::*" ]
+
+let run_fsck data_dir queries_file =
+  let failures = ref 0 in
+  let fail fmt = Printf.ksprintf (fun m -> incr failures; Printf.printf "FAIL %s\n" m) fmt in
+  let pass fmt = Printf.ksprintf (fun m -> Printf.printf "ok   %s\n" m) fmt in
+  let store =
+    try Store.open_file ~dir:data_dir ()
+    with Storage.Disk.Corrupt msg ->
+      Printf.printf "FAIL open: corrupt store: %s\n" msg;
+      exit 1
+  in
+  report_recovery store;
+  pass "open: %d document(s), %d records, epoch %d" (List.length (Store.documents store))
+    (Store.total_records store) (Store.epoch store);
+  (try
+     Store.validate store;
+     pass "validate: indexes and counters mutually consistent"
+   with Failure msg -> fail "validate: %s" msg);
+  let module S = Mass.Synopsis in
+  (match S.verify store (S.for_store store) with
+  | Ok () -> pass "synopsis: consistent with a fresh store scan"
+  | Error msg -> fail "synopsis: %s" msg);
+  let queries =
+    match queries_file with
+    | Some path -> List.filter is_query (read_queries (Some path))
+    | None -> fsck_corpus
+  in
+  let doc = first_doc store in
+  List.iter
+    (fun q ->
+      let run optimize =
+        match Vamana.Engine.query ~optimize store ~context:doc.Store.doc_key q with
+        | Ok r -> Ok (List.map Flex.to_string r.Vamana.Engine.keys)
+        | Error msg -> Error msg
+      in
+      match (run true, run false) with
+      | Ok a, Ok b when a = b -> pass "differential: %s (%d keys)" q (List.length a)
+      | Ok a, Ok b -> fail "differential: %s — optimized %d keys, unoptimized %d" q
+                        (List.length a) (List.length b)
+      | Error m, Error _ -> pass "differential: %s (not executable: %s)" q m
+      | Error m, Ok _ | Ok _, Error m -> fail "differential: %s — one mode errored: %s" q m)
+    queries;
+  Store.close store;
+  if !failures > 0 then begin
+    Printf.printf "fsck: %d check(s) FAILED\n" !failures;
+    exit 1
+  end
+  else Printf.printf "fsck: all checks passed\n"
+
+let fsck_cmd =
+  let dir =
+    Arg.(required & opt (some string) None
+         & info [ "d"; "data-dir" ] ~docv:"DIR" ~doc:"Durable store to check.")
+  in
+  let queries_arg =
+    Arg.(value & opt (some file) None
+         & info [ "q"; "queries" ] ~docv:"FILE"
+             ~doc:"Differential query corpus, one XPath per line (default: a built-in set).")
+  in
+  Cmd.v
+    (Cmd.info "fsck"
+       ~doc:"Reopen a durable store (running crash recovery), then cross-check the three \
+             indexes, the path synopsis, and an optimized-vs-unoptimized query differential; \
+             exits non-zero on any inconsistency")
+    Term.(const run_fsck $ dir $ queries_arg)
 
 let () =
   let info = Cmd.info "vamana" ~version:"1.0.0" ~doc:"Cost-driven XPath engine over the MASS storage structure" in
-  exit (Cmd.eval (Cmd.group info [ query_cmd; xquery_cmd; explain_cmd; lint_cmd; synopsis_cmd; stats_cmd; generate_cmd; save_cmd; serve_cmd; events_cmd ]))
+  exit (Cmd.eval (Cmd.group info [ query_cmd; xquery_cmd; explain_cmd; lint_cmd; synopsis_cmd; stats_cmd; generate_cmd; save_cmd; snapshot_cmd; churn_cmd; fsck_cmd; serve_cmd; events_cmd ]))

@@ -16,11 +16,93 @@ module Make (K : KEY) = struct
 
   module P = Storage.Pager
 
-  let create ?label ?(order = 64) ?pool_pages () =
+  let node_codec ~enc_key ~dec_key ~enc_val ~dec_val =
+    let open Storage.Binio in
+    let encode node =
+      let b = Buffer.create 256 in
+      (match node with
+      | Leaf l ->
+          w_u8 b 0;
+          w_u64 b l.prev;
+          w_u64 b l.next;
+          w_u32 b (Array.length l.keys);
+          Array.iteri
+            (fun i k ->
+              enc_key b k;
+              enc_val b l.vals.(i))
+            l.keys
+      | Node n ->
+          w_u8 b 1;
+          w_u32 b (Array.length n.seps);
+          Array.iter (fun s -> enc_key b s) n.seps;
+          w_u32 b (Array.length n.children);
+          Array.iteri
+            (fun i c ->
+              w_u64 b c;
+              w_u64 b n.counts.(i))
+            n.children);
+      Buffer.contents b
+    in
+    let decode s =
+      let r = reader s in
+      match r_u8 r with
+      | 0 ->
+          let prev = r_u64 r in
+          let next = r_u64 r in
+          let n = r_u32 r in
+          let rec entries i acc =
+            if i = n then List.rev acc
+            else
+              let k = dec_key r in
+              let v = dec_val r in
+              entries (i + 1) ((k, v) :: acc)
+          in
+          let kvs = entries 0 [] in
+          Leaf
+            {
+              keys = Array.of_list (List.map fst kvs);
+              vals = Array.of_list (List.map snd kvs);
+              prev;
+              next;
+            }
+      | 1 ->
+          let nseps = r_u32 r in
+          let rec seps i acc =
+            if i = nseps then List.rev acc else seps (i + 1) (dec_key r :: acc)
+          in
+          let seps = Array.of_list (seps 0 []) in
+          let nch = r_u32 r in
+          let rec kids i acc =
+            if i = nch then List.rev acc
+            else
+              let c = r_u64 r in
+              let cnt = r_u64 r in
+              kids (i + 1) ((c, cnt) :: acc)
+          in
+          let kids = kids 0 [] in
+          Node
+            {
+              seps;
+              children = Array.of_list (List.map fst kids);
+              counts = Array.of_list (List.map snd kids);
+            }
+      | tag -> failwith (Printf.sprintf "Btree: bad node tag %d" tag)
+    in
+    { P.encode; P.decode }
+
+  let create ?label ?(order = 64) ?pool_pages ?backend () =
     if order < 4 then invalid_arg "Btree.create: order < 4";
-    let pager = P.create ?label ?pool_pages () in
+    let pager = P.create ?label ?pool_pages ?backend () in
     let root = P.alloc pager (Leaf { keys = [||]; vals = [||]; prev = nil; next = nil }) in
     { pager; root; order }
+
+  let open_existing ?label ?(order = 64) ?pool_pages ~backend ~root () =
+    if order < 4 then invalid_arg "Btree.open_existing: order < 4";
+    let pager = P.attach ?label ?pool_pages ~backend () in
+    { pager; root; order }
+
+  let root_id t = t.root
+  let flush t = P.flush t.pager
 
   (* ---- array helpers ---- *)
 

@@ -30,11 +30,52 @@ end
 module Make (K : KEY) : sig
   type 'v t
 
-  val create : ?label:string -> ?order:int -> ?pool_pages:int -> unit -> 'v t
+  type 'v node
+  (** The pager payload: a leaf or counted interior node.  Abstract —
+      only {!node_codec} gives the durable layer a view of it. *)
+
+  val node_codec :
+    enc_key:(Buffer.t -> K.t -> unit) ->
+    dec_key:(Storage.Binio.reader -> K.t) ->
+    enc_val:(Buffer.t -> 'v -> unit) ->
+    dec_val:(Storage.Binio.reader -> 'v) ->
+    'v node Storage.Pager.codec
+  (** Build a page serializer from key/value serializers, for running the
+      tree on the {!Storage.Pager.File} backend.  The wire format is the
+      node structure verbatim (tag, leaf chain links, entries or
+      separators+children+counts); integrity is the disk layer's job. *)
+
+  val create :
+    ?label:string ->
+    ?order:int ->
+    ?pool_pages:int ->
+    ?backend:'v node Storage.Pager.backend ->
+    unit ->
+    'v t
   (** [order] is the maximum number of entries per node (default 64);
       [pool_pages] sizes the buffer pool; [label] names the underlying
-      pager in telemetry events and introspection output.
+      pager in telemetry events and introspection output; [backend]
+      (default in-memory) selects where pages live.
       @raise Invalid_argument if [order < 4]. *)
+
+  val open_existing :
+    ?label:string ->
+    ?order:int ->
+    ?pool_pages:int ->
+    backend:'v node Storage.Pager.backend ->
+    root:int ->
+    unit ->
+    'v t
+  (** Reattach to a tree previously persisted through a {!File} backend:
+      [root] is the page id {!root_id} reported when it was last flushed.
+      [order] must match the order the tree was built with. *)
+
+  val root_id : 'v t -> int
+  (** Current root page id (changes when the root splits — persist it on
+      every commit). *)
+
+  val flush : 'v t -> unit
+  (** Write all dirty pages through to the backend. *)
 
   val length : 'v t -> int
   (** Total number of entries, O(1). *)

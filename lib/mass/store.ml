@@ -36,20 +36,288 @@ type t = {
   mutable docs : doc list;  (** in root-component order *)
   mutable next_doc_id : int;
   mutable epoch : int;  (** bumped by every content mutation *)
+  order : int;
+  disk : Storage.Disk.t option;  (** [Some] on the file backend *)
+  mutable autocommit : bool;
 }
 
-let create ?pool_pages ?order () =
-  {
-    doc_index = DocTree.create ~label:"doc_index" ?order ?pool_pages ();
-    name_index = TagTree.create ~label:"name_index" ?order ?pool_pages ();
-    value_index = TagTree.create ~label:"value_index" ?order ?pool_pages ();
-    docs = [];
-    next_doc_id = 0;
-    epoch = 0;
-  }
+(* ---- page codecs (file backend) ---- *)
+
+let kind_code (k : Record.kind) =
+  match k with
+  | Record.Document -> 0
+  | Record.Element -> 1
+  | Record.Attribute -> 2
+  | Record.Text -> 3
+  | Record.Comment -> 4
+  | Record.Pi -> 5
+
+let kind_of_code = function
+  | 0 -> Record.Document
+  | 1 -> Record.Element
+  | 2 -> Record.Attribute
+  | 3 -> Record.Text
+  | 4 -> Record.Comment
+  | 5 -> Record.Pi
+  | c -> failwith (Printf.sprintf "Mass snapshot: bad kind code %d" c)
+
+let enc_flex b k = Storage.Binio.w_str b (Flex.encode k)
+let dec_flex r = Flex.decode (Storage.Binio.r_str r)
+
+let enc_tag b (tag, k) =
+  Storage.Binio.w_str b tag;
+  enc_flex b k
+
+let dec_tag r =
+  let tag = Storage.Binio.r_str r in
+  (tag, dec_flex r)
+
+let enc_record b (r : Record.t) =
+  enc_flex b r.key;
+  Storage.Binio.w_u8 b (kind_code r.kind);
+  Storage.Binio.w_str b r.name;
+  Storage.Binio.w_str b r.value
+
+let dec_record rd =
+  let key = dec_flex rd in
+  let kind = kind_of_code (Storage.Binio.r_u8 rd) in
+  let name = Storage.Binio.r_str rd in
+  let value = Storage.Binio.r_str rd in
+  { Record.key; kind; name; value }
+
+let doc_node_codec : Record.t DocTree.node Storage.Pager.codec =
+  DocTree.node_codec ~enc_key:enc_flex ~dec_key:dec_flex ~enc_val:enc_record
+    ~dec_val:dec_record
+
+let tag_node_codec : unit TagTree.node Storage.Pager.codec =
+  TagTree.node_codec ~enc_key:enc_tag ~dec_key:dec_tag
+    ~enc_val:(fun _ () -> ())
+    ~dec_val:(fun _ -> ())
+
+(* ---- backend selection ---- *)
+
+type backend = Mem | File of { dir : string }
+
+(* VAMANA_BACKEND=file redirects every [create] without an explicit backend
+   to real files in a per-process temp tree, so the whole test suite can be
+   re-run against the durable path unchanged. *)
+let temp_counter = ref 0
+
+let temp_root =
+  lazy
+    (let dir =
+       Filename.concat
+         (Filename.get_temp_dir_name ())
+         (Printf.sprintf "vamana_stores_%d" (Unix.getpid ()))
+     in
+     let rec rm_rf p =
+       match Sys.is_directory p with
+       | true ->
+           Array.iter (fun f -> rm_rf (Filename.concat p f)) (Sys.readdir p);
+           Unix.rmdir p
+       | false -> Sys.remove p
+       | exception Sys_error _ -> ()
+     in
+     at_exit (fun () -> try rm_rf dir with _ -> ());
+     (try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+     dir)
+
+let default_backend () =
+  match Sys.getenv_opt "VAMANA_BACKEND" with
+  | Some "file" ->
+      incr temp_counter;
+      File
+        {
+          dir =
+            Filename.concat (Lazy.force temp_root)
+              (Printf.sprintf "store%d" !temp_counter);
+        }
+  | _ -> Mem
+
+(* ---- store metadata: everything outside the trees' pages ----
+
+   Serialized into the disk layer's metadata blob, so it rides in every WAL
+   commit and manifest: document table, id counter, epoch, tree roots and
+   the order the trees were built with. *)
+
+let meta_version = 1
+
+let encode_meta t =
+  let b = Buffer.create 512 in
+  Storage.Binio.w_u32 b meta_version;
+  Storage.Binio.w_u64 b t.epoch;
+  Storage.Binio.w_u64 b t.next_doc_id;
+  Storage.Binio.w_u32 b t.order;
+  Storage.Binio.w_u32 b (List.length t.docs);
+  List.iter
+    (fun d ->
+      Storage.Binio.w_u64 b d.doc_id;
+      Storage.Binio.w_str b d.doc_name;
+      Storage.Binio.w_str b (Flex.encode d.doc_key);
+      Storage.Binio.w_u64 b d.element_count;
+      Storage.Binio.w_u64 b d.text_count;
+      Storage.Binio.w_u64 b d.attribute_count;
+      Storage.Binio.w_u64 b d.comment_count;
+      Storage.Binio.w_u64 b d.pi_count)
+    t.docs;
+  Storage.Binio.w_u64 b (DocTree.root_id t.doc_index);
+  Storage.Binio.w_u64 b (TagTree.root_id t.name_index);
+  Storage.Binio.w_u64 b (TagTree.root_id t.value_index);
+  Buffer.contents b
+
+let flush_indexes t =
+  DocTree.flush t.doc_index;
+  TagTree.flush t.name_index;
+  TagTree.flush t.value_index
+
+let commit t =
+  match t.disk with
+  | None -> ()
+  | Some disk ->
+      flush_indexes t;
+      Storage.Disk.set_metadata disk (encode_meta t);
+      Storage.Disk.commit disk ~epoch:t.epoch
+
+let checkpoint t =
+  match t.disk with
+  | None -> ()
+  | Some disk ->
+      flush_indexes t;
+      Storage.Disk.set_metadata disk (encode_meta t);
+      Storage.Disk.checkpoint disk ~epoch:t.epoch
+
+let maybe_commit t =
+  match t.disk with
+  | Some disk when t.autocommit && not (Storage.Disk.in_bulk disk) -> commit t
+  | _ -> ()
+
+let set_autocommit t on = t.autocommit <- on
+let data_dir t = Option.map Storage.Disk.dir t.disk
+let disk_io t = Option.map Storage.Disk.io t.disk
+let disk_wal_bytes t = Option.map Storage.Disk.wal_bytes t.disk
+let last_recovery t = Option.bind t.disk Storage.Disk.last_recovery
+
+let close t =
+  match t.disk with
+  | None -> ()
+  | Some disk ->
+      if not (Storage.Disk.in_bulk disk) then checkpoint t;
+      Storage.Disk.close disk
+
+let simulate_crash t =
+  match t.disk with None -> () | Some disk -> Storage.Disk.close disk
+
+let create ?pool_pages ?(order = 64) ?backend () =
+  let backend = match backend with Some b -> b | None -> default_backend () in
+  match backend with
+  | Mem ->
+      {
+        doc_index = DocTree.create ~label:"doc_index" ~order ?pool_pages ();
+        name_index = TagTree.create ~label:"name_index" ~order ?pool_pages ();
+        value_index = TagTree.create ~label:"value_index" ~order ?pool_pages ();
+        docs = [];
+        next_doc_id = 0;
+        epoch = 0;
+        order;
+        disk = None;
+        autocommit = true;
+      }
+  | File { dir } ->
+      let disk = Storage.Disk.create ~dir in
+      let mk name codec =
+        Storage.Pager.File { disk; pool = Storage.Disk.pool disk name; codec }
+      in
+      let t =
+        {
+          doc_index =
+            DocTree.create ~label:"doc_index" ~order ?pool_pages
+              ~backend:(mk "doc_index" doc_node_codec) ();
+          name_index =
+            TagTree.create ~label:"name_index" ~order ?pool_pages
+              ~backend:(mk "name_index" tag_node_codec) ();
+          value_index =
+            TagTree.create ~label:"value_index" ~order ?pool_pages
+              ~backend:(mk "value_index" tag_node_codec) ();
+          docs = [];
+          next_doc_id = 0;
+          epoch = 0;
+          order;
+          disk = Some disk;
+          autocommit = true;
+        }
+      in
+      (* make the empty store immediately reopenable *)
+      commit t;
+      t
+
+let open_file ?pool_pages ~dir () =
+  let disk = Storage.Disk.open_dir ~dir in
+  let meta = Storage.Disk.metadata disk in
+  let fail msg =
+    Storage.Disk.close disk;
+    raise (Storage.Disk.Corrupt (Printf.sprintf "%s: %s" dir msg))
+  in
+  if String.length meta = 0 then fail "store has no metadata";
+  try
+    let r = Storage.Binio.reader meta in
+    let version = Storage.Binio.r_u32 r in
+    if version <> meta_version then
+      fail (Printf.sprintf "unsupported store metadata version %d" version);
+    let epoch = Storage.Binio.r_u64 r in
+    let next_doc_id = Storage.Binio.r_u64 r in
+    let order = Storage.Binio.r_u32 r in
+    let ndocs = Storage.Binio.r_u32 r in
+    let docs =
+      List.init ndocs (fun _ ->
+          let doc_id = Storage.Binio.r_u64 r in
+          let doc_name = Storage.Binio.r_str r in
+          let doc_key = Flex.decode (Storage.Binio.r_str r) in
+          let element_count = Storage.Binio.r_u64 r in
+          let text_count = Storage.Binio.r_u64 r in
+          let attribute_count = Storage.Binio.r_u64 r in
+          let comment_count = Storage.Binio.r_u64 r in
+          let pi_count = Storage.Binio.r_u64 r in
+          {
+            doc_id;
+            doc_name;
+            doc_key;
+            element_count;
+            text_count;
+            attribute_count;
+            comment_count;
+            pi_count;
+          })
+    in
+    let doc_root = Storage.Binio.r_u64 r in
+    let name_root = Storage.Binio.r_u64 r in
+    let value_root = Storage.Binio.r_u64 r in
+    let mk name codec =
+      Storage.Pager.File { disk; pool = Storage.Disk.pool disk name; codec }
+    in
+    {
+      doc_index =
+        DocTree.open_existing ~label:"doc_index" ~order ?pool_pages
+          ~backend:(mk "doc_index" doc_node_codec) ~root:doc_root ();
+      name_index =
+        TagTree.open_existing ~label:"name_index" ~order ?pool_pages
+          ~backend:(mk "name_index" tag_node_codec) ~root:name_root ();
+      value_index =
+        TagTree.open_existing ~label:"value_index" ~order ?pool_pages
+          ~backend:(mk "value_index" tag_node_codec) ~root:value_root ();
+      docs;
+      next_doc_id;
+      epoch;
+      order;
+      disk = Some disk;
+      autocommit = true;
+    }
+  with Storage.Binio.Short -> fail "truncated store metadata"
 
 let epoch t = t.epoch
-let bump_epoch t = t.epoch <- t.epoch + 1
+
+let bump_epoch t =
+  t.epoch <- t.epoch + 1;
+  maybe_commit t
 
 (* ---- probes ----
 
@@ -110,6 +378,11 @@ let doc_of_key t key =
     List.find_opt (fun d -> Flex.equal d.doc_key root) t.docs
 
 let load t ~name tree =
+  (* On the file backend a load is one bulk ingest: pages stream to the data
+     file without WAL traffic and the closing checkpoint makes the whole
+     document durable at once (a crash mid-load recovers to the pre-load
+     state). *)
+  (match t.disk with Some d -> Storage.Disk.begin_bulk d | None -> ());
   let last_component =
     List.fold_left
       (fun acc d ->
@@ -162,6 +435,12 @@ let load t ~name tree =
   Array.iteri (fun i c -> walk (Flex.child doc_key comps.(i)) c) top;
   t.docs <- t.docs @ [ doc ];
   bump_epoch t;
+  (match t.disk with
+  | Some d ->
+      flush_indexes t;
+      Storage.Disk.set_metadata d (encode_meta t);
+      Storage.Disk.end_bulk d ~epoch:t.epoch
+  | None -> ());
   doc
 
 let load_string t ~name src = load t ~name (Xml.Parser.parse src)
@@ -623,8 +902,13 @@ let delete_subtree t key =
   n
 
 let remove_document t doc =
+  (* one commit covering both the subtree deletion and the catalog update *)
+  let saved = t.autocommit in
+  t.autocommit <- false;
   ignore (delete_subtree t doc.doc_key);
-  t.docs <- List.filter (fun d -> d.doc_id <> doc.doc_id) t.docs
+  t.autocommit <- saved;
+  t.docs <- List.filter (fun d -> d.doc_id <> doc.doc_id) t.docs;
+  maybe_commit t
 
 let root_element_key doc t =
   let scan =
@@ -795,24 +1079,6 @@ let write_string buf s =
   write_u64 buf (String.length s);
   Buffer.add_string buf s
 
-let kind_code (k : Record.kind) =
-  match k with
-  | Record.Document -> 0
-  | Record.Element -> 1
-  | Record.Attribute -> 2
-  | Record.Text -> 3
-  | Record.Comment -> 4
-  | Record.Pi -> 5
-
-let kind_of_code = function
-  | 0 -> Record.Document
-  | 1 -> Record.Element
-  | 2 -> Record.Attribute
-  | 3 -> Record.Text
-  | 4 -> Record.Comment
-  | 5 -> Record.Pi
-  | c -> failwith (Printf.sprintf "Mass snapshot: bad kind code %d" c)
-
 let save_file t path =
   let buf = Buffer.create (1 lsl 20) in
   Buffer.add_string buf snapshot_magic;
@@ -846,7 +1112,7 @@ let save_file t path =
 
 exception Corrupt_snapshot of string
 
-let load_file ?pool_pages ?order path =
+let load_file ?pool_pages ?order ?backend path =
   let ic = open_in_bin path in
   let fail msg =
     close_in ic;
@@ -867,7 +1133,8 @@ let load_file ?pool_pages ?order path =
     fail "bad magic";
   let version = String.get_int64_le (read_exact 8) 0 in
   if version <> snapshot_version then fail (Printf.sprintf "unsupported version %Ld" version);
-  let t = create ?pool_pages ?order () in
+  let t = create ?pool_pages ?order ?backend () in
+  (match t.disk with Some d -> Storage.Disk.begin_bulk d | None -> ());
   let ndocs = read_u64 () in
   let docs =
     List.init ndocs (fun i ->
@@ -900,6 +1167,12 @@ let load_file ?pool_pages ?order path =
   | _ -> fail "trailing data"
   | exception End_of_file -> ());
   close_in ic;
+  (match t.disk with
+  | Some d ->
+      flush_indexes t;
+      Storage.Disk.set_metadata d (encode_meta t);
+      Storage.Disk.end_bulk d ~epoch:t.epoch
+  | None -> ());
   t
 
 (* ---- statistics ---- *)
@@ -957,7 +1230,10 @@ let io_stats t =
     acc.Storage.Stats.physical_reads <- acc.Storage.Stats.physical_reads + s.Storage.Stats.physical_reads;
     acc.Storage.Stats.page_writes <- acc.Storage.Stats.page_writes + s.Storage.Stats.page_writes;
     acc.Storage.Stats.evictions <- acc.Storage.Stats.evictions + s.Storage.Stats.evictions;
-    acc.Storage.Stats.allocations <- acc.Storage.Stats.allocations + s.Storage.Stats.allocations
+    acc.Storage.Stats.allocations <- acc.Storage.Stats.allocations + s.Storage.Stats.allocations;
+    acc.Storage.Stats.write_back_bytes <-
+      acc.Storage.Stats.write_back_bytes + s.Storage.Stats.write_back_bytes;
+    acc.Storage.Stats.fsyncs <- acc.Storage.Stats.fsyncs + s.Storage.Stats.fsyncs
   in
   add (DocTree.stats t.doc_index);
   add (TagTree.stats t.name_index);

@@ -32,9 +32,62 @@ type doc = {
   mutable pi_count : int;
 }
 
-val create : ?pool_pages:int -> ?order:int -> unit -> t
+type backend =
+  | Mem  (** the simulated in-memory disk (historical default) *)
+  | File of { dir : string }
+      (** durable storage: one {!Storage.Disk} store in [dir] shared by
+          all three indexes — a single data file of checksummed 4 KiB
+          frames, one write-ahead log, one checkpoint manifest *)
+
+val create : ?pool_pages:int -> ?order:int -> ?backend:backend -> unit -> t
 (** [pool_pages] sizes each index's buffer pool; [order] is the B+-tree
-    node capacity. *)
+    node capacity.  [backend] defaults to {!Mem} unless the environment
+    variable [VAMANA_BACKEND] is set to ["file"], in which case every
+    default-backend store runs on real files in a fresh per-process temp
+    directory (removed at exit) — the switch that re-runs the whole test
+    suite against the durable path.  A {!File} backend initializes a
+    {e fresh} store in [dir]; use {!open_file} to reopen an existing one. *)
+
+val open_file : ?pool_pages:int -> dir:string -> unit -> t
+(** Reopen a file-backed store: runs crash recovery (WAL replay to the
+    last committed epoch), rebuilds the document catalog and reattaches
+    the three indexes to their persisted pages.  [order] comes from the
+    stored metadata.
+    @raise Storage.Disk.Corrupt on a missing or damaged store. *)
+
+val close : t -> unit
+(** Clean shutdown of a file-backed store: flush, checkpoint, close the
+    descriptors.  A no-op on {!Mem}. *)
+
+val commit : t -> unit
+(** Force a durability point now (flush dirty pages, WAL-append metadata
+    and a commit marker, fsync).  Mutations do this automatically unless
+    {!set_autocommit} turned it off.  A no-op on {!Mem}. *)
+
+val checkpoint : t -> unit
+(** Commit and fold the WAL into a fresh manifest (truncating the log).
+    A no-op on {!Mem}. *)
+
+val set_autocommit : t -> bool -> unit
+(** Default [true]: every epoch bump commits.  [false] trades durability
+    of the tail for update throughput; {!commit} remains available. *)
+
+val data_dir : t -> string option
+(** The file backend's directory, [None] on {!Mem}. *)
+
+val disk_io : t -> Storage.Disk.io option
+(** Live WAL/data-file counters of the file backend. *)
+
+val disk_wal_bytes : t -> int option
+(** Current WAL length of the file backend. *)
+
+val last_recovery : t -> Storage.Disk.recovery option
+(** What {!open_file} had to replay/discard, if anything. *)
+
+val simulate_crash : t -> unit
+(** Test support: drop the store on the floor — close the descriptors
+    without flushing, committing or checkpointing, leaving the files
+    exactly as a SIGKILL would.  The handle must not be used afterwards. *)
 
 val load : t -> name:string -> Xml.Tree.t -> doc
 (** Bulk-load a parsed document.  Records are keyed depth-first with
@@ -196,9 +249,11 @@ exception Corrupt_snapshot of string
 
 val save_file : t -> string -> unit
 
-val load_file : ?pool_pages:int -> ?order:int -> string -> t
+val load_file : ?pool_pages:int -> ?order:int -> ?backend:backend -> string -> t
 (** @raise Corrupt_snapshot on malformed input;
-    @raise Sys_error on I/O failure. *)
+    @raise Sys_error on I/O failure.  With a {!File} backend the rebuild
+    runs through the bulk-ingest path (no WAL traffic, one closing
+    checkpoint). *)
 
 (** {1 Statistics} *)
 

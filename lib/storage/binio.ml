@@ -1,0 +1,51 @@
+exception Short
+
+let w_u8 b n = Buffer.add_uint8 b (n land 0xff)
+let w_u16 b n = Buffer.add_uint16_le b (n land 0xffff)
+let w_u32 b n = Buffer.add_int32_le b (Int32.of_int n)
+let w_u64 b n = Buffer.add_int64_le b (Int64.of_int n)
+
+let w_str b s =
+  w_u32 b (String.length s);
+  Buffer.add_string b s
+
+type reader = { src : string; mutable pos : int }
+
+let reader ?(pos = 0) src = { src; pos }
+
+let need r n = if r.pos + n > String.length r.src then raise Short
+
+let r_u8 r =
+  need r 1;
+  let v = Char.code r.src.[r.pos] in
+  r.pos <- r.pos + 1;
+  v
+
+let r_u16 r =
+  need r 2;
+  let v = String.get_uint16_le r.src r.pos in
+  r.pos <- r.pos + 2;
+  v
+
+let r_u32 r =
+  need r 4;
+  let v = Int32.to_int (String.get_int32_le r.src r.pos) land 0xffffffff in
+  r.pos <- r.pos + 4;
+  v
+
+let r_u64 r =
+  need r 8;
+  let v64 = String.get_int64_le r.src r.pos in
+  let v = Int64.to_int v64 in
+  if Int64.of_int v <> v64 then raise Short;
+  r.pos <- r.pos + 8;
+  v
+
+let r_str r =
+  let n = r_u32 r in
+  need r n;
+  let s = String.sub r.src r.pos n in
+  r.pos <- r.pos + n;
+  s
+
+let at_end r = r.pos = String.length r.src

@@ -1,0 +1,34 @@
+(** Little-endian binary encode/decode helpers shared by the page
+    codecs, the WAL and the manifest.
+
+    Writers append to a [Buffer.t]; readers consume a string through a
+    mutable cursor and raise {!Short} on truncation, which the disk
+    layer maps to its corruption error (a frame that passes its CRC but
+    fails to decode is treated the same as a torn one). *)
+
+exception Short
+(** Raised by readers on a truncated or out-of-bounds input. *)
+
+val w_u8 : Buffer.t -> int -> unit
+val w_u16 : Buffer.t -> int -> unit
+val w_u32 : Buffer.t -> int -> unit
+
+val w_u64 : Buffer.t -> int -> unit
+(** Writes an OCaml [int] as a little-endian 64-bit value (sign
+    extended, so [-1] round-trips). *)
+
+val w_str : Buffer.t -> string -> unit
+(** u32 byte length + bytes. *)
+
+type reader = { src : string; mutable pos : int }
+
+val reader : ?pos:int -> string -> reader
+val r_u8 : reader -> int
+val r_u16 : reader -> int
+val r_u32 : reader -> int
+
+val r_u64 : reader -> int
+(** @raise Short also when the value does not fit in an OCaml [int]. *)
+
+val r_str : reader -> string
+val at_end : reader -> bool

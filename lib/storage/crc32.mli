@@ -1,0 +1,12 @@
+(** CRC-32 (IEEE 802.3, the zlib/PNG polynomial) over strings.
+
+    Every on-disk artifact of the durable storage layer — page frames,
+    WAL records, the manifest — carries a CRC so that torn writes and
+    bit rot are detected loudly instead of being decoded into garbage. *)
+
+val string : ?init:int32 -> string -> int32
+(** [string s] — CRC-32 of the whole string.  [init] continues a
+    running checksum (pass the previous result to chain buffers). *)
+
+val sub : ?init:int32 -> string -> pos:int -> len:int -> int32
+(** CRC-32 of a substring. @raise Invalid_argument on bad bounds. *)

@@ -1,0 +1,595 @@
+exception Corrupt of string
+
+let corrupt fmt = Printf.ksprintf (fun s -> raise (Corrupt s)) fmt
+
+let frame_bytes = 4096
+
+(* On-disk magics.  The page and WAL magics are little-endian u32s spelling
+   "VAMP" and "WALR"; the manifest leads with an 8-byte tag. *)
+let page_magic = 0x504d4156 (* "VAMP" *)
+let wal_magic = 0x524c4157 (* "WALR" *)
+let manifest_magic = "VAMMANIF"
+let manifest_version = 1
+
+let wal_page = 1
+let wal_free = 2
+let wal_meta = 3
+let wal_commit = 4
+
+let data_name = "store.data"
+let wal_name = "store.wal"
+let manifest_name = "store.manifest"
+
+let wal_checkpoint_bytes = ref (8 * 1024 * 1024)
+
+type pool = { pid : int; pname : string }
+
+(* A page lives in a contiguous extent of [frames] frames starting at frame
+   [off]; [bytes] is the payload length inside it. *)
+type loc = { off : int; frames : int; bytes : int }
+
+type io = {
+  mutable wal_records : int;
+  mutable wal_bytes_written : int;
+  mutable fsyncs : int;
+  mutable data_reads : int;
+  mutable data_read_bytes : int;
+  mutable data_writes : int;
+  mutable data_write_bytes : int;
+  mutable checkpoints : int;
+}
+
+type recovery = {
+  rec_epoch : int;
+  rec_batches : int;
+  rec_records : int;
+  rec_dropped_bytes : int;
+}
+
+type t = {
+  dir : string;
+  data_fd : Unix.file_descr;
+  wal_fd : Unix.file_descr;
+  mutable wal_len : int;
+  mutable pools : string array; (* index = pid *)
+  table : (int * int, loc) Hashtbl.t; (* (pid, page) -> extent *)
+  mutable eof : int; (* frames allocated in the data file *)
+  mutable free : loc list; (* reusable extents *)
+  mutable deferred : loc list; (* freed, but the manifest still points here *)
+  pinned : (int, int) Hashtbl.t; (* frame off -> frames, manifest extents *)
+  mutable meta : string;
+  mutable epoch : int;
+  mutable bulk : bool;
+  mutable closed : bool;
+  io : io;
+  mutable last_recovery : recovery option;
+}
+
+let dir t = t.dir
+let metadata t = t.meta
+let io t = t.io
+let committed_epoch t = t.epoch
+let wal_bytes t = t.wal_len
+let last_recovery t = t.last_recovery
+let in_bulk t = t.bulk
+let data_frames t = t.eof
+let live_frames t = Hashtbl.fold (fun _ l acc -> acc + l.frames) t.table 0
+
+let check_open t = if t.closed then invalid_arg "Disk: store is closed"
+
+(* ---- raw file I/O ---- *)
+
+let write_all fd s =
+  let b = Bytes.unsafe_of_string s in
+  let n = Bytes.length b in
+  let rec go off = if off < n then go (off + Unix.write fd b off (n - off)) in
+  go 0
+
+let pwrite fd ~off s =
+  ignore (Unix.lseek fd off Unix.SEEK_SET);
+  write_all fd s
+
+(* Returns the bytes actually available (short at EOF). *)
+let pread fd ~off ~len =
+  ignore (Unix.lseek fd off Unix.SEEK_SET);
+  let b = Bytes.create len in
+  let rec go p =
+    if p >= len then p
+    else
+      match Unix.read fd b p (len - p) with 0 -> p | n -> go (p + n)
+  in
+  let got = go 0 in
+  Bytes.sub_string b 0 got
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let rec mkdir_p d =
+  if d <> "" && not (Sys.file_exists d) then begin
+    let parent = Filename.dirname d in
+    if parent <> d then mkdir_p parent;
+    try Unix.mkdir d 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let fsync_dir dir =
+  (* Make a rename durable.  Some filesystems refuse fsync on a directory
+     fd; the rename itself is still atomic, so ignore those. *)
+  match Unix.openfile dir [ Unix.O_RDONLY ] 0 with
+  | exception Unix.Unix_error _ -> ()
+  | fd ->
+      (try Unix.fsync fd with Unix.Unix_error _ -> ());
+      Unix.close fd
+
+let crc_int s = Int32.to_int (Crc32.string s) land 0xffffffff
+let crc_sub_int s ~pos ~len = Int32.to_int (Crc32.sub s ~pos ~len) land 0xffffffff
+
+(* ---- pools ---- *)
+
+let pool t name =
+  check_open t;
+  let n = Array.length t.pools in
+  let rec find i = if i >= n then None else if t.pools.(i) = name then Some i else find (i + 1) in
+  match find 0 with
+  | Some pid -> { pid; pname = name }
+  | None ->
+      t.pools <- Array.append t.pools [| name |];
+      { pid = n; pname = name }
+
+let page_ids t p =
+  check_open t;
+  Hashtbl.fold (fun (pid, id) _ acc -> if pid = p.pid then id :: acc else acc) t.table []
+
+let has_page t p ~id = Hashtbl.mem t.table (p.pid, id)
+
+(* ---- extent allocation ----
+
+   No-overwrite discipline: extents the last manifest references are pinned;
+   replacing or freeing a pinned extent sends it to [deferred], which only
+   rejoins [free] after the next manifest supersedes the old one.  Everything
+   recovery could need to read therefore survives until it cannot be needed
+   any more. *)
+
+let retire t l =
+  if Hashtbl.mem t.pinned l.off then t.deferred <- l :: t.deferred
+  else t.free <- { l with bytes = 0 } :: t.free
+
+let alloc_extent t n =
+  let append () =
+    let off = t.eof in
+    t.eof <- off + n;
+    off
+  in
+  if t.bulk then append ()
+  else
+    let rec pick acc = function
+      | [] -> None
+      | l :: rest when l.frames >= n ->
+          let rem = l.frames - n in
+          let free' = List.rev_append acc rest in
+          t.free <-
+            (if rem > 0 then { off = l.off + n; frames = rem; bytes = 0 } :: free'
+             else free');
+          Some l.off
+      | l :: rest -> pick (l :: acc) rest
+    in
+    match pick [] t.free with Some off -> off | None -> append ()
+
+(* ---- WAL append ---- *)
+
+let wal_append t ~typ ~pid ~arg ~payload =
+  let b = Buffer.create (24 + String.length payload) in
+  Binio.w_u32 b wal_magic;
+  Binio.w_u8 b typ;
+  Binio.w_u8 b pid;
+  Binio.w_u16 b 0;
+  Binio.w_u64 b arg;
+  Binio.w_u32 b (String.length payload);
+  Binio.w_u32 b (crc_int payload);
+  Buffer.add_string b payload;
+  let s = Buffer.contents b in
+  write_all t.wal_fd s;
+  t.wal_len <- t.wal_len + String.length s;
+  t.io.wal_records <- t.io.wal_records + 1;
+  t.io.wal_bytes_written <- t.io.wal_bytes_written + String.length s;
+  if Obs.active () then
+    Obs.emit ~severity:Obs.Debug ~category:"storage" "wal_append"
+      [ ("type", Obs.Int typ);
+        ("bytes", Obs.Int (String.length s));
+        ("wal_bytes", Obs.Int t.wal_len) ]
+
+(* ---- page I/O ---- *)
+
+(* 24-byte extent header: magic u32, pid u8, pad u8, frames u16, page u64,
+   payload bytes u32, payload crc u32; zero padding to the frame boundary. *)
+let frames_for len = (24 + len + frame_bytes - 1) / frame_bytes
+
+let install_page t ~pid ~id payload ~log =
+  let len = String.length payload in
+  let n = frames_for len in
+  let off = alloc_extent t n in
+  let b = Buffer.create (n * frame_bytes) in
+  Binio.w_u32 b page_magic;
+  Binio.w_u8 b pid;
+  Binio.w_u8 b 0;
+  Binio.w_u16 b n;
+  Binio.w_u64 b id;
+  Binio.w_u32 b len;
+  Binio.w_u32 b (crc_int payload);
+  Buffer.add_string b payload;
+  let pad = (n * frame_bytes) - Buffer.length b in
+  Buffer.add_string b (String.make pad '\000');
+  pwrite t.data_fd ~off:(off * frame_bytes) (Buffer.contents b);
+  t.io.data_writes <- t.io.data_writes + 1;
+  t.io.data_write_bytes <- t.io.data_write_bytes + (n * frame_bytes);
+  (match Hashtbl.find_opt t.table (pid, id) with
+  | Some old -> retire t old
+  | None -> ());
+  Hashtbl.replace t.table (pid, id) { off; frames = n; bytes = len };
+  if log && not t.bulk then wal_append t ~typ:wal_page ~pid ~arg:id ~payload
+
+let write_page t p ~id payload =
+  check_open t;
+  install_page t ~pid:p.pid ~id payload ~log:true
+
+let drop_page t ~pid ~id ~log =
+  match Hashtbl.find_opt t.table (pid, id) with
+  | None -> ()
+  | Some l ->
+      Hashtbl.remove t.table (pid, id);
+      retire t l;
+      if log && not t.bulk then wal_append t ~typ:wal_free ~pid ~arg:id ~payload:""
+
+let free_page t p ~id =
+  check_open t;
+  drop_page t ~pid:p.pid ~id ~log:true
+
+let read_page t p ~id =
+  check_open t;
+  match Hashtbl.find_opt t.table (p.pid, id) with
+  | None -> invalid_arg (Printf.sprintf "Disk: pool %s has no page %d" p.pname id)
+  | Some l ->
+      let want = l.frames * frame_bytes in
+      let s = pread t.data_fd ~off:(l.off * frame_bytes) ~len:want in
+      if String.length s <> want then
+        corrupt "%s: short read for %s page %d (%d of %d bytes)" t.dir p.pname id
+          (String.length s) want;
+      t.io.data_reads <- t.io.data_reads + 1;
+      t.io.data_read_bytes <- t.io.data_read_bytes + want;
+      let r = Binio.reader s in
+      (try
+         let magic = Binio.r_u32 r in
+         if magic <> page_magic then
+           corrupt "%s: bad page magic for %s page %d" t.dir p.pname id;
+         let pid = Binio.r_u8 r in
+         let _pad = Binio.r_u8 r in
+         let frames = Binio.r_u16 r in
+         let page = Binio.r_u64 r in
+         let bytes = Binio.r_u32 r in
+         let crc = Binio.r_u32 r in
+         if pid <> p.pid || page <> id || frames <> l.frames || bytes <> l.bytes
+         then
+           corrupt "%s: page header mismatch for %s page %d" t.dir p.pname id;
+         if crc_sub_int s ~pos:24 ~len:bytes <> crc then
+           corrupt "%s: checksum failure for %s page %d" t.dir p.pname id
+       with Binio.Short ->
+         corrupt "%s: truncated page header for %s page %d" t.dir p.pname id);
+      String.sub s 24 l.bytes
+
+(* ---- metadata ---- *)
+
+let set_metadata t s =
+  check_open t;
+  t.meta <- s
+
+(* The META payload carries the pool names alongside the caller blob so
+   recovery can resolve pool ids from the WAL alone (the initial manifest of
+   a fresh store knows no pools yet). *)
+let encode_meta t =
+  let b = Buffer.create (256 + String.length t.meta) in
+  Binio.w_u32 b (Array.length t.pools);
+  Array.iter (fun name -> Binio.w_str b name) t.pools;
+  Binio.w_str b t.meta;
+  Buffer.contents b
+
+let decode_meta t s =
+  try
+    let r = Binio.reader s in
+    let n = Binio.r_u32 r in
+    let pools = Array.init n (fun _ -> Binio.r_str r) in
+    let meta = Binio.r_str r in
+    t.pools <- pools;
+    t.meta <- meta
+  with Binio.Short -> corrupt "%s: malformed META record" t.dir
+
+(* ---- manifest ---- *)
+
+let encode_manifest t ~epoch =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b manifest_magic;
+  Binio.w_u32 b manifest_version;
+  Binio.w_u64 b epoch;
+  Binio.w_u32 b (Array.length t.pools);
+  Array.iter (fun name -> Binio.w_str b name) t.pools;
+  Binio.w_u64 b (Hashtbl.length t.table);
+  Hashtbl.iter
+    (fun (pid, page) l ->
+      Binio.w_u8 b pid;
+      Binio.w_u64 b page;
+      Binio.w_u64 b l.off;
+      Binio.w_u32 b l.frames;
+      Binio.w_u32 b l.bytes)
+    t.table;
+  Binio.w_str b t.meta;
+  Binio.w_u32 b (crc_sub_int (Buffer.contents b) ~pos:0 ~len:(Buffer.length b));
+  Buffer.contents b
+
+let checkpoint t ~epoch =
+  check_open t;
+  Unix.fsync t.data_fd;
+  t.io.fsyncs <- t.io.fsyncs + 1;
+  let path = Filename.concat t.dir manifest_name in
+  let tmp = path ^ ".tmp" in
+  let fd = Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
+  write_all fd (encode_manifest t ~epoch);
+  Unix.fsync fd;
+  Unix.close fd;
+  t.io.fsyncs <- t.io.fsyncs + 1;
+  Unix.rename tmp path;
+  fsync_dir t.dir;
+  (* Old manifest superseded: its private extents become reusable, current
+     live extents become the pinned set. *)
+  Unix.ftruncate t.wal_fd 0;
+  Unix.fsync t.wal_fd;
+  t.io.fsyncs <- t.io.fsyncs + 1;
+  t.wal_len <- 0;
+  Hashtbl.reset t.pinned;
+  Hashtbl.iter (fun _ l -> Hashtbl.replace t.pinned l.off l.frames) t.table;
+  t.free <- List.rev_append (List.map (fun l -> { l with bytes = 0 }) t.deferred) t.free;
+  t.deferred <- [];
+  t.epoch <- epoch;
+  t.io.checkpoints <- t.io.checkpoints + 1;
+  if Obs.active () then
+    Obs.emit ~severity:Obs.Info ~category:"storage" "checkpoint"
+      [ ("dir", Obs.Str t.dir);
+        ("epoch", Obs.Int epoch);
+        ("pages", Obs.Int (Hashtbl.length t.table));
+        ("live_frames", Obs.Int (live_frames t));
+        ("data_frames", Obs.Int t.eof) ]
+
+let commit t ~epoch =
+  check_open t;
+  if t.bulk then invalid_arg "Disk.commit: store is in bulk mode";
+  wal_append t ~typ:wal_meta ~pid:0 ~arg:0 ~payload:(encode_meta t);
+  wal_append t ~typ:wal_commit ~pid:0 ~arg:epoch ~payload:"";
+  Unix.fsync t.wal_fd;
+  t.io.fsyncs <- t.io.fsyncs + 1;
+  t.epoch <- epoch;
+  if Obs.active () then
+    Obs.emit ~severity:Obs.Debug ~category:"storage" "wal_fsync"
+      [ ("dir", Obs.Str t.dir);
+        ("epoch", Obs.Int epoch);
+        ("wal_bytes", Obs.Int t.wal_len) ];
+  if t.wal_len > !wal_checkpoint_bytes then checkpoint t ~epoch
+
+let begin_bulk t =
+  check_open t;
+  t.bulk <- true
+
+let end_bulk t ~epoch =
+  check_open t;
+  t.bulk <- false;
+  checkpoint t ~epoch
+
+(* ---- lifecycle ---- *)
+
+let close t =
+  if not t.closed then begin
+    t.closed <- true;
+    (try Unix.close t.data_fd with Unix.Unix_error _ -> ());
+    (try Unix.close t.wal_fd with Unix.Unix_error _ -> ())
+  end
+
+let make ~dir ~data_fd ~wal_fd =
+  let t =
+    {
+      dir;
+      data_fd;
+      wal_fd;
+      wal_len = 0;
+      pools = [||];
+      table = Hashtbl.create 1024;
+      eof = 0;
+      free = [];
+      deferred = [];
+      pinned = Hashtbl.create 64;
+      meta = "";
+      epoch = 0;
+      bulk = false;
+      closed = false;
+      io =
+        {
+          wal_records = 0;
+          wal_bytes_written = 0;
+          fsyncs = 0;
+          data_reads = 0;
+          data_read_bytes = 0;
+          data_writes = 0;
+          data_write_bytes = 0;
+          checkpoints = 0;
+        };
+      last_recovery = None;
+    }
+  in
+  Gc.finalise close t;
+  t
+
+let is_store ~dir = Sys.file_exists (Filename.concat dir manifest_name)
+
+let create ~dir =
+  mkdir_p dir;
+  let tmp = Filename.concat dir (manifest_name ^ ".tmp") in
+  if Sys.file_exists tmp then Sys.remove tmp;
+  let data_fd =
+    Unix.openfile (Filename.concat dir data_name)
+      [ Unix.O_RDWR; Unix.O_CREAT; Unix.O_TRUNC ] 0o644
+  in
+  let wal_fd =
+    Unix.openfile (Filename.concat dir wal_name)
+      [ Unix.O_RDWR; Unix.O_CREAT; Unix.O_TRUNC; Unix.O_APPEND ] 0o644
+  in
+  let t = make ~dir ~data_fd ~wal_fd in
+  checkpoint t ~epoch:0;
+  t
+
+(* ---- open + recovery ---- *)
+
+let open_dir ~dir =
+  let mpath = Filename.concat dir manifest_name in
+  if not (Sys.file_exists mpath) then corrupt "%s: no store manifest" dir;
+  (* A leftover manifest.tmp is a checkpoint that never committed. *)
+  let tmp = mpath ^ ".tmp" in
+  if Sys.file_exists tmp then Sys.remove tmp;
+  let data_fd =
+    Unix.openfile (Filename.concat dir data_name) [ Unix.O_RDWR; Unix.O_CREAT ] 0o644
+  in
+  let wal_fd =
+    Unix.openfile (Filename.concat dir wal_name)
+      [ Unix.O_RDWR; Unix.O_CREAT; Unix.O_APPEND ] 0o644
+  in
+  let t = make ~dir ~data_fd ~wal_fd in
+  (* -- manifest -- *)
+  let s = read_file mpath in
+  (try
+     if String.length s < 16 then corrupt "%s: manifest too short" dir;
+     let body = String.length s - 4 in
+     let stored = Int32.to_int (String.get_int32_le s body) land 0xffffffff in
+     if crc_sub_int s ~pos:0 ~len:body <> stored then
+       corrupt "%s: manifest checksum failure" dir;
+     if String.sub s 0 8 <> manifest_magic then
+       corrupt "%s: bad manifest magic" dir;
+     let r = Binio.reader ~pos:8 s in
+     let version = Binio.r_u32 r in
+     if version <> manifest_version then
+       corrupt "%s: unsupported manifest version %d" dir version;
+     let epoch = Binio.r_u64 r in
+     let npools = Binio.r_u32 r in
+     t.pools <- Array.init npools (fun _ -> Binio.r_str r);
+     let n = Binio.r_u64 r in
+     for _ = 1 to n do
+       let pid = Binio.r_u8 r in
+       let page = Binio.r_u64 r in
+       let off = Binio.r_u64 r in
+       let frames = Binio.r_u32 r in
+       let bytes = Binio.r_u32 r in
+       Hashtbl.replace t.table (pid, page) { off; frames; bytes }
+     done;
+     t.meta <- Binio.r_str r;
+     t.epoch <- epoch
+   with Binio.Short -> corrupt "%s: truncated manifest" dir);
+  (* -- free-space map: complement of the live extents -- *)
+  let file_frames =
+    let len = (Unix.fstat data_fd).Unix.st_size in
+    (len + frame_bytes - 1) / frame_bytes
+  in
+  let extents =
+    Hashtbl.fold (fun _ l acc -> l :: acc) t.table []
+    |> List.sort (fun a b -> compare a.off b.off)
+  in
+  let eof =
+    List.fold_left (fun acc l -> max acc (l.off + l.frames)) file_frames extents
+  in
+  t.eof <- eof;
+  let cursor = ref 0 in
+  List.iter
+    (fun l ->
+      if l.off < !cursor then corrupt "%s: overlapping extents in manifest" dir;
+      if l.off > !cursor then
+        t.free <- { off = !cursor; frames = l.off - !cursor; bytes = 0 } :: t.free;
+      cursor := l.off + l.frames;
+      Hashtbl.replace t.pinned l.off l.frames)
+    extents;
+  if !cursor < eof then
+    t.free <- { off = !cursor; frames = eof - !cursor; bytes = 0 } :: t.free;
+  (* -- WAL replay -- *)
+  let manifest_epoch = t.epoch in
+  let wal = read_file (Filename.concat dir wal_name) in
+  let wal_total = String.length wal in
+  t.wal_len <- wal_total;
+  let pos = ref 0 in
+  let consumed = ref 0 in (* end of the last complete committed batch *)
+  let pending = ref [] in
+  let batches = ref 0 in
+  let applied = ref 0 in
+  let stop = ref false in
+  while not !stop do
+    if wal_total - !pos < 24 then stop := true
+    else begin
+      let r = Binio.reader ~pos:!pos wal in
+      match
+        let magic = Binio.r_u32 r in
+        let typ = Binio.r_u8 r in
+        let pid = Binio.r_u8 r in
+        let _pad = Binio.r_u16 r in
+        let arg = Binio.r_u64 r in
+        let len = Binio.r_u32 r in
+        let crc = Binio.r_u32 r in
+        if magic <> wal_magic || typ < wal_page || typ > wal_commit then None
+        else if wal_total - r.Binio.pos < len then None
+        else
+          let payload = String.sub wal r.Binio.pos len in
+          if crc_int payload <> crc then None
+          else Some (typ, pid, arg, payload, r.Binio.pos + len)
+      with
+      | exception Binio.Short -> stop := true
+      | None -> stop := true
+      | Some (typ, pid, arg, payload, next) ->
+          pos := next;
+          if typ = wal_commit then begin
+            (* A complete batch.  Replay it only if it post-dates the
+               manifest (a crash between manifest rename and WAL truncate
+               leaves already-applied batches behind). *)
+            if arg > t.epoch then begin
+              List.iter
+                (fun (ty, pi, ar, pl) ->
+                  if ty = wal_page then install_page t ~pid:pi ~id:ar pl ~log:false
+                  else if ty = wal_free then drop_page t ~pid:pi ~id:ar ~log:false
+                  else if ty = wal_meta then decode_meta t pl;
+                  incr applied)
+                (List.rev !pending);
+              t.epoch <- arg;
+              incr batches
+            end;
+            pending := [];
+            consumed := !pos
+          end
+          else pending := (typ, pid, arg, payload) :: !pending
+    end
+  done;
+  let dropped = wal_total - !consumed in
+  if wal_total > 0 then
+    (* Make the recovered state the new baseline and truncate the log. *)
+    checkpoint t ~epoch:t.epoch;
+  if !batches > 0 || dropped > 0 then begin
+    t.last_recovery <-
+      Some
+        {
+          rec_epoch = t.epoch;
+          rec_batches = !batches;
+          rec_records = !applied;
+          rec_dropped_bytes = dropped;
+        };
+    if Obs.active () then
+      Obs.emit
+        ~severity:(if dropped > 0 then Obs.Warn else Obs.Info)
+        ~category:"storage" "recovery"
+        [ ("dir", Obs.Str dir);
+          ("epoch", Obs.Int t.epoch);
+          ("manifest_epoch", Obs.Int manifest_epoch);
+          ("batches", Obs.Int !batches);
+          ("records", Obs.Int !applied);
+          ("dropped_bytes", Obs.Int dropped) ]
+  end;
+  t

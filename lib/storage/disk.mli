@@ -1,0 +1,157 @@
+(** Durable file-backed page store: the disk under the buffer pools.
+
+    One [Disk.t] manages a directory holding three files and serves any
+    number of named {e pools} (one per buffer pool / B-tree index), so a
+    whole MASS store shares a single write-ahead log and a single commit
+    point:
+
+    - [store.data] — fixed-size 4 KiB frames.  Each page occupies a
+      contiguous extent of frames headed by a magic + identity + CRC-32
+      header; reads verify all of it and raise {!Corrupt} rather than
+      return wrong bytes.  Extents are never overwritten in place while
+      the last checkpoint still references them (no-overwrite within a
+      checkpoint interval), so the manifest's view of the file stays
+      intact until the next manifest replaces it.
+    - [store.wal] — a redo-only write-ahead log of full page images with
+      per-record CRCs.  Every data-file page write appends a matching
+      [PAGE] record; {!commit} appends the store metadata and a
+      [COMMIT(epoch)] marker and fsyncs.  Recovery replays complete
+      committed batches and discards a torn tail, landing exactly on the
+      last consistent epoch.
+    - [store.manifest] — the checkpoint: page table, pool names and
+      metadata, CRC-protected and written atomically (temp + rename).
+      {!checkpoint} fsyncs the data file first, then installs the
+      manifest, then truncates the WAL.
+
+    The layer is mechanism only: what a page payload means is the
+    caller's business (the pager brings a codec), and when to commit is
+    the store's business (every epoch bump). *)
+
+exception Corrupt of string
+(** A checksum, magic, bound or decode failure in any on-disk structure.
+    Raised loudly — a page that fails verification is never returned. *)
+
+type t
+type pool
+
+val frame_bytes : int
+(** 4096. *)
+
+val create : dir:string -> t
+(** Initialize a fresh store in [dir] (created if missing; existing
+    store files are truncated).  Writes an empty manifest immediately so
+    the directory is openable from that point on. *)
+
+val open_dir : dir:string -> t
+(** Open an existing store and run recovery: load the manifest, replay
+    every complete committed WAL batch newer than it, drop a torn tail,
+    and checkpoint the recovered state.
+    @raise Corrupt on a missing/invalid manifest or a malformed
+    structure that checksums cannot vouch for. *)
+
+val is_store : dir:string -> bool
+(** [dir] contains a store manifest. *)
+
+val close : t -> unit
+(** Close file descriptors.  Does {e not} commit or checkpoint — pair
+    with {!checkpoint} for a clean shutdown.  Idempotent; also attached
+    as a GC finalizer so abandoned handles do not leak descriptors. *)
+
+val dir : t -> string
+
+(** {1 Pools} *)
+
+val pool : t -> string -> pool
+(** Register (or look up) a pool by name.  Pool names are persisted in
+    the manifest; reopening resolves the same names to the same pages. *)
+
+val page_ids : t -> pool -> int list
+(** Ids of every page the pool currently stores, unsorted. *)
+
+(** {1 Page I/O}
+
+    Payloads are opaque byte strings (the pager encodes/decodes). *)
+
+val write_page : t -> pool -> id:int -> string -> unit
+(** Write a page image: fresh extent in the data file plus a WAL [PAGE]
+    record (suppressed in bulk mode).  Not yet durable — {!commit} is
+    the durability point. *)
+
+val read_page : t -> pool -> id:int -> string
+(** @raise Corrupt on checksum/identity mismatch;
+    @raise Invalid_argument if the pool holds no such page. *)
+
+val free_page : t -> pool -> id:int -> unit
+(** Drop a page (WAL [FREE] record if it was on disk).  A no-op for
+    pages that never reached the disk. *)
+
+val has_page : t -> pool -> id:int -> bool
+
+(** {1 Durability} *)
+
+val set_metadata : t -> string -> unit
+(** An opaque caller blob (the MASS store serializes its document table,
+    B-tree roots and epoch here) carried by every commit and manifest. *)
+
+val metadata : t -> string
+
+val commit : t -> epoch:int -> unit
+(** Append [META] + [COMMIT epoch] to the WAL, flush and fsync it: the
+    group-commit durability point.  Auto-checkpoints afterwards when the
+    WAL has outgrown {!wal_checkpoint_bytes}. *)
+
+val checkpoint : t -> epoch:int -> unit
+(** Fsync the data file, atomically install a fresh manifest, truncate
+    the WAL and recycle extents the previous manifest had pinned. *)
+
+val committed_epoch : t -> int
+(** Epoch of the last durable commit (or of the manifest after open). *)
+
+val wal_bytes : t -> int
+(** Current WAL length in bytes. *)
+
+val wal_checkpoint_bytes : int ref
+(** Auto-checkpoint threshold for {!commit} (default 8 MiB). *)
+
+(** {1 Bulk ingest}
+
+    Between [begin_bulk] and [end_bulk] page writes skip the WAL and
+    only append extents sequentially — the document-ingest fast path.
+    [end_bulk] checkpoints, making the whole batch durable at once; a
+    crash mid-bulk recovers to the pre-bulk manifest. *)
+
+val begin_bulk : t -> unit
+val end_bulk : t -> epoch:int -> unit
+val in_bulk : t -> bool
+
+(** {1 Introspection} *)
+
+type io = {
+  mutable wal_records : int;
+  mutable wal_bytes_written : int;
+  mutable fsyncs : int;
+  mutable data_reads : int;
+  mutable data_read_bytes : int;
+  mutable data_writes : int;
+  mutable data_write_bytes : int;
+  mutable checkpoints : int;
+}
+
+val io : t -> io
+(** Live counters (mutated in place). *)
+
+type recovery = {
+  rec_epoch : int;  (** epoch recovered to *)
+  rec_batches : int;  (** committed WAL batches replayed *)
+  rec_records : int;  (** WAL records applied *)
+  rec_dropped_bytes : int;  (** torn/uncommitted tail discarded *)
+}
+
+val last_recovery : t -> recovery option
+(** Set by {!open_dir} when it found anything to replay or drop. *)
+
+val data_frames : t -> int
+(** Frames currently allocated in the data file (file size / 4096). *)
+
+val live_frames : t -> int
+(** Frames referenced by live pages. *)

@@ -3,8 +3,18 @@ type id = int
 let default_page_bytes = 4096
 let nil = -1
 
+type 'a codec = { encode : 'a -> string; decode : string -> 'a }
+
+type 'a backend =
+  | Mem
+  | File of { disk : Disk.t; pool : Disk.pool; codec : 'a codec }
+
+(* [payload = None] only on the file backend: the page lives on disk and is
+   decoded on the next access.  The in-memory backend keeps every payload
+   (it {e is} the simulated disk), so eviction there only flips bookkeeping
+   bits — exactly the pre-durability behaviour. *)
 type 'a entry = {
-  mutable payload : 'a;
+  mutable payload : 'a option;
   mutable resident : bool;
   mutable dirty : bool;
   (* LRU doubly-linked list links (only meaningful while resident) *)
@@ -21,9 +31,10 @@ type 'a t = {
   mutable lru_tail : id;  (* least recently used *)
   stats : Stats.t;
   label : string;  (* telemetry attribution: which pool this traffic is *)
+  backend : 'a backend;
 }
 
-let create ?(label = "pager") ?(pool_pages = 1024) () =
+let create ?(label = "pager") ?(pool_pages = 1024) ?(backend = Mem) () =
   if pool_pages < 1 then invalid_arg "Pager.create: pool_pages < 1";
   {
     pages = Hashtbl.create 4096;
@@ -34,10 +45,26 @@ let create ?(label = "pager") ?(pool_pages = 1024) () =
     lru_tail = nil;
     stats = Stats.create ();
     label;
+    backend;
   }
+
+let attach ?label ?pool_pages ~backend () =
+  match backend with
+  | Mem -> invalid_arg "Pager.attach: the in-memory backend has no disk state"
+  | File { disk; pool; _ } ->
+      let t = create ?label ?pool_pages ~backend () in
+      let ids = Disk.page_ids disk pool in
+      List.iter
+        (fun id ->
+          Hashtbl.add t.pages id
+            { payload = None; resident = false; dirty = false; prev = nil; next = nil })
+        ids;
+      t.next_id <- 1 + List.fold_left max (-1) ids;
+      t
 
 let label t = t.label
 let pool_pages t = t.pool_pages
+let backend t = t.backend
 
 let get t id =
   match Hashtbl.find_opt t.pages id with
@@ -60,6 +87,20 @@ let push_front t id e =
   t.lru_head <- id;
   if t.lru_tail = nil then t.lru_tail <- id
 
+(* Write a dirty page's image through to the disk layer (file backend only;
+   the memory backend keeps the payload, which is the whole simulation). *)
+let write_back t id e =
+  match t.backend with
+  | Mem -> ()
+  | File { disk; pool; codec } ->
+      let image =
+        match e.payload with
+        | Some p -> codec.encode p
+        | None -> assert false (* dirty implies in-memory payload *)
+      in
+      Disk.write_page disk pool ~id image;
+      t.stats.write_back_bytes <- t.stats.write_back_bytes + String.length image
+
 let evict_one t =
   let victim = t.lru_tail in
   assert (victim <> nil);
@@ -68,9 +109,15 @@ let evict_one t =
   e.resident <- false;
   let wrote_back = e.dirty in
   if e.dirty then begin
+    write_back t victim e;
     t.stats.page_writes <- t.stats.page_writes + 1;
     e.dirty <- false
   end;
+  (match t.backend with
+  | Mem -> ()
+  | File _ ->
+      (* clean implies on-disk, so the in-memory image can be dropped *)
+      e.payload <- None);
   t.resident_pages <- t.resident_pages - 1;
   t.stats.evictions <- t.stats.evictions + 1;
   if Obs.active () then
@@ -94,12 +141,27 @@ let make_resident t id e =
     t.stats.physical_reads <- t.stats.physical_reads + 1
   end
 
+(* Fetch the payload, faulting it in from the disk layer when the file
+   backend dropped it at eviction. *)
+let payload_of t id e =
+  match e.payload with
+  | Some p -> p
+  | None -> (
+      match t.backend with
+      | Mem -> assert false (* the memory backend never drops payloads *)
+      | File { disk; pool; codec } ->
+          let p = codec.decode (Disk.read_page disk pool ~id) in
+          e.payload <- Some p;
+          p)
+
 (* ---- public operations ---- *)
 
 let alloc t payload =
   let id = t.next_id in
   t.next_id <- id + 1;
-  let e = { payload; resident = false; dirty = true; prev = nil; next = nil } in
+  let e =
+    { payload = Some payload; resident = false; dirty = true; prev = nil; next = nil }
+  in
   Hashtbl.add t.pages id e;
   t.stats.allocations <- t.stats.allocations + 1;
   (* a freshly allocated page is written in memory, not read from disk *)
@@ -113,13 +175,13 @@ let read t id =
   let e = get t id in
   t.stats.logical_reads <- t.stats.logical_reads + 1;
   make_resident t id e;
-  e.payload
+  payload_of t id e
 
 let write t id payload =
   let e = get t id in
   t.stats.logical_reads <- t.stats.logical_reads + 1;
   make_resident t id e;
-  e.payload <- payload;
+  e.payload <- Some payload;
   e.dirty <- true
 
 let free t id =
@@ -134,12 +196,16 @@ let free t id =
     t.stats.page_writes <- t.stats.page_writes + 1;
     e.dirty <- false
   end;
+  (match t.backend with
+  | Mem -> ()
+  | File { disk; pool; _ } -> Disk.free_page disk pool ~id);
   Hashtbl.remove t.pages id
 
 let flush t =
   Hashtbl.iter
-    (fun _ e ->
+    (fun id e ->
       if e.resident && e.dirty then begin
+        write_back t id e;
         e.dirty <- false;
         t.stats.page_writes <- t.stats.page_writes + 1
       end)

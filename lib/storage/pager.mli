@@ -12,13 +12,35 @@ type id = int
 
 type 'a t
 
-val create : ?label:string -> ?pool_pages:int -> unit -> 'a t
+type 'a codec = { encode : 'a -> string; decode : string -> 'a }
+(** Payload serializer for the file backend.  [decode (encode p)] must be
+    equivalent to [p]; the disk layer guards the bytes in between with
+    checksums, so [decode] may assume well-formed input. *)
+
+type 'a backend =
+  | Mem
+      (** The simulated disk: payloads stay in the process, eviction only
+          flips residency bits.  The historical default. *)
+  | File of { disk : Disk.t; pool : Disk.pool; codec : 'a codec }
+      (** Real files: a dirty page is encoded and written through to the
+          {!Disk} pool on eviction/flush, and its in-memory payload is
+          dropped when non-resident, so a pool smaller than the data makes
+          physical reads cost actual file I/O. *)
+
+val create : ?label:string -> ?pool_pages:int -> ?backend:'a backend -> unit -> 'a t
 (** [create ~label ~pool_pages ()] — a pager whose buffer pool holds at
     most [pool_pages] resident pages (default 1024 ≈ 4 MiB of 4 KiB
     pages).  [label] (default ["pager"]) names the pool in telemetry
-    events and introspection output.
+    events and introspection output.  [backend] defaults to {!Mem}.
     @raise Invalid_argument if [pool_pages < 1]. *)
 
+val attach : ?label:string -> ?pool_pages:int -> backend:'a backend -> unit -> 'a t
+(** Reopen a pager over existing pages of a {!File} backend: every page id
+    the disk pool holds becomes a non-resident clean entry, and allocation
+    continues after the highest existing id.
+    @raise Invalid_argument on a {!Mem} backend. *)
+
+val backend : 'a t -> 'a backend
 val label : 'a t -> string
 
 val pool_pages : 'a t -> int

@@ -4,17 +4,29 @@ type t = {
   mutable page_writes : int;
   mutable evictions : int;
   mutable allocations : int;
+  mutable write_back_bytes : int;
+  mutable fsyncs : int;
 }
 
 let create () =
-  { logical_reads = 0; physical_reads = 0; page_writes = 0; evictions = 0; allocations = 0 }
+  {
+    logical_reads = 0;
+    physical_reads = 0;
+    page_writes = 0;
+    evictions = 0;
+    allocations = 0;
+    write_back_bytes = 0;
+    fsyncs = 0;
+  }
 
 let reset t =
   t.logical_reads <- 0;
   t.physical_reads <- 0;
   t.page_writes <- 0;
   t.evictions <- 0;
-  t.allocations <- 0
+  t.allocations <- 0;
+  t.write_back_bytes <- 0;
+  t.fsyncs <- 0
 
 let copy t =
   {
@@ -23,6 +35,8 @@ let copy t =
     page_writes = t.page_writes;
     evictions = t.evictions;
     allocations = t.allocations;
+    write_back_bytes = t.write_back_bytes;
+    fsyncs = t.fsyncs;
   }
 
 let diff later earlier =
@@ -32,6 +46,8 @@ let diff later earlier =
     page_writes = later.page_writes - earlier.page_writes;
     evictions = later.evictions - earlier.evictions;
     allocations = later.allocations - earlier.allocations;
+    write_back_bytes = later.write_back_bytes - earlier.write_back_bytes;
+    fsyncs = later.fsyncs - earlier.fsyncs;
   }
 
 let hit_ratio t =
@@ -40,8 +56,9 @@ let hit_ratio t =
 
 let pp ppf t =
   Format.fprintf ppf
-    "{ logical=%d physical=%d writes=%d evictions=%d allocs=%d hit=%.3f }"
-    t.logical_reads t.physical_reads t.page_writes t.evictions t.allocations (hit_ratio t)
+    "{ logical=%d physical=%d writes=%d evictions=%d allocs=%d wb_bytes=%d fsyncs=%d hit=%.3f }"
+    t.logical_reads t.physical_reads t.page_writes t.evictions t.allocations t.write_back_bytes
+    t.fsyncs (hit_ratio t)
 
 module Histogram = struct
   (* 1-2.5-5 log-scale bounds from 1 µs to 10 s: fine enough for latency

@@ -13,6 +13,10 @@ type t = {
   mutable page_writes : int;  (** dirty pages written back on eviction/flush *)
   mutable evictions : int;
   mutable allocations : int;
+  mutable write_back_bytes : int;
+      (** encoded bytes written back to the disk layer (file backend;
+          [0] on the simulated in-memory disk) *)
+  mutable fsyncs : int;  (** fsync calls issued on behalf of this pool *)
 }
 
 val create : unit -> t

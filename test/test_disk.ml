@@ -1,0 +1,432 @@
+(* Unit tests for the durable disk layer: page codec round-trips, WAL
+   commit/replay, checkpointing, extent reuse and corruption detection. *)
+
+let tmp_dir =
+  let counter = ref 0 in
+  fun () ->
+    incr counter;
+    let d =
+      Filename.concat (Filename.get_temp_dir_name ())
+        (Printf.sprintf "vamana_disk_test_%d_%d" (Unix.getpid ()) !counter)
+    in
+    if Sys.file_exists d then () else Unix.mkdir d 0o755;
+    d
+
+let rec rm_rf path =
+  if Sys.file_exists path then
+    if Sys.is_directory path then begin
+      Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+      Unix.rmdir path
+    end
+    else Sys.remove path
+
+let with_dir f =
+  let d = tmp_dir () in
+  Fun.protect ~finally:(fun () -> rm_rf d) (fun () -> f d)
+
+let truncate_file path len =
+  let fd = Unix.openfile path [ Unix.O_WRONLY ] 0 in
+  Unix.ftruncate fd len;
+  Unix.close fd
+
+let file_size path = (Unix.stat path).Unix.st_size
+
+let wal_path d = Filename.concat d "store.wal"
+let data_path d = Filename.concat d "store.data"
+
+open Storage
+
+(* ---- crc32 ---- *)
+
+let test_crc_known () =
+  (* Standard check value: CRC-32("123456789") = 0xCBF43926. *)
+  Alcotest.(check int32) "check value" 0xCBF43926l (Crc32.string "123456789");
+  Alcotest.(check int32) "empty" 0l (Crc32.string "");
+  let s = "hello, durable world" in
+  let split = 7 in
+  let chained =
+    Crc32.sub ~init:(Crc32.sub s ~pos:0 ~len:split) s ~pos:split
+      ~len:(String.length s - split)
+  in
+  Alcotest.(check int32) "chaining" (Crc32.string s) chained
+
+(* ---- binio ---- *)
+
+let test_binio_roundtrip () =
+  let b = Buffer.create 64 in
+  Binio.w_u8 b 0xab;
+  Binio.w_u16 b 0xbeef;
+  Binio.w_u32 b 0xdeadbeef;
+  Binio.w_u64 b 123456789012345;
+  Binio.w_u64 b (-1);
+  Binio.w_str b "payload";
+  let r = Binio.reader (Buffer.contents b) in
+  Alcotest.(check int) "u8" 0xab (Binio.r_u8 r);
+  Alcotest.(check int) "u16" 0xbeef (Binio.r_u16 r);
+  Alcotest.(check int) "u32" 0xdeadbeef (Binio.r_u32 r);
+  Alcotest.(check int) "u64" 123456789012345 (Binio.r_u64 r);
+  Alcotest.(check int) "u64 sign" (-1) (Binio.r_u64 r);
+  Alcotest.(check string) "str" "payload" (Binio.r_str r);
+  Alcotest.(check bool) "at_end" true (Binio.at_end r);
+  Alcotest.check_raises "short" Binio.Short (fun () ->
+      ignore (Binio.r_u32 (Binio.reader "ab")))
+
+(* ---- basic page round-trips ---- *)
+
+let test_page_roundtrip () =
+  with_dir (fun d ->
+      let t = Disk.create ~dir:d in
+      let p = Disk.pool t "idx" in
+      Disk.write_page t p ~id:0 "hello";
+      Disk.write_page t p ~id:1 (String.make 9000 'x');
+      Disk.write_page t p ~id:2 "";
+      Alcotest.(check string) "small" "hello" (Disk.read_page t p ~id:0);
+      Alcotest.(check string) "multi-frame" (String.make 9000 'x')
+        (Disk.read_page t p ~id:1);
+      Alcotest.(check string) "empty" "" (Disk.read_page t p ~id:2);
+      (* overwrite goes to a fresh extent but reads back the new image *)
+      Disk.write_page t p ~id:0 "world";
+      Alcotest.(check string) "overwrite" "world" (Disk.read_page t p ~id:0);
+      Alcotest.(check bool) "has" true (Disk.has_page t p ~id:1);
+      Disk.free_page t p ~id:1;
+      Alcotest.(check bool) "freed" false (Disk.has_page t p ~id:1);
+      Disk.close t)
+
+let test_pools_are_disjoint () =
+  with_dir (fun d ->
+      let t = Disk.create ~dir:d in
+      let a = Disk.pool t "a" and b = Disk.pool t "b" in
+      Disk.write_page t a ~id:7 "from-a";
+      Disk.write_page t b ~id:7 "from-b";
+      Alcotest.(check string) "a" "from-a" (Disk.read_page t a ~id:7);
+      Alcotest.(check string) "b" "from-b" (Disk.read_page t b ~id:7);
+      Alcotest.(check (list int)) "a ids" [ 7 ] (Disk.page_ids t a);
+      Disk.close t)
+
+(* ---- durability: checkpoint + reopen ---- *)
+
+let test_checkpoint_reopen () =
+  with_dir (fun d ->
+      let t = Disk.create ~dir:d in
+      let p = Disk.pool t "idx" in
+      for i = 0 to 19 do
+        Disk.write_page t p ~id:i (Printf.sprintf "page-%d" i)
+      done;
+      Disk.set_metadata t "meta-blob";
+      Disk.checkpoint t ~epoch:3;
+      Disk.close t;
+      let t = Disk.open_dir ~dir:d in
+      let p = Disk.pool t "idx" in
+      Alcotest.(check int) "epoch" 3 (Disk.committed_epoch t);
+      Alcotest.(check string) "meta" "meta-blob" (Disk.metadata t);
+      Alcotest.(check int) "pages" 20 (List.length (Disk.page_ids t p));
+      for i = 0 to 19 do
+        Alcotest.(check string) "payload" (Printf.sprintf "page-%d" i)
+          (Disk.read_page t p ~id:i)
+      done;
+      Alcotest.(check (option reject)) "no recovery" None (Disk.last_recovery t);
+      Disk.close t)
+
+(* ---- durability: WAL replay after a simulated crash ---- *)
+
+(* "Crash" = close the fds without checkpointing; the manifest is stale and
+   only the WAL knows about the committed work. *)
+let test_wal_replay () =
+  with_dir (fun d ->
+      let t = Disk.create ~dir:d in
+      let p = Disk.pool t "idx" in
+      Disk.write_page t p ~id:0 "committed-0";
+      Disk.write_page t p ~id:1 "committed-1";
+      Disk.set_metadata t "m1";
+      Disk.commit t ~epoch:1;
+      Disk.write_page t p ~id:1 "committed-1v2";
+      Disk.free_page t p ~id:0;
+      Disk.set_metadata t "m2";
+      Disk.commit t ~epoch:2;
+      (* uncommitted tail: must be dropped *)
+      Disk.write_page t p ~id:9 "uncommitted";
+      Disk.close t;
+      let t = Disk.open_dir ~dir:d in
+      let p = Disk.pool t "idx" in
+      (match Disk.last_recovery t with
+      | None -> Alcotest.fail "expected recovery"
+      | Some r ->
+          Alcotest.(check int) "epoch" 2 r.Disk.rec_epoch;
+          Alcotest.(check int) "batches" 2 r.Disk.rec_batches;
+          Alcotest.(check bool) "dropped tail" true (r.Disk.rec_dropped_bytes > 0));
+      Alcotest.(check int) "epoch" 2 (Disk.committed_epoch t);
+      Alcotest.(check string) "meta" "m2" (Disk.metadata t);
+      Alcotest.(check string) "page 1" "committed-1v2" (Disk.read_page t p ~id:1);
+      Alcotest.(check bool) "page 0 freed" false (Disk.has_page t p ~id:0);
+      Alcotest.(check bool) "page 9 dropped" false (Disk.has_page t p ~id:9);
+      (* recovery checkpointed: WAL is truncated, reopening again is clean *)
+      Alcotest.(check int) "wal truncated" 0 (file_size (wal_path d));
+      Disk.close t;
+      let t = Disk.open_dir ~dir:d in
+      Alcotest.(check (option reject)) "second open clean" None
+        (Disk.last_recovery t);
+      Disk.close t)
+
+let test_torn_wal_tail () =
+  (* Truncate the WAL at every possible byte offset; recovery must always
+     land on a consistent committed epoch, never crash, never see garbage. *)
+  with_dir (fun d ->
+      let t = Disk.create ~dir:d in
+      let p = Disk.pool t "idx" in
+      Disk.write_page t p ~id:0 "alpha";
+      Disk.commit t ~epoch:1;
+      Disk.write_page t p ~id:0 "beta";
+      Disk.write_page t p ~id:1 "gamma";
+      Disk.commit t ~epoch:2;
+      Disk.close t;
+      let wal = wal_path d in
+      let full = file_size wal in
+      Alcotest.(check bool) "wal nonempty" true (full > 0);
+      let wal_bytes =
+        let ic = open_in_bin wal in
+        let s = really_input_string ic full in
+        close_in ic;
+        s
+      in
+      let manifest = Filename.concat d "store.manifest" in
+      let manifest_bytes =
+        let ic = open_in_bin manifest in
+        let s = really_input_string ic (in_channel_length ic) in
+        close_in ic;
+        s
+      in
+      let data_bytes_path = data_path d in
+      let data_saved =
+        let ic = open_in_bin data_bytes_path in
+        let s = really_input_string ic (in_channel_length ic) in
+        close_in ic;
+        s
+      in
+      let restore () =
+        let oc = open_out_bin wal in
+        output_string oc wal_bytes;
+        close_out oc;
+        let oc = open_out_bin manifest in
+        output_string oc manifest_bytes;
+        close_out oc;
+        let oc = open_out_bin data_bytes_path in
+        output_string oc data_saved;
+        close_out oc
+      in
+      (* sample offsets: every prefix length would be slow at 4 KiB pages;
+         probe around record boundaries plus a stride. *)
+      let offsets = ref [] in
+      let len = String.length wal_bytes in
+      let stride = max 1 (len / 97) in
+      let o = ref 0 in
+      while !o <= len do
+        offsets := !o :: !offsets;
+        o := !o + stride
+      done;
+      List.iter
+        (fun cut ->
+          restore ();
+          truncate_file wal cut;
+          let t = Disk.open_dir ~dir:d in
+          let p = Disk.pool t "idx" in
+          let e = Disk.committed_epoch t in
+          Alcotest.(check bool)
+            (Printf.sprintf "cut=%d epoch valid" cut)
+            true (e = 0 || e = 1 || e = 2);
+          if e >= 1 then
+            Alcotest.(check string)
+              (Printf.sprintf "cut=%d page0" cut)
+              (if e = 2 then "beta" else "alpha")
+              (Disk.read_page t p ~id:0);
+          if e = 2 then
+            Alcotest.(check string)
+              (Printf.sprintf "cut=%d page1" cut)
+              "gamma" (Disk.read_page t p ~id:1);
+          Disk.close t)
+        !offsets)
+
+let test_corrupt_page_fails_loudly () =
+  with_dir (fun d ->
+      let t = Disk.create ~dir:d in
+      let p = Disk.pool t "idx" in
+      Disk.write_page t p ~id:0 (String.make 2000 'q');
+      Disk.checkpoint t ~epoch:1;
+      Disk.close t;
+      (* flip a byte inside the stored payload *)
+      let path = data_path d in
+      let fd = Unix.openfile path [ Unix.O_WRONLY ] 0 in
+      ignore (Unix.lseek fd 600 Unix.SEEK_SET);
+      ignore (Unix.write fd (Bytes.of_string "Z") 0 1);
+      Unix.close fd;
+      let t = Disk.open_dir ~dir:d in
+      let p = Disk.pool t "idx" in
+      (match Disk.read_page t p ~id:0 with
+      | exception Disk.Corrupt _ -> ()
+      | _ -> Alcotest.fail "corrupted page must not decode");
+      Disk.close t)
+
+let test_corrupt_manifest_rejected () =
+  with_dir (fun d ->
+      let t = Disk.create ~dir:d in
+      let p = Disk.pool t "idx" in
+      Disk.write_page t p ~id:0 "x";
+      Disk.checkpoint t ~epoch:1;
+      Disk.close t;
+      let path = Filename.concat d "store.manifest" in
+      let fd = Unix.openfile path [ Unix.O_WRONLY ] 0 in
+      ignore (Unix.lseek fd 9 Unix.SEEK_SET);
+      ignore (Unix.write fd (Bytes.of_string "\xff") 0 1);
+      Unix.close fd;
+      (match Disk.open_dir ~dir:d with
+      | exception Disk.Corrupt _ -> ()
+      | t ->
+          Disk.close t;
+          Alcotest.fail "corrupted manifest must be rejected"))
+
+(* ---- space management ---- *)
+
+let test_extent_reuse () =
+  with_dir (fun d ->
+      let t = Disk.create ~dir:d in
+      let p = Disk.pool t "idx" in
+      let payload = String.make 1000 'a' in
+      for i = 0 to 9 do
+        Disk.write_page t p ~id:i payload
+      done;
+      Disk.checkpoint t ~epoch:1;
+      (* Rewrite the same pages many times across checkpoints: the file must
+         not grow linearly with the number of writes. *)
+      for round = 2 to 21 do
+        for i = 0 to 9 do
+          Disk.write_page t p ~id:i payload
+        done;
+        Disk.checkpoint t ~epoch:round
+      done;
+      let frames = Disk.data_frames t in
+      Alcotest.(check bool)
+        (Printf.sprintf "bounded growth (%d frames)" frames)
+        true (frames <= 40);
+      Alcotest.(check int) "live" 10 (Disk.live_frames t);
+      Disk.close t)
+
+let test_no_overwrite_within_epoch () =
+  (* Rewriting a page repeatedly without a checkpoint must not overwrite the
+     manifest-pinned extent: crash-recovery to the manifest must still see
+     the old image when the WAL tail is lost. *)
+  with_dir (fun d ->
+      let t = Disk.create ~dir:d in
+      let p = Disk.pool t "idx" in
+      Disk.write_page t p ~id:0 "stable";
+      Disk.checkpoint t ~epoch:1;
+      for i = 0 to 50 do
+        Disk.write_page t p ~id:0 (Printf.sprintf "volatile-%d" i)
+      done;
+      (* no commit: simulate crash by discarding the WAL entirely *)
+      Disk.close t;
+      truncate_file (wal_path d) 0;
+      let t = Disk.open_dir ~dir:d in
+      let p = Disk.pool t "idx" in
+      Alcotest.(check string) "manifest image intact" "stable"
+        (Disk.read_page t p ~id:0);
+      Disk.close t)
+
+let test_bulk_load () =
+  with_dir (fun d ->
+      let t = Disk.create ~dir:d in
+      let p = Disk.pool t "idx" in
+      Disk.begin_bulk t;
+      Alcotest.(check bool) "in bulk" true (Disk.in_bulk t);
+      for i = 0 to 99 do
+        Disk.write_page t p ~id:i (Printf.sprintf "bulk-%d" i)
+      done;
+      (* bulk writes bypass the WAL *)
+      Alcotest.(check int) "wal empty during bulk" 0 (Disk.wal_bytes t);
+      Disk.end_bulk t ~epoch:1;
+      Disk.close t;
+      let t = Disk.open_dir ~dir:d in
+      let p = Disk.pool t "idx" in
+      Alcotest.(check int) "pages" 100 (List.length (Disk.page_ids t p));
+      Alcotest.(check string) "payload" "bulk-42" (Disk.read_page t p ~id:42);
+      Disk.close t)
+
+let test_crash_mid_bulk_recovers_to_previous () =
+  with_dir (fun d ->
+      let t = Disk.create ~dir:d in
+      let p = Disk.pool t "idx" in
+      Disk.write_page t p ~id:0 "before-bulk";
+      Disk.commit t ~epoch:1;
+      Disk.close t;
+      let t = Disk.open_dir ~dir:d in
+      let p = Disk.pool t "idx" in
+      Disk.begin_bulk t;
+      for i = 100 to 199 do
+        Disk.write_page t p ~id:i "half-loaded"
+      done;
+      (* crash before end_bulk *)
+      Disk.close t;
+      let t = Disk.open_dir ~dir:d in
+      let p = Disk.pool t "idx" in
+      Alcotest.(check string) "pre-bulk state" "before-bulk"
+        (Disk.read_page t p ~id:0);
+      Alcotest.(check int) "bulk pages dropped" 1
+        (List.length (Disk.page_ids t p));
+      Disk.close t)
+
+let test_auto_checkpoint () =
+  with_dir (fun d ->
+      let saved = !Disk.wal_checkpoint_bytes in
+      Fun.protect
+        ~finally:(fun () -> Disk.wal_checkpoint_bytes := saved)
+        (fun () ->
+          Disk.wal_checkpoint_bytes := 4096;
+          let t = Disk.create ~dir:d in
+          let p = Disk.pool t "idx" in
+          let before = (Disk.io t).Disk.checkpoints in
+          for i = 1 to 20 do
+            Disk.write_page t p ~id:0 (String.make 1024 'w');
+            Disk.commit t ~epoch:i
+          done;
+          Alcotest.(check bool) "auto-checkpointed" true
+            ((Disk.io t).Disk.checkpoints > before);
+          Alcotest.(check bool) "wal stays bounded" true
+            (Disk.wal_bytes t <= 3 * 4096);
+          Disk.close t))
+
+let test_io_counters () =
+  with_dir (fun d ->
+      let t = Disk.create ~dir:d in
+      let p = Disk.pool t "idx" in
+      Disk.write_page t p ~id:0 "counted";
+      Disk.commit t ~epoch:1;
+      ignore (Disk.read_page t p ~id:0);
+      let io = Disk.io t in
+      Alcotest.(check bool) "wal records" true (io.Disk.wal_records >= 3);
+      Alcotest.(check bool) "wal bytes" true (io.Disk.wal_bytes_written > 0);
+      Alcotest.(check bool) "fsyncs" true (io.Disk.fsyncs >= 1);
+      Alcotest.(check int) "data reads" 1 io.Disk.data_reads;
+      Alcotest.(check bool) "data writes" true (io.Disk.data_writes >= 1);
+      Disk.close t)
+
+let suite =
+  ( "disk",
+    [
+      Alcotest.test_case "crc32 known vectors" `Quick test_crc_known;
+      Alcotest.test_case "binio roundtrip" `Quick test_binio_roundtrip;
+      Alcotest.test_case "page roundtrip" `Quick test_page_roundtrip;
+      Alcotest.test_case "pools disjoint" `Quick test_pools_are_disjoint;
+      Alcotest.test_case "checkpoint reopen" `Quick test_checkpoint_reopen;
+      Alcotest.test_case "wal replay" `Quick test_wal_replay;
+      Alcotest.test_case "torn wal tail" `Quick test_torn_wal_tail;
+      Alcotest.test_case "corrupt page fails loudly" `Quick
+        test_corrupt_page_fails_loudly;
+      Alcotest.test_case "corrupt manifest rejected" `Quick
+        test_corrupt_manifest_rejected;
+      Alcotest.test_case "extent reuse" `Quick test_extent_reuse;
+      Alcotest.test_case "no overwrite within epoch" `Quick
+        test_no_overwrite_within_epoch;
+      Alcotest.test_case "bulk load" `Quick test_bulk_load;
+      Alcotest.test_case "crash mid-bulk" `Quick
+        test_crash_mid_bulk_recovers_to_previous;
+      Alcotest.test_case "auto checkpoint" `Quick test_auto_checkpoint;
+      Alcotest.test_case "io counters" `Quick test_io_counters;
+    ] )

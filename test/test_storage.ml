@@ -99,6 +99,25 @@ let test_stats_edges () =
   Alcotest.(check int) "zero diff" 0 z.Stats.logical_reads;
   Alcotest.(check (float 1e-9)) "zero-diff ratio" 1.0 (Stats.hit_ratio z)
 
+let test_stats_writeback_fields () =
+  (* the durable-backend counters ride through reset/copy/diff like the
+     page counters do *)
+  let s = Stats.create () in
+  Alcotest.(check int) "fresh wb_bytes" 0 s.Stats.write_back_bytes;
+  Alcotest.(check int) "fresh fsyncs" 0 s.Stats.fsyncs;
+  s.Stats.write_back_bytes <- 4096;
+  s.Stats.fsyncs <- 3;
+  let snap = Stats.copy s in
+  s.Stats.write_back_bytes <- 10240;
+  s.Stats.fsyncs <- 5;
+  Alcotest.(check int) "copy frozen wb" 4096 snap.Stats.write_back_bytes;
+  let d = Stats.diff s snap in
+  Alcotest.(check int) "diff wb_bytes" 6144 d.Stats.write_back_bytes;
+  Alcotest.(check int) "diff fsyncs" 2 d.Stats.fsyncs;
+  Stats.reset s;
+  Alcotest.(check int) "reset wb_bytes" 0 s.Stats.write_back_bytes;
+  Alcotest.(check int) "reset fsyncs" 0 s.Stats.fsyncs
+
 let test_histogram_interpolation () =
   let open Stats in
   (* 100 observations spread evenly across one bucket (2.5ms, 5ms]:
@@ -221,6 +240,7 @@ let suite =
       Alcotest.test_case "flush" `Quick test_flush;
       Alcotest.test_case "stats diff" `Quick test_stats_diff;
       Alcotest.test_case "stats edge cases" `Quick test_stats_edges;
+      Alcotest.test_case "stats write-back fields" `Quick test_stats_writeback_fields;
       Alcotest.test_case "histogram percentile interpolation" `Quick
         test_histogram_interpolation;
       Alcotest.test_case "histogram merge" `Quick test_histogram_merge;
