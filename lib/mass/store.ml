@@ -201,11 +201,35 @@ let close t =
   match t.disk with
   | None -> ()
   | Some disk ->
-      if not (Storage.Disk.in_bulk disk) then checkpoint t;
-      Storage.Disk.close disk
+      if not (Storage.Disk.is_closed disk) then begin
+        if not (Storage.Disk.in_bulk disk) then checkpoint t;
+        Storage.Disk.close disk
+      end
 
 let simulate_crash t =
   match t.disk with None -> () | Some disk -> Storage.Disk.close disk
+
+(* Run a bulk ingest [f] against the disk (a plain call on Mem): on success
+   one end_bulk checkpoint makes the whole batch durable at once.  If [f]
+   raises, the in-memory indexes are partially mutated and cannot be rolled
+   back, so abort the disk to its pre-bulk state and close it — the partial
+   load can then never be silently committed (later uses of this handle
+   fail loudly) and reopening the directory yields the pre-load store. *)
+let bulk_ingest t f =
+  match t.disk with
+  | None -> f ()
+  | Some d -> (
+      Storage.Disk.begin_bulk d;
+      match f () with
+      | v ->
+          flush_indexes t;
+          Storage.Disk.set_metadata d (encode_meta t);
+          Storage.Disk.end_bulk d ~epoch:t.epoch;
+          v
+      | exception e ->
+          (try Storage.Disk.abort_bulk d with _ -> ());
+          Storage.Disk.close d;
+          raise e)
 
 let create ?pool_pages ?(order = 64) ?backend () =
   let backend = match backend with Some b -> b | None -> default_backend () in
@@ -246,8 +270,15 @@ let create ?pool_pages ?(order = 64) ?backend () =
           autocommit = true;
         }
       in
-      (* make the empty store immediately reopenable *)
-      commit t;
+      (* Checkpoint, not commit: the manifest [Disk.create] just wrote is
+         already at epoch 0 and recovery only replays WAL batches with a
+         strictly newer epoch, so a commit here would be dropped on
+         replay — a crash before the first checkpoint (including one mid
+         first bulk load, whose writes bypass the WAL) would then leave
+         a store without metadata that [open_file] refuses.  Writing the
+         metadata into the manifest itself makes the empty store
+         immediately reopenable on every crash path. *)
+      checkpoint t;
       t
 
 let open_file ?pool_pages ~dir () =
@@ -380,9 +411,9 @@ let doc_of_key t key =
 let load t ~name tree =
   (* On the file backend a load is one bulk ingest: pages stream to the data
      file without WAL traffic and the closing checkpoint makes the whole
-     document durable at once (a crash mid-load recovers to the pre-load
-     state). *)
-  (match t.disk with Some d -> Storage.Disk.begin_bulk d | None -> ());
+     document durable at once (a crash or exception mid-load recovers to
+     the pre-load state). *)
+  bulk_ingest t @@ fun () ->
   let last_component =
     List.fold_left
       (fun acc d ->
@@ -435,12 +466,6 @@ let load t ~name tree =
   Array.iteri (fun i c -> walk (Flex.child doc_key comps.(i)) c) top;
   t.docs <- t.docs @ [ doc ];
   bump_epoch t;
-  (match t.disk with
-  | Some d ->
-      flush_indexes t;
-      Storage.Disk.set_metadata d (encode_meta t);
-      Storage.Disk.end_bulk d ~epoch:t.epoch
-  | None -> ());
   doc
 
 let load_string t ~name src = load t ~name (Xml.Parser.parse src)
@@ -905,8 +930,9 @@ let remove_document t doc =
   (* one commit covering both the subtree deletion and the catalog update *)
   let saved = t.autocommit in
   t.autocommit <- false;
-  ignore (delete_subtree t doc.doc_key);
-  t.autocommit <- saved;
+  Fun.protect
+    ~finally:(fun () -> t.autocommit <- saved)
+    (fun () -> ignore (delete_subtree t doc.doc_key));
   t.docs <- List.filter (fun d -> d.doc_id <> doc.doc_id) t.docs;
   maybe_commit t
 
@@ -1134,7 +1160,7 @@ let load_file ?pool_pages ?order ?backend path =
   let version = String.get_int64_le (read_exact 8) 0 in
   if version <> snapshot_version then fail (Printf.sprintf "unsupported version %Ld" version);
   let t = create ?pool_pages ?order ?backend () in
-  (match t.disk with Some d -> Storage.Disk.begin_bulk d | None -> ());
+  bulk_ingest t @@ fun () ->
   let ndocs = read_u64 () in
   let docs =
     List.init ndocs (fun i ->
@@ -1167,12 +1193,6 @@ let load_file ?pool_pages ?order ?backend path =
   | _ -> fail "trailing data"
   | exception End_of_file -> ());
   close_in ic;
-  (match t.disk with
-  | Some d ->
-      flush_indexes t;
-      Storage.Disk.set_metadata d (encode_meta t);
-      Storage.Disk.end_bulk d ~epoch:t.epoch
-  | None -> ());
   t
 
 (* ---- statistics ---- *)

@@ -57,7 +57,8 @@ val open_file : ?pool_pages:int -> dir:string -> unit -> t
 
 val close : t -> unit
 (** Clean shutdown of a file-backed store: flush, checkpoint, close the
-    descriptors.  A no-op on {!Mem}. *)
+    descriptors.  A no-op on {!Mem} and on a handle whose disk is
+    already closed (after {!simulate_crash} or a failed load). *)
 
 val commit : t -> unit
 (** Force a durability point now (flush dirty pages, WAL-append metadata
@@ -92,7 +93,11 @@ val simulate_crash : t -> unit
 val load : t -> name:string -> Xml.Tree.t -> doc
 (** Bulk-load a parsed document.  Records are keyed depth-first with
     components from {!Flex.sequence}, attributes before child nodes
-    (matching XPath document order). *)
+    (matching XPath document order).  On the file backend the load is
+    one bulk ingest made durable atomically at the end; if it raises,
+    the on-disk store is rolled back to its pre-load state and this
+    handle is closed (further operations fail loudly) — reopen the
+    directory with {!open_file}. *)
 
 val load_string : t -> name:string -> string -> doc
 (** Parse with {!Xml.Parser.parse} and load. *)
@@ -253,7 +258,8 @@ val load_file : ?pool_pages:int -> ?order:int -> ?backend:backend -> string -> t
 (** @raise Corrupt_snapshot on malformed input;
     @raise Sys_error on I/O failure.  With a {!File} backend the rebuild
     runs through the bulk-ingest path (no WAL traffic, one closing
-    checkpoint). *)
+    checkpoint); if it fails, the target directory is left holding a
+    valid empty store. *)
 
 (** {1 Statistics} *)
 

@@ -24,9 +24,25 @@ let wal_checkpoint_bytes = ref (8 * 1024 * 1024)
 
 type pool = { pid : int; pname : string }
 
+(* Pool ids travel as a u8 in WAL records and page headers. *)
+let max_pools = 256
+
 (* A page lives in a contiguous extent of [frames] frames starting at frame
    [off]; [bytes] is the payload length inside it. *)
 type loc = { off : int; frames : int; bytes : int }
+
+(* Everything a bulk span can mutate, captured at [begin_bulk] so
+   [abort_bulk] can restore the exact pre-bulk state (bulk writes only
+   append to the data file, so truncating back to [s_eof] completes the
+   rollback). *)
+type bulk_snapshot = {
+  s_pools : string array;
+  s_table : (int * int, loc) Hashtbl.t;
+  s_eof : int;
+  s_free : loc list;
+  s_deferred : loc list;
+  s_meta : string;
+}
 
 type io = {
   mutable wal_records : int;
@@ -60,6 +76,7 @@ type t = {
   mutable meta : string;
   mutable epoch : int;
   mutable bulk : bool;
+  mutable bulk_snap : bulk_snapshot option;
   mutable closed : bool;
   io : io;
   mutable last_recovery : recovery option;
@@ -72,6 +89,7 @@ let committed_epoch t = t.epoch
 let wal_bytes t = t.wal_len
 let last_recovery t = t.last_recovery
 let in_bulk t = t.bulk
+let is_closed t = t.closed
 let data_frames t = t.eof
 let live_frames t = Hashtbl.fold (fun _ l acc -> acc + l.frames) t.table 0
 
@@ -135,6 +153,9 @@ let pool t name =
   match find 0 with
   | Some pid -> { pid; pname = name }
   | None ->
+      if n >= max_pools then
+        invalid_arg
+          (Printf.sprintf "Disk.pool: at most %d pools per store" max_pools);
       t.pools <- Array.append t.pools [| name |];
       { pid = n; pname = name }
 
@@ -202,9 +223,12 @@ let wal_append t ~typ ~pid ~arg ~payload =
 
 (* ---- page I/O ---- *)
 
-(* 24-byte extent header: magic u32, pid u8, pad u8, frames u16, page u64,
-   payload bytes u32, payload crc u32; zero padding to the frame boundary. *)
-let frames_for len = (24 + len + frame_bytes - 1) / frame_bytes
+(* 28-byte extent header: magic u32, pid u8, pad u8 + u16, frames u32
+   (matching the manifest's u32 — a u16 here would truncate extents of
+   65536+ frames), page u64, payload bytes u32, payload crc u32; zero
+   padding to the frame boundary. *)
+let page_header_bytes = 28
+let frames_for len = (page_header_bytes + len + frame_bytes - 1) / frame_bytes
 
 let install_page t ~pid ~id payload ~log =
   let len = String.length payload in
@@ -214,7 +238,8 @@ let install_page t ~pid ~id payload ~log =
   Binio.w_u32 b page_magic;
   Binio.w_u8 b pid;
   Binio.w_u8 b 0;
-  Binio.w_u16 b n;
+  Binio.w_u16 b 0;
+  Binio.w_u32 b n;
   Binio.w_u64 b id;
   Binio.w_u32 b len;
   Binio.w_u32 b (crc_int payload);
@@ -264,19 +289,20 @@ let read_page t p ~id =
          if magic <> page_magic then
            corrupt "%s: bad page magic for %s page %d" t.dir p.pname id;
          let pid = Binio.r_u8 r in
-         let _pad = Binio.r_u8 r in
-         let frames = Binio.r_u16 r in
+         let _pad8 = Binio.r_u8 r in
+         let _pad16 = Binio.r_u16 r in
+         let frames = Binio.r_u32 r in
          let page = Binio.r_u64 r in
          let bytes = Binio.r_u32 r in
          let crc = Binio.r_u32 r in
          if pid <> p.pid || page <> id || frames <> l.frames || bytes <> l.bytes
          then
            corrupt "%s: page header mismatch for %s page %d" t.dir p.pname id;
-         if crc_sub_int s ~pos:24 ~len:bytes <> crc then
+         if crc_sub_int s ~pos:page_header_bytes ~len:bytes <> crc then
            corrupt "%s: checksum failure for %s page %d" t.dir p.pname id
        with Binio.Short ->
          corrupt "%s: truncated page header for %s page %d" t.dir p.pname id);
-      String.sub s 24 l.bytes
+      String.sub s page_header_bytes l.bytes
 
 (* ---- metadata ---- *)
 
@@ -328,6 +354,7 @@ let encode_manifest t ~epoch =
 
 let checkpoint t ~epoch =
   check_open t;
+  if t.bulk then invalid_arg "Disk.checkpoint: store is in bulk mode";
   Unix.fsync t.data_fd;
   t.io.fsyncs <- t.io.fsyncs + 1;
   let path = Filename.concat t.dir manifest_name in
@@ -376,12 +403,45 @@ let commit t ~epoch =
 
 let begin_bulk t =
   check_open t;
+  if t.bulk then invalid_arg "Disk.begin_bulk: already in bulk mode";
+  t.bulk_snap <-
+    Some
+      {
+        s_pools = Array.copy t.pools;
+        s_table = Hashtbl.copy t.table;
+        s_eof = t.eof;
+        s_free = t.free;
+        s_deferred = t.deferred;
+        s_meta = t.meta;
+      };
   t.bulk <- true
 
 let end_bulk t ~epoch =
   check_open t;
+  if not t.bulk then invalid_arg "Disk.end_bulk: not in bulk mode";
   t.bulk <- false;
+  t.bulk_snap <- None;
   checkpoint t ~epoch
+
+let abort_bulk t =
+  check_open t;
+  if not t.bulk then invalid_arg "Disk.abort_bulk: not in bulk mode";
+  let s = Option.get t.bulk_snap in
+  t.pools <- s.s_pools;
+  Hashtbl.reset t.table;
+  Hashtbl.iter (fun k v -> Hashtbl.replace t.table k v) s.s_table;
+  t.free <- s.s_free;
+  t.deferred <- s.s_deferred;
+  t.meta <- s.s_meta;
+  (* bulk writes only append past the snapshot eof; drop that tail *)
+  (try Unix.ftruncate t.data_fd (s.s_eof * frame_bytes)
+   with Unix.Unix_error _ -> ());
+  t.eof <- s.s_eof;
+  t.bulk_snap <- None;
+  t.bulk <- false;
+  if Obs.active () then
+    Obs.emit ~severity:Obs.Warn ~category:"storage" "bulk_abort"
+      [ ("dir", Obs.Str t.dir); ("epoch", Obs.Int t.epoch) ]
 
 (* ---- lifecycle ---- *)
 
@@ -408,6 +468,7 @@ let make ~dir ~data_fd ~wal_fd =
       meta = "";
       epoch = 0;
       bulk = false;
+      bulk_snap = None;
       closed = false;
       io =
         {

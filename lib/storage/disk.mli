@@ -57,13 +57,18 @@ val close : t -> unit
     with {!checkpoint} for a clean shutdown.  Idempotent; also attached
     as a GC finalizer so abandoned handles do not leak descriptors. *)
 
+val is_closed : t -> bool
+(** The handle has been {!close}d; every other operation would raise. *)
+
 val dir : t -> string
 
 (** {1 Pools} *)
 
 val pool : t -> string -> pool
 (** Register (or look up) a pool by name.  Pool names are persisted in
-    the manifest; reopening resolves the same names to the same pages. *)
+    the manifest; reopening resolves the same names to the same pages.
+    Pool ids travel as a u8 in page and WAL headers, so a store holds at
+    most 256 pools; registering more raises [Invalid_argument]. *)
 
 val page_ids : t -> pool -> int list
 (** Ids of every page the pool currently stores, unsorted. *)
@@ -118,10 +123,23 @@ val wal_checkpoint_bytes : int ref
     Between [begin_bulk] and [end_bulk] page writes skip the WAL and
     only append extents sequentially — the document-ingest fast path.
     [end_bulk] checkpoints, making the whole batch durable at once; a
-    crash mid-bulk recovers to the pre-bulk manifest. *)
+    crash mid-bulk recovers to the pre-bulk manifest.  If the ingest
+    fails, call [abort_bulk] — a handle must never be left in bulk mode,
+    where commits and checkpoints are suppressed and every later
+    mutation would be silently non-durable. *)
 
 val begin_bulk : t -> unit
+(** @raise Invalid_argument if already in bulk mode. *)
+
 val end_bulk : t -> epoch:int -> unit
+
+val abort_bulk : t -> unit
+(** Abandon the bulk span: restore the page table, pool set, metadata
+    and free map to their [begin_bulk] snapshot, truncate the appended
+    tail off the data file, and leave bulk mode.  The handle continues
+    from the exact pre-bulk state (bulk writes never touch the WAL, the
+    manifest, or pre-existing extents, so nothing else moved). *)
+
 val in_bulk : t -> bool
 
 (** {1 Introspection} *)

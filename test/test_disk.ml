@@ -372,6 +372,52 @@ let test_crash_mid_bulk_recovers_to_previous () =
         (List.length (Disk.page_ids t p));
       Disk.close t)
 
+let test_abort_bulk () =
+  with_dir (fun d ->
+      let t = Disk.create ~dir:d in
+      let p = Disk.pool t "idx" in
+      Disk.write_page t p ~id:0 "keep";
+      Disk.commit t ~epoch:1;
+      let frames_before = Disk.data_frames t in
+      Disk.begin_bulk t;
+      Disk.write_page t p ~id:0 "overwritten-in-bulk";
+      for i = 1 to 50 do
+        Disk.write_page t p ~id:i (Printf.sprintf "bulk-%d" i)
+      done;
+      Disk.abort_bulk t;
+      Alcotest.(check bool) "out of bulk" false (Disk.in_bulk t);
+      Alcotest.(check int) "bulk pages gone" 1 (List.length (Disk.page_ids t p));
+      Alcotest.(check string) "pre-bulk image restored" "keep"
+        (Disk.read_page t p ~id:0);
+      Alcotest.(check int) "appended tail dropped" frames_before
+        (Disk.data_frames t);
+      (* the handle keeps working: later writes commit durably *)
+      Disk.write_page t p ~id:1 "after-abort";
+      Disk.commit t ~epoch:2;
+      Disk.close t;
+      let t = Disk.open_dir ~dir:d in
+      let p = Disk.pool t "idx" in
+      Alcotest.(check int) "pages after reopen" 2
+        (List.length (Disk.page_ids t p));
+      Alcotest.(check string) "survivor" "keep" (Disk.read_page t p ~id:0);
+      Alcotest.(check string) "post-abort write" "after-abort"
+        (Disk.read_page t p ~id:1);
+      Disk.close t)
+
+let test_pool_cap () =
+  with_dir (fun d ->
+      let t = Disk.create ~dir:d in
+      (* pids are a u8 on disk: a 257th pool would alias pid mod 256 *)
+      for i = 0 to 255 do
+        ignore (Disk.pool t (Printf.sprintf "pool-%d" i))
+      done;
+      Alcotest.check_raises "257th pool rejected"
+        (Invalid_argument "Disk.pool: at most 256 pools per store") (fun () ->
+          ignore (Disk.pool t "pool-256"));
+      (* lookup of an existing pool still works at the cap *)
+      ignore (Disk.pool t "pool-0");
+      Disk.close t)
+
 let test_auto_checkpoint () =
   with_dir (fun d ->
       let saved = !Disk.wal_checkpoint_bytes in
@@ -425,6 +471,8 @@ let suite =
       Alcotest.test_case "no overwrite within epoch" `Quick
         test_no_overwrite_within_epoch;
       Alcotest.test_case "bulk load" `Quick test_bulk_load;
+      Alcotest.test_case "abort bulk" `Quick test_abort_bulk;
+      Alcotest.test_case "pool cap" `Quick test_pool_cap;
       Alcotest.test_case "crash mid-bulk" `Quick
         test_crash_mid_bulk_recovers_to_previous;
       Alcotest.test_case "auto checkpoint" `Quick test_auto_checkpoint;

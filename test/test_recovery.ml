@@ -109,6 +109,72 @@ let test_clean_close_reopen () =
       check_corpus_equal "after reopen" expected store d1;
       Store.close store)
 
+(* ---- crash immediately after create: metadata already durable ---- *)
+
+let test_crash_right_after_create () =
+  with_dir (fun dir ->
+      let store = Store.create ~backend:(Store.File { dir }) () in
+      Store.simulate_crash store;
+      (* create checkpoints the (empty) metadata into the manifest, so the
+         store is reopenable before any commit ever happened *)
+      let store = Store.open_file ~dir () in
+      Alcotest.(check int) "no documents" 0 (List.length (Store.documents store));
+      Store.validate store;
+      let d = Store.load_string store ~name:"tiny.xml" tiny_doc in
+      Alcotest.(check bool) "recovered store loads" true
+        (Store.get store d.Store.doc_key <> None);
+      Store.close store;
+      let store = Store.open_file ~dir () in
+      Alcotest.(check int) "document survived" 1
+        (List.length (Store.documents store));
+      Store.close store)
+
+let test_crash_mid_first_load () =
+  with_dir (fun dir ->
+      let store = Store.create ~backend:(Store.File { dir }) () in
+      Store.simulate_crash store;
+      (* Bulk-load writes bypass the WAL and only append data frames, so a
+         SIGKILL mid-first-load leaves exactly this on disk: the
+         post-create manifest, orphan appended frames, an empty WAL. *)
+      let oc =
+        open_out_gen [ Open_append; Open_binary ] 0o644 (data_path dir)
+      in
+      output_string oc (String.make (8 * 4096) '\xab');
+      close_out oc;
+      let store = Store.open_file ~dir () in
+      Alcotest.(check int) "pre-load state" 0
+        (List.length (Store.documents store));
+      Store.validate store;
+      ignore (Store.load_string store ~name:"tiny.xml" tiny_doc);
+      Store.close store;
+      let store = Store.open_file ~dir () in
+      Store.validate store;
+      Alcotest.(check int) "load after recovery sticks" 1
+        (List.length (Store.documents store));
+      Store.close store)
+
+(* ---- a failed bulk ingest rolls back, never lingers in bulk mode ---- *)
+
+let test_failed_restore_rolls_back () =
+  with_dir (fun dir ->
+      with_dir (fun dir2 ->
+          let snap = Filename.concat dir "all.snap" in
+          let store, _, _ = build_file_store dir in
+          Store.save_file store snap;
+          Store.close store;
+          let s = read_bytes snap in
+          write_bytes snap (String.sub s 0 (String.length s * 2 / 3));
+          (match Store.load_file ~backend:(Store.File { dir = dir2 }) snap with
+          | _ -> Alcotest.fail "truncated snapshot must not restore"
+          | exception Store.Corrupt_snapshot _ -> ());
+          (* the target directory holds a valid, reopenable empty store:
+             the aborted ingest cannot have been committed *)
+          let store2 = Store.open_file ~dir:dir2 () in
+          Alcotest.(check int) "rolled back to empty" 0
+            (List.length (Store.documents store2));
+          Store.validate store2;
+          Store.close store2))
+
 (* ---- committed updates survive a crash ---- *)
 
 let test_crash_after_commit () =
@@ -326,6 +392,11 @@ let suite =
     [
       Alcotest.test_case "mem/file differential" `Quick test_mem_file_differential;
       Alcotest.test_case "clean close reopen" `Quick test_clean_close_reopen;
+      Alcotest.test_case "crash right after create" `Quick
+        test_crash_right_after_create;
+      Alcotest.test_case "crash mid first load" `Quick test_crash_mid_first_load;
+      Alcotest.test_case "failed restore rolls back" `Quick
+        test_failed_restore_rolls_back;
       Alcotest.test_case "crash after commit" `Quick test_crash_after_commit;
       Alcotest.test_case "crash before commit" `Quick test_crash_before_commit;
       Alcotest.test_case "torn wal randomized" `Quick test_torn_wal_randomized;
