@@ -638,6 +638,14 @@ let measure_gate () =
   let store = Store.create ~pool_pages:65536 () in
   let doc = Xmark.load store gate_mb in
   let scope = Vamana.Engine.scope_of_context doc.Store.doc_key in
+  (* the flight recorder runs for the whole measured batch — one
+     begin/end record pair around every timed execution, exactly as the
+     service writes them — so the gate numbers carry (and bound) the
+     recorder's perturbation of the measured path *)
+  let flight_dir = Filename.temp_file "vamana_bench_flight" "" in
+  Sys.remove flight_dir;
+  Unix.mkdir flight_dir 0o755;
+  let flight = Storage.Flight.open_dir ~dir:flight_dir () in
   let rows =
     List.map
       (fun (label, q) ->
@@ -654,7 +662,18 @@ let measure_gate () =
             Gc.compact ();
             let best = ref infinity in
             for _ = 1 to gate_rounds do
+              let qid = Obs.fresh_query_id () in
+              Storage.Flight.record_begin flight ~qid ~epoch:(Store.epoch store) ~source:q;
               let r = Vamana.Engine.execute_prepared store ~context:doc.Store.doc_key p in
+              Storage.Flight.record_end flight
+                { Storage.Flight.qid; source = q; ok = true; cache = "bypass";
+                  latency_us = int_of_float (r.Vamana.Engine.execute_time *. 1e6);
+                  pages_read = r.Vamana.Engine.io.Storage.Stats.logical_reads;
+                  physical_reads = r.Vamana.Engine.io.Storage.Stats.physical_reads;
+                  wal_bytes = 0; fsyncs = 0;
+                  results = List.length r.Vamana.Engine.keys;
+                  epoch = Store.epoch store;
+                  at_ms = int_of_float (Unix.gettimeofday () *. 1000.) };
               if r.Vamana.Engine.execute_time < !best then best := r.Vamana.Engine.execute_time
             done;
             { g_label = label;
@@ -664,6 +683,13 @@ let measure_gate () =
               g_exec_ms = !best *. 1000. })
       queries
   in
+  Storage.Flight.close flight;
+  List.iter
+    (fun f ->
+      let p = Filename.concat flight_dir f in
+      if Sys.file_exists p then Sys.remove p)
+    [ "flight.log"; "flight.log.1" ];
+  (try Unix.rmdir flight_dir with Unix.Unix_error _ -> ());
   let cal = calibrate () in
   (cal, rows)
 

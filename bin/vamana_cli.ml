@@ -9,7 +9,9 @@
      vamana serve   [-f doc.xml | -x MB | -s SNAP] [-q queries.txt]
                     [--repeat N] [--json] [--slow-ms MS] ...
      vamana events  [-f doc.xml | -x MB | -s SNAP] [-q queries.txt]
-                    [--json] [--follow] [--sample CAT=N] [--ring N]  *)
+                    [--json] [--follow] [--sample CAT=N] [--ring N]
+     vamana trace   [-f doc.xml | -x MB | -s SNAP] [-q queries.txt] [-o trace.json]
+     vamana report  -d DIR [--top N]  *)
 
 open Cmdliner
 module Store = Mass.Store
@@ -157,9 +159,23 @@ let bucket_fanouts fanouts =
   Hashtbl.fold (fun k n acc -> (k, n) :: acc) tbl []
   |> List.sort (fun ((a, _), _) ((b, _), _) -> compare a b)
 
-let run_stats file xmark_mb snapshot data_dir top_tags =
+let openmetrics_snapshot ?metrics store =
+  let metrics =
+    match metrics with Some m -> m | None -> Vamana_service.Metrics.create ()
+  in
+  Vamana_service.Metrics.to_openmetrics ~io:(Store.io_stats store)
+    ~pools:(Store.io_by_index store)
+    ?disk:(Store.disk_io store) metrics
+
+let run_stats file xmark_mb snapshot data_dir top_tags openmetrics =
   handle_parse_errors @@ fun () ->
   let store, doc = input_doc file xmark_mb snapshot data_dir in
+  if openmetrics then begin
+    (* machine output only: the exposition text is the whole contract *)
+    print_string (openmetrics_snapshot store);
+    ignore doc
+  end
+  else begin
   let s = Store.statistics store in
   Printf.printf "document          %s\n" doc.Store.doc_name;
   Printf.printf "records           %d\n" s.Store.record_count;
@@ -213,7 +229,7 @@ let run_stats file xmark_mb snapshot data_dir top_tags =
         (100. *. Storage.Stats.hit_ratio p.Store.pool_io))
     (Store.pool_by_index store);
   (* disk layer (file backend only): WAL and data-file traffic *)
-  match Store.disk_io store with
+  (match Store.disk_io store with
   | None -> ()
   | Some io ->
       Printf.printf "\n== disk (%s) ==\n"
@@ -226,7 +242,8 @@ let run_stats file xmark_mb snapshot data_dir top_tags =
       Printf.printf "data reads        %d (%d bytes)\n" io.Storage.Disk.data_reads
         io.Storage.Disk.data_read_bytes;
       Printf.printf "data writes       %d (%d bytes)\n" io.Storage.Disk.data_writes
-        io.Storage.Disk.data_write_bytes
+        io.Storage.Disk.data_write_bytes)
+  end
 
 let run_generate mb output seed =
   let text = Xmark.generate_string ?seed:(Option.map Int64.of_int seed) mb in
@@ -269,11 +286,19 @@ let stats_cmd =
     Arg.(value & opt int 20
          & info [ "tags" ] ~docv:"N" ~doc:"Show the N most frequent tags.")
   in
+  let openmetrics_arg =
+    Arg.(value & flag
+         & info [ "openmetrics" ]
+             ~doc:"Emit the storage counters (buffer pools, per-index I/O, WAL/disk traffic) \
+                   in OpenMetrics/Prometheus text exposition format instead of the human \
+                   report; ends with '# EOF'.")
+  in
   Cmd.v
     (Cmd.info "stats"
        ~doc:"Show storage statistics: record counts, per-tag counts, depth and fanout \
              histograms, buffer-pool breakdown")
-    Term.(const run_stats $ file_arg $ xmark_arg $ snapshot_arg $ data_dir_arg $ tags_arg)
+    Term.(const run_stats $ file_arg $ xmark_arg $ snapshot_arg $ data_dir_arg $ tags_arg
+          $ openmetrics_arg)
 
 let generate_cmd =
   let mb = Arg.(value & opt float 1.0 & info [ "x"; "xmark" ] ~docv:"MB" ~doc:"Document size.") in
@@ -319,6 +344,13 @@ let read_queries = function
 let is_query line =
   let line = String.trim line in
   String.length line > 0 && line.[0] <> '#'
+
+(* snapshot files (OpenMetrics, traces) are rewritten whole: temp +
+   rename so a scraper never reads a half-written exposition *)
+let write_atomic path content =
+  let tmp = path ^ ".tmp" in
+  Out_channel.with_open_bin tmp (fun oc -> Out_channel.output_string oc content);
+  Sys.rename tmp path
 
 (* ---- lint: static plan diagnostics without execution ---- *)
 
@@ -545,16 +577,21 @@ let synopsis_cmd =
     Term.(const run_synopsis $ file_arg $ xmark_arg $ snapshot_arg $ data_dir_arg $ json_arg $ check_arg)
 
 let run_serve file xmark_mb snapshot data_dir queries_file repeat no_optimize plan_cap result_cap json
-    quiet slow_ms =
+    quiet slow_ms trace_out metrics_out =
   handle_parse_errors @@ fun () ->
   let store, doc = input_doc file xmark_mb snapshot data_dir in
+  (* a durable store gets a flight recorder for free: every served query
+     leaves a begin/end record pair in <data-dir>/flight.log *)
+  let flight =
+    Option.map (fun dir -> Storage.Flight.open_dir ~dir ()) (Store.data_dir store)
+  in
   let service =
     (* slow-query logging is opt-in on the CLI: without --slow-ms the
        threshold is infinite and the service log stays empty *)
     Vamana_service.Service.create ~plan_cache_capacity:plan_cap
       ~result_cache_capacity:result_cap ~optimize:(not no_optimize)
       ~slow_threshold:(if slow_ms > 0. then slow_ms /. 1000. else infinity)
-      store
+      ?flight store
   in
   let queries = List.filter is_query (read_queries queries_file) in
   if queries = [] then begin
@@ -566,6 +603,21 @@ let run_serve file xmark_mb snapshot data_dir queries_file repeat no_optimize pl
     | `Miss -> "miss"
     | `Stale -> "stale"
     | `Bypass -> "-"
+  in
+  let trace_events = ref [] in
+  let trace_sink =
+    Option.map
+      (fun _ ->
+        Obs.reset ();
+        Obs.attach_sink (fun e -> trace_events := e :: !trace_events))
+      trace_out
+  in
+  let write_metrics () =
+    Option.iter
+      (fun path ->
+        write_atomic path
+          (openmetrics_snapshot ~metrics:(Vamana_service.Service.metrics service) store))
+      metrics_out
   in
   if not quiet then
     Printf.printf "%-44s %8s %10s %6s %6s\n" "query" "results" "ms" "plan" "result";
@@ -592,20 +644,35 @@ let run_serve file xmark_mb snapshot data_dir queries_file repeat no_optimize pl
         | Error msg ->
             incr failures;
             Printf.eprintf "%-44s error: %s\n" q msg)
-      queries
+      queries;
+    (* rewrite the scrape file after every round so a long-running batch
+       exposes fresh counters, not just a final post-mortem *)
+    write_metrics ()
   done;
+  (match trace_sink with
+  | None -> ()
+  | Some s ->
+      Obs.detach_sink s;
+      let path = Option.get trace_out in
+      write_atomic path (Obs.Trace.to_chrome (List.rev !trace_events));
+      Printf.eprintf "wrote %d trace events to %s\n" (List.length !trace_events) path);
+  Option.iter Storage.Flight.close flight;
   (if slow_ms > 0. && not json then begin
      let slow = Vamana_service.Service.slow_queries service in
      Printf.printf "\n== slow queries (>= %.1f ms; %d logged) ==\n" slow_ms (List.length slow);
      if slow <> [] then
-       Printf.printf "%-44s %10s %8s %6s %6s\n" "query" "ms" "results" "plan" "result";
+       Printf.printf "%-44s %5s %10s %8s %6s %6s %7s %9s %6s\n" "query" "qid" "ms" "results"
+         "plan" "result" "pages" "wal_bytes" "fsyncs";
      List.iter
        (fun (sq : Vamana_service.Service.slow_query) ->
-         Printf.printf "%-44s %10.3f %8d %6s %6s\n" sq.Vamana_service.Service.sq_query
+         Printf.printf "%-44s %5d %10.3f %8d %6s %6s %7d %9d %6d\n"
+           sq.Vamana_service.Service.sq_query sq.Vamana_service.Service.sq_qid
            (sq.Vamana_service.Service.sq_total_time *. 1000.)
            sq.Vamana_service.Service.sq_results
            (cache_tag sq.Vamana_service.Service.sq_plan_cache)
-           (cache_tag sq.Vamana_service.Service.sq_result_cache))
+           (cache_tag sq.Vamana_service.Service.sq_result_cache)
+           sq.Vamana_service.Service.sq_io.Storage.Stats.logical_reads
+           sq.Vamana_service.Service.sq_wal_bytes sq.Vamana_service.Service.sq_fsyncs)
        slow
    end);
   let snapshot_out =
@@ -644,12 +711,24 @@ let serve_cmd =
              ~doc:"Log queries slower than MS milliseconds and print them (with their cache \
                    outcomes) after the batch. Default: off.")
   in
+  let trace_out_arg =
+    Arg.(value & opt (some string) None
+         & info [ "trace-out" ] ~docv:"FILE"
+             ~doc:"Record the batch's telemetry events and write them as a Chrome \
+                   trace_event JSON file (open in Perfetto or chrome://tracing).")
+  in
+  let metrics_out_arg =
+    Arg.(value & opt (some string) None
+         & info [ "metrics-out" ] ~docv:"FILE"
+             ~doc:"Rewrite FILE atomically (temp + rename) with an OpenMetrics snapshot \
+                   of the service and storage counters after every round.")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:"Serve a query batch through the cached, metered query service")
     Term.(const run_serve $ file_arg $ xmark_arg $ snapshot_arg $ data_dir_arg $ queries_arg $ repeat_arg
           $ no_optimize_arg $ plan_cap_arg $ result_cap_arg $ json_arg $ quiet_arg
-          $ slow_ms_arg)
+          $ slow_ms_arg $ trace_out_arg $ metrics_out_arg)
 
 (* ---- events: run a batch with the telemetry bus attached ---- *)
 
@@ -682,30 +761,37 @@ let run_events file xmark_mb snapshot data_dir queries_file repeat no_optimize j
     end
   in
   let failures = ref 0 in
-  for _round = 1 to max 1 repeat do
-    List.iter
-      (fun q ->
-        match Vamana_service.Service.query service ~context:doc.Store.doc_key q with
-        | Ok _ -> ()
-        | Error msg ->
-            incr failures;
-            Printf.eprintf "%s error: %s\n" q msg
-        | exception e ->
-            incr failures;
-            Printf.eprintf "%s error: %s\n" q (Printexc.to_string e))
-      queries
-  done;
-  let drained =
-    match sink with
-    | Some s ->
-        Obs.detach_sink s;
-        None
-    | None ->
-        let events = Obs.drain () in
-        List.iter (fun e -> print_endline (render e)) events;
-        Some (List.length events)
-  in
-  let overwritten = Obs.dropped () in
+  let drained = ref None in
+  let overwritten = ref 0 in
+  (* the bus is process-global: even when the batch dies mid-run the
+     sink (or ring) must come off, or every later emitter in this
+     process keeps paying for a subscriber nobody drains *)
+  Fun.protect
+    ~finally:(fun () ->
+      match sink with Some s -> Obs.detach_sink s | None -> Obs.detach_ring ())
+    (fun () ->
+      for _round = 1 to max 1 repeat do
+        List.iter
+          (fun q ->
+            match Vamana_service.Service.query service ~context:doc.Store.doc_key q with
+            | Ok _ -> ()
+            | Error msg ->
+                incr failures;
+                Printf.eprintf "%s error: %s\n" q msg
+            | exception e ->
+                incr failures;
+                Printf.eprintf "%s error: %s\n" q (Printexc.to_string e))
+          queries
+      done;
+      match sink with
+      | Some _ -> ()
+      | None ->
+          let events = Obs.drain () in
+          overwritten := Obs.dropped ();
+          List.iter (fun e -> print_endline (render e)) events;
+          drained := Some (List.length events));
+  let drained = !drained in
+  let overwritten = !overwritten in
   let sampled = Obs.sampled_out () in
   Obs.reset ();
   (match drained with
@@ -753,6 +839,176 @@ let events_cmd =
        ~doc:"Run a query batch with the telemetry bus attached and print its events")
     Term.(const run_events $ file_arg $ xmark_arg $ snapshot_arg $ data_dir_arg $ queries_arg $ repeat_arg
           $ no_optimize_arg $ json_arg $ follow_arg $ slow_ms_arg $ sample_arg $ ring_arg)
+
+(* ---- trace: run a batch and export a Chrome trace_event file ---- *)
+
+let run_trace file xmark_mb snapshot data_dir queries_file repeat no_optimize output samples =
+  handle_parse_errors @@ fun () ->
+  let store, doc = input_doc file xmark_mb snapshot data_dir in
+  let service = Vamana_service.Service.create ~optimize:(not no_optimize) store in
+  let queries = List.filter is_query (read_queries queries_file) in
+  if queries = [] then begin
+    Printf.eprintf "no queries (one XPath per line; '#' comments)\n";
+    exit 1
+  end;
+  Obs.reset ();
+  List.iter (fun (cat, n) -> Obs.set_sample_rate cat n) samples;
+  let events = ref [] in
+  let sink = Obs.attach_sink (fun e -> events := e :: !events) in
+  let failures = ref 0 in
+  Fun.protect
+    ~finally:(fun () -> Obs.detach_sink sink)
+    (fun () ->
+      for _round = 1 to max 1 repeat do
+        List.iter
+          (fun q ->
+            match Vamana_service.Service.query service ~context:doc.Store.doc_key q with
+            | Ok _ -> ()
+            | Error msg ->
+                incr failures;
+                Printf.eprintf "%s error: %s\n" q msg
+            | exception e ->
+                incr failures;
+                Printf.eprintf "%s error: %s\n" q (Printexc.to_string e))
+          queries
+      done);
+  Obs.reset ();
+  let trace = Obs.Trace.to_chrome (List.rev !events) in
+  (match output with
+  | Some path ->
+      write_atomic path trace;
+      Printf.eprintf "wrote %d trace events to %s (open in Perfetto / chrome://tracing)\n"
+        (List.length !events) path
+  | None -> print_endline trace);
+  if !failures > 0 then begin
+    Printf.eprintf "%d of %d queries failed\n" !failures (List.length queries * max 1 repeat);
+    exit 1
+  end
+
+let trace_cmd =
+  let queries_arg =
+    Arg.(value & opt (some file) None
+         & info [ "q"; "queries" ] ~docv:"FILE"
+             ~doc:"Query batch, one XPath per line ('#' starts a comment). Default: stdin.")
+  in
+  let repeat_arg =
+    Arg.(value & opt int 1 & info [ "r"; "repeat" ] ~docv:"N" ~doc:"Run the batch N times.")
+  in
+  let out_arg =
+    Arg.(value & opt (some string) None
+         & info [ "o"; "output" ] ~docv:"FILE"
+             ~doc:"Trace file to write (default: stdout).")
+  in
+  let sample_arg =
+    Arg.(value & opt_all (pair ~sep:'=' string int) []
+         & info [ "sample" ] ~docv:"CATEGORY=N"
+             ~doc:"Keep one in N events of CATEGORY (repeatable).")
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:"Run a query batch with telemetry on and export it as Chrome trace_event JSON \
+             — open the file in Perfetto (ui.perfetto.dev) or chrome://tracing")
+    Term.(const run_trace $ file_arg $ xmark_arg $ snapshot_arg $ data_dir_arg $ queries_arg
+          $ repeat_arg $ no_optimize_arg $ out_arg $ sample_arg)
+
+(* ---- report: aggregate the flight recorder ---- *)
+
+let run_report data_dir top =
+  let module F = Storage.Flight in
+  let module H = Storage.Stats.Histogram in
+  let entries = F.read_dir ~dir:data_dir in
+  if entries = [] then begin
+    Printf.eprintf "no flight records under %s (serve with -d to record queries)\n" data_dir;
+    exit 1
+  end;
+  let ends = List.filter_map (function F.End e -> Some e | F.Begin _ -> None) entries in
+  let inflight = F.in_flight entries in
+  let total = List.length ends in
+  let errs = List.length (List.filter (fun (e : F.query_record) -> not e.F.ok) ends) in
+  let sum_us =
+    List.fold_left (fun acc (e : F.query_record) -> acc + e.F.latency_us) 0 ends
+  in
+  let sum_pages =
+    List.fold_left (fun acc (e : F.query_record) -> acc + e.F.pages_read) 0 ends
+  in
+  Printf.printf "== flight report (%s) ==\n" data_dir;
+  Printf.printf "completed queries  %d (%d errors)\n" total errs;
+  Printf.printf "total latency      %.3f ms\n" (float_of_int sum_us /. 1000.);
+  Printf.printf "total pages read   %d\n" sum_pages;
+  let clip s n = if String.length s > n then String.sub s 0 (n - 3) ^ "..." else s in
+  let top_section title key render =
+    let sorted =
+      List.stable_sort (fun a b -> compare (key b) (key a)) ends
+    in
+    let shown = List.filteri (fun i _ -> i < top) sorted in
+    Printf.printf "\n== top %d by %s ==\n" (List.length shown) title;
+    List.iter render shown
+  in
+  top_section "latency"
+    (fun (e : F.query_record) -> e.F.latency_us)
+    (fun (e : F.query_record) ->
+      Printf.printf "%10.3f ms  qid %-6d %-6s %8d pages %8d results  %s\n"
+        (float_of_int e.F.latency_us /. 1000.)
+        e.F.qid e.F.cache e.F.pages_read e.F.results (clip e.F.source 44));
+  top_section "pages read"
+    (fun (e : F.query_record) -> e.F.pages_read)
+    (fun (e : F.query_record) ->
+      Printf.printf "%8d pages  qid %-6d %-6s %10.3f ms %6d wal_bytes %3d fsyncs  %s\n"
+        e.F.pages_read e.F.qid e.F.cache
+        (float_of_int e.F.latency_us /. 1000.)
+        e.F.wal_bytes e.F.fsyncs (clip e.F.source 44));
+  (* per-shape percentiles: group by the service's cache-key
+     normalization, so "//person / address" and "//person/address"
+     aggregate as one shape *)
+  let shapes = Hashtbl.create 32 in
+  List.iter
+    (fun (e : F.query_record) ->
+      let shape = Vamana_service.Service.normalize e.F.source in
+      let h =
+        match Hashtbl.find_opt shapes shape with
+        | Some h -> h
+        | None ->
+            let h = H.create () in
+            Hashtbl.add shapes shape h;
+            h
+      in
+      H.observe h (float_of_int e.F.latency_us /. 1e6))
+    ends;
+  let rows =
+    Hashtbl.fold (fun shape h acc -> (shape, h) :: acc) shapes []
+    |> List.sort (fun (_, a) (_, b) -> compare (H.sum b) (H.sum a))
+  in
+  Printf.printf "\n== per-shape latency (%d shapes) ==\n" (List.length rows);
+  Printf.printf "%-44s %6s %10s %10s %10s %10s\n" "shape" "n" "p50 ms" "p95 ms" "p99 ms"
+    "max ms";
+  List.iter
+    (fun (shape, h) ->
+      Printf.printf "%-44s %6d %10.3f %10.3f %10.3f %10.3f\n" (clip shape 44) (H.count h)
+        (H.percentile h 50.0 *. 1000.) (H.percentile h 95.0 *. 1000.)
+        (H.percentile h 99.0 *. 1000.) (H.max_value h *. 1000.))
+    rows;
+  (* queries that began but never ended: what was running at the crash *)
+  if inflight <> [] then begin
+    Printf.printf "\n== in flight at last shutdown (%d) ==\n" (List.length inflight);
+    List.iter
+      (fun (b : F.begin_record) ->
+        Printf.printf "qid %-6d epoch %-6d %s\n" b.F.b_qid b.F.b_epoch (clip b.F.b_source 60))
+      inflight
+  end
+
+let report_cmd =
+  let dir =
+    Arg.(required & opt (some string) None
+         & info [ "d"; "data-dir" ] ~docv:"DIR" ~doc:"Data directory holding flight.log.")
+  in
+  let top_arg =
+    Arg.(value & opt int 10 & info [ "top" ] ~docv:"N" ~doc:"Rows per top-N section.")
+  in
+  Cmd.v
+    (Cmd.info "report"
+       ~doc:"Aggregate the query flight recorder: top-N by latency and by I/O, per-shape \
+             latency percentiles, and the queries in flight when the process last died")
+    Term.(const run_report $ dir $ top_arg)
 
 let run_save file xmark_mb data_dir output =
   handle_parse_errors @@ fun () ->
@@ -914,6 +1170,23 @@ let run_fsck data_dir queries_file =
       | Error m, Error _ -> pass "differential: %s (not executable: %s)" q m
       | Error m, Ok _ | Ok _, Error m -> fail "differential: %s — one mode errored: %s" q m)
     queries;
+  (* flight recorder: informational, not a failure — a begin with no end
+     names the query that was running when the process last died *)
+  (match Storage.Flight.read_dir ~dir:data_dir with
+  | [] -> ()
+  | entries ->
+      let ends =
+        List.length
+          (List.filter_map
+             (function Storage.Flight.End e -> Some e | Storage.Flight.Begin _ -> None)
+             entries)
+      in
+      pass "flight: %d completed query record(s) intact" ends;
+      List.iter
+        (fun (b : Storage.Flight.begin_record) ->
+          Printf.printf "     in flight at crash: qid %d epoch %d %s\n" b.Storage.Flight.b_qid
+            b.Storage.Flight.b_epoch b.Storage.Flight.b_source)
+        (Storage.Flight.in_flight entries));
   Store.close store;
   if !failures > 0 then begin
     Printf.printf "fsck: %d check(s) FAILED\n" !failures;
@@ -940,4 +1213,4 @@ let fsck_cmd =
 
 let () =
   let info = Cmd.info "vamana" ~version:"1.0.0" ~doc:"Cost-driven XPath engine over the MASS storage structure" in
-  exit (Cmd.eval (Cmd.group info [ query_cmd; xquery_cmd; explain_cmd; lint_cmd; synopsis_cmd; stats_cmd; generate_cmd; save_cmd; snapshot_cmd; churn_cmd; fsck_cmd; serve_cmd; events_cmd ]))
+  exit (Cmd.eval (Cmd.group info [ query_cmd; xquery_cmd; explain_cmd; lint_cmd; synopsis_cmd; stats_cmd; generate_cmd; save_cmd; snapshot_cmd; churn_cmd; fsck_cmd; serve_cmd; events_cmd; trace_cmd; report_cmd ]))

@@ -149,10 +149,34 @@ let detach_sink s =
   sinks := List.filter (fun s' -> s'.id <> s.id) !sinks;
   refresh_active ()
 
+(* ---- emission context ----
+
+   Dynamically scoped attributes appended to every event emitted within
+   [with_context]; the service wraps query execution in a [qid] context
+   so storage events fired deep inside pagers attribute to the query
+   that caused them without threading ids through every layer. *)
+
+let context_attrs : (string * value) list ref = ref []
+let context () = !context_attrs
+
+let with_context attrs f =
+  let saved = !context_attrs in
+  context_attrs := saved @ attrs;
+  Fun.protect ~finally:(fun () -> context_attrs := saved) f
+
+(* query ids are minted even while the bus is inactive: the flight
+   recorder needs them whether or not anyone is tracing *)
+let query_id_counter = ref 0
+
+let fresh_query_id () =
+  incr query_id_counter;
+  !query_id_counter
+
 (* ---- emission ---- *)
 
 let emit ?(severity = Info) ~category name attrs =
   if !active_flag && sample_pass category then begin
+    let attrs = match !context_attrs with [] -> attrs | ctx -> attrs @ ctx in
     let e = { seq = !seq_counter; ts = now (); severity; category; name; attrs } in
     incr seq_counter;
     (match !ring_state with Some r -> ring_push r e | None -> ());
@@ -162,10 +186,19 @@ let emit ?(severity = Info) ~category name attrs =
 let time_span ?severity ~category name attrs f =
   if !active_flag then begin
     let t0 = Unix.gettimeofday () in
-    let r = f () in
-    let dur_ms = (Unix.gettimeofday () -. t0) *. 1000. in
-    emit ?severity ~category name (attrs @ [ ("dur_ms", Float dur_ms) ]);
-    r
+    match f () with
+    | r ->
+        let dur_ms = (Unix.gettimeofday () -. t0) *. 1000. in
+        emit ?severity ~category name (attrs @ [ ("dur_ms", Float dur_ms) ]);
+        r
+    | exception exn ->
+        (* a span that raises still happened: emit it with the error
+           attached so failed queries appear in traces, then re-raise *)
+        let bt = Printexc.get_raw_backtrace () in
+        let dur_ms = (Unix.gettimeofday () -. t0) *. 1000. in
+        emit ~severity:Error ~category name
+          (attrs @ [ ("dur_ms", Float dur_ms); ("error", Str (Printexc.to_string exn)) ]);
+        Printexc.raise_with_backtrace exn bt
   end
   else f ()
 
@@ -208,9 +241,11 @@ let to_json_string e =
     String.concat ","
       (List.map (fun (k, v) -> Printf.sprintf "\"%s\":%s" (json_escape k) (value_to_json v)) e.attrs)
   in
-  Printf.sprintf "{\"seq\":%d,\"ts_ms\":%s,\"severity\":\"%s\",\"category\":\"%s\",\"name\":\"%s\",\"attrs\":{%s}}"
+  (* ts is monotonic seconds, same unit as the record field: %.9g keeps
+     microsecond resolution for hours of uptime without trailing noise *)
+  Printf.sprintf "{\"seq\":%d,\"ts\":%s,\"severity\":\"%s\",\"category\":\"%s\",\"name\":\"%s\",\"attrs\":{%s}}"
     e.seq
-    (json_float (e.ts *. 1000.))
+    (if Float.is_finite e.ts then Printf.sprintf "%.9g" e.ts else "null")
     (severity_to_string e.severity)
     (json_escape e.category) (json_escape e.name) attrs
 
@@ -221,7 +256,7 @@ let value_to_text = function
   | Bool b -> string_of_bool b
 
 let to_text e =
-  Printf.sprintf "%10.3f %-5s %-10s %-16s %s" (e.ts *. 1000.)
+  Printf.sprintf "%12.6f %-5s %-10s %-16s %s" e.ts
     (severity_to_string e.severity)
     e.category e.name
     (String.concat " " (List.map (fun (k, v) -> k ^ "=" ^ value_to_text v) e.attrs))
@@ -232,6 +267,124 @@ let attach_jsonl oc =
       output_char oc '\n';
       flush oc)
 
+(* ---- Chrome trace_event export ---- *)
+
+module Trace = struct
+  (* Each bus category becomes one Chrome "thread": categories are the
+     process's logical lanes (query, storage, service, ...), and lanes
+     are what Perfetto renders as rows.  Events carrying a [dur_ms]
+     attribute were emitted at span *end*, so the B timestamp is
+     recovered as [ts - dur]; everything else becomes an instant.
+
+     Chrome requires B/E pairs per tid to nest like a call stack.  Bus
+     spans are only approximately nested (ends are measured, starts are
+     derived), so we repair them: intervals sorted by (start asc, end
+     desc) are replayed against an explicit stack, a child's end is
+     clamped to its parent's, and every B gets exactly one E.  The
+     result is guaranteed balanced and per-tid monotonic. *)
+
+  let span_duration e =
+    match List.assoc_opt "dur_ms" e.attrs with
+    | Some (Float ms) -> Some (Float.max 0.0 ms /. 1000.)
+    | Some (Int ms) -> Some (Float.max 0.0 (float_of_int ms) /. 1000.)
+    | _ -> None
+
+  let us t = Printf.sprintf "%.3f" (t *. 1e6)
+
+  let args_json attrs =
+    "{"
+    ^ String.concat ","
+        (List.map
+           (fun (k, v) -> Printf.sprintf "\"%s\":%s" (json_escape k) (value_to_json v))
+           attrs)
+    ^ "}"
+
+  let meta_event ~tid name args =
+    Printf.sprintf "{\"name\":\"%s\",\"ph\":\"M\",\"pid\":1,\"tid\":%d,\"ts\":0,\"args\":%s}"
+      name tid args
+
+  let begin_event ~tid ~ts e =
+    Printf.sprintf
+      "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"B\",\"pid\":1,\"tid\":%d,\"ts\":%s,\"args\":%s}"
+      (json_escape e.name) (json_escape e.category) tid (us ts)
+      (args_json (("severity", Str (severity_to_string e.severity)) :: e.attrs))
+
+  let end_event ~tid ~ts e =
+    Printf.sprintf
+      "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"E\",\"pid\":1,\"tid\":%d,\"ts\":%s}"
+      (json_escape e.name) (json_escape e.category) tid (us ts)
+
+  let instant_event ~tid e =
+    Printf.sprintf
+      "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"i\",\"s\":\"t\",\"pid\":1,\"tid\":%d,\"ts\":%s,\"args\":%s}"
+      (json_escape e.name) (json_escape e.category) tid (us e.ts)
+      (args_json (("severity", Str (severity_to_string e.severity)) :: e.attrs))
+
+  let to_chrome ?(process_name = "vamana") events =
+    let cats = List.sort_uniq String.compare (List.map (fun e -> e.category) events) in
+    let tids = List.mapi (fun i c -> (c, i + 1)) cats in
+    let tid_of c = List.assoc c tids in
+    let out = ref [] in
+    (* collected in emission order; (ts, json) so a final stable sort by
+       ts can interleave lanes without breaking per-tid ordering *)
+    let push ts json = out := (ts, json) :: !out in
+    List.iter
+      (fun cat ->
+        let tid = tid_of cat in
+        let spans, instants =
+          List.partition_map
+            (fun e ->
+              match span_duration e with
+              | Some d -> Left (Float.max 0.0 (e.ts -. d), e.ts, e)
+              | None -> Right e)
+            (List.filter (fun e -> e.category = cat) events)
+        in
+        List.iter (fun e -> push e.ts (instant_event ~tid e)) instants;
+        let spans =
+          List.stable_sort
+            (fun (s1, e1, _) (s2, e2, _) ->
+              match Float.compare s1 s2 with 0 -> Float.compare e2 e1 | c -> c)
+            spans
+        in
+        let stack = ref [] in
+        let pop_until limit =
+          let rec go () =
+            match !stack with
+            | (end_ts, ev) :: rest when end_ts <= limit ->
+                push end_ts (end_event ~tid ~ts:end_ts ev);
+                stack := rest;
+                go ()
+            | _ -> ()
+          in
+          go ()
+        in
+        List.iter
+          (fun (start, stop, ev) ->
+            pop_until start;
+            let stop =
+              match !stack with
+              | (parent_end, _) :: _ -> Float.min stop parent_end
+              | [] -> stop
+            in
+            let stop = Float.max stop start in
+            push start (begin_event ~tid ~ts:start ev);
+            stack := (stop, ev) :: !stack)
+          spans;
+        pop_until infinity)
+      cats;
+    let body = List.stable_sort (fun (a, _) (b, _) -> Float.compare a b) (List.rev !out) in
+    let meta =
+      meta_event ~tid:0 "process_name"
+        (Printf.sprintf "{\"name\":\"%s\"}" (json_escape process_name))
+      :: List.map
+           (fun (c, tid) ->
+             meta_event ~tid "thread_name" (Printf.sprintf "{\"name\":\"%s\"}" (json_escape c)))
+           tids
+    in
+    Printf.sprintf "{\"traceEvents\":[%s],\"displayTimeUnit\":\"ms\"}"
+      (String.concat "," (meta @ List.map snd body))
+end
+
 (* ---- lifecycle ---- *)
 
 let reset () =
@@ -240,5 +393,7 @@ let reset () =
   Hashtbl.reset samplers;
   sampled_out_count := 0;
   seq_counter := 0;
+  query_id_counter := 0;
+  context_attrs := [];
   epoch := nan;
   refresh_active ()

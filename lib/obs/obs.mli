@@ -32,7 +32,10 @@ type value =
 
 type event = {
   seq : int;  (** process-wide emission sequence number, from 0 *)
-  ts : float;  (** monotonic seconds since the bus first woke up *)
+  ts : float;
+      (** monotonic {e seconds} since the bus first woke up — the one
+          timestamp unit, used verbatim by {!to_json_string} ([ts]
+          field) and {!to_text} *)
   severity : severity;
   category : string;  (** e.g. ["storage"], ["optimizer"], ["query"], ["service"] *)
   name : string;  (** event name within the category *)
@@ -65,7 +68,32 @@ val time_span :
   'a
 (** [time_span ~category name attrs f] runs [f] and, if the bus is
     active, emits the event with a [dur_ms] attribute appended.  When
-    inactive it costs the one branch and runs [f] directly. *)
+    inactive it costs the one branch and runs [f] directly.  If [f]
+    raises, the span is still emitted — at [Error] severity with an
+    [error] attribute holding the exception text — and the exception is
+    re-raised with its backtrace intact, so failed work shows up in
+    traces instead of vanishing. *)
+
+(** {1 Emission context}
+
+    Dynamically scoped attributes attached to every event emitted
+    within the scope — how a query id minted at the service layer
+    reaches storage events fired five layers down without threading it
+    through every signature. *)
+
+val with_context : (string * value) list -> (unit -> 'a) -> 'a
+(** [with_context attrs f] appends [attrs] to the attributes of every
+    event emitted during [f] (nests: inner contexts stack on outer
+    ones).  The previous context is restored when [f] returns or
+    raises. *)
+
+val context : unit -> (string * value) list
+(** The attributes the current scope would append (outermost first). *)
+
+val fresh_query_id : unit -> int
+(** Mint a process-unique query id (1, 2, ...).  Independent of the
+    bus's active state — flight-recorder records need ids even when
+    nobody is tracing.  Restarts from 1 after {!reset}. *)
 
 (** {1 Sampling} *)
 
@@ -115,11 +143,29 @@ val attach_jsonl : out_channel -> sink
 
 val to_json_string : event -> string
 (** One-line JSON object:
-    [{"seq":0,"ts_ms":1.25,"severity":"info","category":"storage",
-      "name":"eviction","attrs":{...}}]. *)
+    [{"seq":0,"ts":0.00125,"severity":"info","category":"storage",
+      "name":"eviction","attrs":{...}}].  [ts] is the event's monotonic
+    seconds, unchanged. *)
 
 val to_text : event -> string
-(** One-line human rendering for [vamana events] without [--json]. *)
+(** One-line human rendering for [vamana events] without [--json];
+    leads with the timestamp in seconds. *)
+
+(** {1 Chrome trace_event export} *)
+
+module Trace : sig
+  val to_chrome : ?process_name:string -> event list -> string
+  (** Render events as a Chrome [trace_event] JSON document (the
+      [{"traceEvents":[...]}] object form) loadable in Perfetto or
+      chrome://tracing.  Each category becomes one named thread
+      (tid); events carrying a [dur_ms] attribute become [B]/[E]
+      span pairs (the bus stamps spans at their {e end}, so the [B]
+      timestamp is [ts - dur]); other events become thread-scoped
+      instants.  Span nesting is repaired so B/E pairs are always
+      balanced and properly nested per tid, and timestamps (in
+      microseconds, as the format requires) are monotone per tid.
+      [process_name] defaults to ["vamana"]. *)
+end
 
 (** {1 Lifecycle} *)
 

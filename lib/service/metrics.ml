@@ -152,6 +152,104 @@ let render_json ?io t =
   in
   json_obj fields
 
+(* ---- OpenMetrics text exposition ----
+
+   Hand-rolled like the JSON: one "# TYPE" line per family, counter
+   samples suffixed "_total", histograms as cumulative "le" buckets
+   with "_sum"/"_count", "# EOF" terminator.  Metric names we mint are
+   already identifier-shaped; [om_name] is a belt for names arriving
+   from the registry. *)
+
+let om_name s =
+  let s = if s = "" then "unnamed" else s in
+  let s =
+    String.map (function ('a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_') as c -> c | _ -> '_') s
+  in
+  match s.[0] with '0' .. '9' -> "_" ^ s | _ -> s
+
+let om_label_escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let om_float f = if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.1f" f else Printf.sprintf "%g" f
+
+let to_openmetrics ?io ?(pools = []) ?disk t =
+  let buf = Buffer.create 4096 in
+  let line fmt =
+    Printf.ksprintf
+      (fun s ->
+        Buffer.add_string buf s;
+        Buffer.add_char buf '\n')
+      fmt
+  in
+  let counter_family name v =
+    line "# TYPE %s counter" name;
+    line "%s_total %d" name v
+  in
+  let gauge_family name v =
+    line "# TYPE %s gauge" name;
+    line "%s %s" name (om_float v)
+  in
+  List.iter (fun (name, v) -> counter_family ("vamana_" ^ om_name name) v) (counters t);
+  List.iter (fun (base, r) -> gauge_family ("vamana_" ^ om_name base ^ "_hit_ratio") r) (hit_rates t);
+  List.iter
+    (fun (name, h) ->
+      let fam = "vamana_" ^ om_name name ^ "_seconds" in
+      line "# TYPE %s histogram" fam;
+      let cum = ref 0 in
+      List.iter
+        (fun (ub, n) ->
+          cum := !cum + n;
+          if Float.is_finite ub then line "%s_bucket{le=\"%s\"} %d" fam (om_float ub) !cum
+          else line "%s_bucket{le=\"+Inf\"} %d" fam !cum)
+        (H.buckets h);
+      line "%s_sum %s" fam (om_float (H.sum h));
+      line "%s_count %d" fam (H.count h))
+    (histograms t);
+  let stat_fields =
+    [ ("logical_reads", fun (s : Storage.Stats.t) -> s.logical_reads);
+      ("physical_reads", fun (s : Storage.Stats.t) -> s.physical_reads);
+      ("writes", fun (s : Storage.Stats.t) -> s.page_writes);
+      ("evictions", fun (s : Storage.Stats.t) -> s.evictions);
+      ("allocations", fun (s : Storage.Stats.t) -> s.allocations);
+      ("write_back_bytes", fun (s : Storage.Stats.t) -> s.write_back_bytes) ]
+  in
+  (match io with
+  | None -> ()
+  | Some s ->
+      List.iter (fun (fname, get) -> counter_family ("vamana_page_" ^ fname) (get s)) stat_fields;
+      gauge_family "vamana_page_hit_ratio" (Storage.Stats.hit_ratio s));
+  if pools <> [] then
+    List.iter
+      (fun (fname, get) ->
+        let fam = "vamana_pool_" ^ fname in
+        line "# TYPE %s counter" fam;
+        List.iter
+          (fun (idx, s) -> line "%s_total{index=\"%s\"} %d" fam (om_label_escape idx) (get s))
+          pools)
+      stat_fields;
+  (match disk with
+  | None -> ()
+  | Some (d : Storage.Disk.io) ->
+      counter_family "vamana_wal_records" d.wal_records;
+      counter_family "vamana_wal_bytes_written" d.wal_bytes_written;
+      counter_family "vamana_fsyncs" d.fsyncs;
+      counter_family "vamana_data_reads" d.data_reads;
+      counter_family "vamana_data_read_bytes" d.data_read_bytes;
+      counter_family "vamana_data_writes" d.data_writes;
+      counter_family "vamana_data_write_bytes" d.data_write_bytes;
+      counter_family "vamana_checkpoints" d.checkpoints);
+  Buffer.add_string buf "# EOF\n";
+  Buffer.contents buf
+
 let reset t =
   Hashtbl.reset t.counters;
   Hashtbl.reset t.histograms

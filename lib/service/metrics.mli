@@ -49,5 +49,20 @@ val render_json : ?io:Storage.Stats.t -> t -> string
     max_ms, p50_ms, p95_ms, p99_ms}}, "io": {...}}].  Hand-rolled
     rendering — no JSON library dependency. *)
 
+val to_openmetrics :
+  ?io:Storage.Stats.t ->
+  ?pools:(string * Storage.Stats.t) list ->
+  ?disk:Storage.Disk.io ->
+  t ->
+  string
+(** The snapshot in OpenMetrics / Prometheus text exposition format,
+    scrape-ready: every registry counter becomes a [vamana_<name>]
+    counter family ([_total] sample), cache hit rates become gauges,
+    histograms become [vamana_<name>_seconds] with cumulative
+    [le]-labelled buckets plus [_sum]/[_count].  [io] adds the
+    aggregate buffer-pool counters ([vamana_page_*]), [pools] the same
+    per index (label [index="..."]), [disk] the WAL/data-file counters
+    ([vamana_wal_*], [vamana_fsyncs], ...).  Terminated by [# EOF]. *)
+
 val reset : t -> unit
 (** Forget every counter and histogram (test support). *)

@@ -19,6 +19,10 @@ type slow_query = {
   sq_results : int;
   sq_profile : Vamana.Profile.report option;
   sq_at : float;  (** [Unix.gettimeofday] at detection *)
+  sq_qid : int;
+  sq_io : Storage.Stats.t;
+  sq_wal_bytes : int;
+  sq_fsyncs : int;
 }
 
 type t = {
@@ -31,6 +35,7 @@ type t = {
   slow_profile : bool;
   slow_log : slow_query Queue.t;  (* bounded ring, oldest dropped *)
   slow_log_capacity : int;
+  flight : Storage.Flight.t option;
 }
 
 (* the full counter schema, registered up front so snapshots always show
@@ -47,7 +52,7 @@ let default_slow_threshold = 0.1
 
 let create ?(plan_cache_capacity = 128) ?(result_cache_capacity = 512) ?(optimize = true)
     ?(slow_threshold = default_slow_threshold) ?(slow_profile = true)
-    ?(slow_log_capacity = 128) store =
+    ?(slow_log_capacity = 128) ?flight store =
   let metrics = Metrics.create () in
   List.iter (fun name -> Metrics.inc ~by:0 metrics name) counter_names;
   {
@@ -62,6 +67,7 @@ let create ?(plan_cache_capacity = 128) ?(result_cache_capacity = 512) ?(optimiz
     slow_profile;
     slow_log = Queue.create ();
     slow_log_capacity = max 1 slow_log_capacity;
+    flight;
   }
 
 let store t = t.store
@@ -75,6 +81,7 @@ type outcome = {
   plan_cache : cache;
   result_cache : cache;
   total_time : float;
+  attribution : Engine.attribution;
 }
 
 let is_space c = c = ' ' || c = '\t' || c = '\n' || c = '\r'
@@ -206,6 +213,7 @@ let note_slow t ~context src (o : outcome) =
                 (Engine.execute_prepared ~profile:true t.store ~context p).Engine.profile
             | None -> None)
     in
+    let a = o.attribution in
     let entry =
       { sq_query = src;
         sq_total_time = o.total_time;
@@ -213,7 +221,11 @@ let note_slow t ~context src (o : outcome) =
         sq_result_cache = o.result_cache;
         sq_results = List.length o.result.Engine.keys;
         sq_profile = profile;
-        sq_at = Unix.gettimeofday () }
+        sq_at = Unix.gettimeofday ();
+        sq_qid = a.Engine.attr_qid;
+        sq_io = a.Engine.attr_io;
+        sq_wal_bytes = a.Engine.attr_wal_bytes;
+        sq_fsyncs = a.Engine.attr_fsyncs }
     in
     if Queue.length t.slow_log >= t.slow_log_capacity then ignore (Queue.pop t.slow_log);
     Queue.push entry t.slow_log;
@@ -224,10 +236,23 @@ let note_slow t ~context src (o : outcome) =
           ("plan_cache", Obs.Str (cache_tag o.plan_cache));
           ("result_cache", Obs.Str (cache_tag o.result_cache));
           ("results", Obs.Int entry.sq_results);
+          ("pages_read", Obs.Int a.Engine.attr_io.Storage.Stats.logical_reads);
+          ("wal_bytes", Obs.Int a.Engine.attr_wal_bytes);
+          ("fsyncs", Obs.Int a.Engine.attr_fsyncs);
           ("profiled", Obs.Bool (profile <> None)) ]
   end
 
 let query ?(profile = false) t ~context src =
+  (* the whole serve path runs under this query's id: every bus event
+     below (engine spans, pager evictions, WAL appends) carries it, and
+     the entry/exit I/O snapshots become the query's attributed use *)
+  let qid = Obs.fresh_query_id () in
+  Obs.with_context [ ("qid", Obs.Int qid) ] @@ fun () ->
+  let io_before = Storage.Stats.copy (Store.io_stats t.store) in
+  let disk_before = Option.map Storage.Disk.copy_io (Store.disk_io t.store) in
+  (match t.flight with
+  | Some fr -> Storage.Flight.record_begin fr ~qid ~epoch:(Store.epoch t.store) ~source:src
+  | None -> ());
   let outcome, total_time =
     time (fun () ->
         Metrics.inc t.metrics "queries";
@@ -254,7 +279,9 @@ let query ?(profile = false) t ~context src =
         match cached_result with
         | `Cached result ->
             Metrics.inc t.metrics "result_cache_hits";
-            Ok { result; plan_cache = `Hit; result_cache = `Hit; total_time = 0.0 }
+            Ok
+              { result; plan_cache = `Hit; result_cache = `Hit; total_time = 0.0;
+                attribution = result.Engine.attribution }
         | (`Bypass | `Stale | `Miss) as status ->
             if status <> `Bypass then Metrics.inc t.metrics "result_cache_misses";
             let result_cache = (status :> cache) in
@@ -264,10 +291,41 @@ let query ?(profile = false) t ~context src =
                 Error msg
             | Ok (p, plan_cache) ->
                 let result = execute t ~profile ~context key p in
-                Ok { result; plan_cache; result_cache; total_time = 0.0 }))
+                Ok
+                  { result; plan_cache; result_cache; total_time = 0.0;
+                    attribution = result.Engine.attribution }))
   in
   Metrics.observe t.metrics "query" total_time;
-  let outcome = Result.map (fun o -> { o with total_time }) outcome in
+  (* service-window attribution: covers prepare (on plan-cache misses)
+     and execute, so a single query's counters sum to the Stats globals *)
+  let attr_io = Storage.Stats.diff (Store.io_stats t.store) io_before in
+  let attr_wal_bytes, attr_fsyncs =
+    match (disk_before, Store.disk_io t.store) with
+    | Some before, Some live ->
+        let d = Storage.Disk.diff_io live before in
+        (d.Storage.Disk.wal_bytes_written, d.Storage.Disk.fsyncs)
+    | _ -> (0, 0)
+  in
+  let attribution =
+    { Engine.attr_qid = qid; attr_io; attr_wal_bytes; attr_fsyncs }
+  in
+  let outcome = Result.map (fun o -> { o with total_time; attribution }) outcome in
+  (match t.flight with
+  | Some fr ->
+      let ok, cache, results =
+        match outcome with
+        | Ok o -> (true, cache_tag o.result_cache, List.length o.result.Engine.keys)
+        | Error _ -> (false, "error", 0)
+      in
+      Storage.Flight.record_end fr
+        { Storage.Flight.qid; source = src; ok; cache;
+          latency_us = int_of_float (total_time *. 1e6);
+          pages_read = attr_io.Storage.Stats.logical_reads;
+          physical_reads = attr_io.Storage.Stats.physical_reads;
+          wal_bytes = attr_wal_bytes; fsyncs = attr_fsyncs; results;
+          epoch = Store.epoch t.store;
+          at_ms = int_of_float (Unix.gettimeofday () *. 1000.) }
+  | None -> ());
   (match outcome with
   | Ok o ->
       note_slow t ~context src o;
@@ -277,7 +335,10 @@ let query ?(profile = false) t ~context src =
             ("total_ms", Obs.Float (total_time *. 1000.));
             ("plan_cache", Obs.Str (cache_tag o.plan_cache));
             ("result_cache", Obs.Str (cache_tag o.result_cache));
-            ("results", Obs.Int (List.length o.result.Engine.keys)) ]
+            ("results", Obs.Int (List.length o.result.Engine.keys));
+            ("pages_read", Obs.Int attr_io.Storage.Stats.logical_reads);
+            ("wal_bytes", Obs.Int attr_wal_bytes);
+            ("fsyncs", Obs.Int attr_fsyncs) ]
   | Error msg ->
       if Obs.active () then
         Obs.emit ~severity:Obs.Error ~category:"service" "query_error"

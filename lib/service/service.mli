@@ -43,6 +43,7 @@ val create :
   ?slow_threshold:float ->
   ?slow_profile:bool ->
   ?slow_log_capacity:int ->
+  ?flight:Storage.Flight.t ->
   Mass.Store.t ->
   t
 (** [plan_cache_capacity] defaults to 128; [result_cache_capacity]
@@ -53,7 +54,9 @@ val create :
     bounded ring of the last [slow_log_capacity] (default 128) slow
     queries; with [slow_profile] (default [true]) a slow query whose run
     carried no instrumentation is re-executed once with profiling so its
-    log entry has an operator tree attached. *)
+    log entry has an operator tree attached.  [flight] attaches a
+    {!Storage.Flight} recorder: every {!query} writes a begin/end record
+    pair (the caller keeps ownership and closes it). *)
 
 val store : t -> Mass.Store.t
 val metrics : t -> Metrics.t
@@ -66,6 +69,11 @@ type outcome = {
   plan_cache : cache;  (** never [`Stale] or [`Bypass] *)
   result_cache : cache;
   total_time : float;  (** end-to-end seconds inside the service *)
+  attribution : Vamana.Engine.attribution;
+      (** this call's attributed resource use over the whole service
+          window (prepare + execute + cache bookkeeping) — near-zero on
+          a result-cache hit, unlike the cached [result]'s own
+          [attribution], which reports the populating run *)
 }
 
 val query : ?profile:bool -> t -> context:Flex.t -> string -> (outcome, string) Result.t
@@ -98,6 +106,10 @@ type slow_query = {
           {!create}); [None] when [slow_profile] is off or the plan had
           already been evicted *)
   sq_at : float;  (** [Unix.gettimeofday] at detection *)
+  sq_qid : int;  (** query id (matches the run's bus events and flight records) *)
+  sq_io : Storage.Stats.t;  (** attributed buffer-pool I/O of the offending run *)
+  sq_wal_bytes : int;
+  sq_fsyncs : int;
 }
 
 val slow_threshold : t -> float

@@ -85,6 +85,30 @@ type t = {
 let dir t = t.dir
 let metadata t = t.meta
 let io t = t.io
+
+let copy_io (i : io) =
+  {
+    wal_records = i.wal_records;
+    wal_bytes_written = i.wal_bytes_written;
+    fsyncs = i.fsyncs;
+    data_reads = i.data_reads;
+    data_read_bytes = i.data_read_bytes;
+    data_writes = i.data_writes;
+    data_write_bytes = i.data_write_bytes;
+    checkpoints = i.checkpoints;
+  }
+
+let diff_io (later : io) (earlier : io) =
+  {
+    wal_records = later.wal_records - earlier.wal_records;
+    wal_bytes_written = later.wal_bytes_written - earlier.wal_bytes_written;
+    fsyncs = later.fsyncs - earlier.fsyncs;
+    data_reads = later.data_reads - earlier.data_reads;
+    data_read_bytes = later.data_read_bytes - earlier.data_read_bytes;
+    data_writes = later.data_writes - earlier.data_writes;
+    data_write_bytes = later.data_write_bytes - earlier.data_write_bytes;
+    checkpoints = later.checkpoints - earlier.checkpoints;
+  }
 let committed_epoch t = t.epoch
 let wal_bytes t = t.wal_len
 let last_recovery t = t.last_recovery

@@ -158,6 +158,14 @@ type io = {
 val io : t -> io
 (** Live counters (mutated in place). *)
 
+val copy_io : io -> io
+(** An immutable-by-convention snapshot of the live counters — take one
+    before a window of work and {!diff_io} it against another after. *)
+
+val diff_io : io -> io -> io
+(** [diff_io later earlier]: per-field subtraction, for attributing a
+    window of I/O (a query's, a batch's) out of the live counters. *)
+
 type recovery = {
   rec_epoch : int;  (** epoch recovered to *)
   rec_batches : int;  (** committed WAL batches replayed *)

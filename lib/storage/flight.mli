@@ -1,0 +1,71 @@
+(** Query flight recorder: a bounded, crash-tolerant per-query log.
+
+    The service appends one [Begin] record when it starts executing a
+    query and one [End] record when it finishes (either way), into
+    [flight.log] under the store's data directory.  Records are CRC-32
+    framed; readers stop at the first torn or corrupt frame, so a
+    process crash costs at most the record being written.  The log is
+    bounded by rotation: past [max_bytes] it becomes [flight.log.1]
+    (replacing the previous generation) and a fresh log begins.
+
+    A [Begin] with no matching [End] is a query that was {e in flight}
+    when the process died — [vamana report] and [vamana fsck] surface
+    these after recovery.
+
+    Appends flush to the OS but do not fsync: the durability target is
+    process crashes (SIGKILL), not power loss, and a per-query fsync
+    would dwarf the queries being measured. *)
+
+type begin_record = {
+  b_qid : int;  (** query id, from {!Obs.fresh_query_id} *)
+  b_epoch : int;  (** store epoch when the query started *)
+  b_source : string;  (** query text *)
+  b_at_ms : int;  (** wall-clock start, Unix milliseconds *)
+}
+
+type query_record = {
+  qid : int;
+  source : string;  (** query text (repeated so [End]s survive rotation alone) *)
+  ok : bool;  (** [false]: the query raised *)
+  cache : string;  (** result-cache disposition: hit / miss / stale / bypass *)
+  latency_us : int;  (** end-to-end service latency, microseconds *)
+  pages_read : int;  (** logical page reads attributed to this query *)
+  physical_reads : int;  (** of which faulted in from disk *)
+  wal_bytes : int;  (** WAL bytes appended during this query *)
+  fsyncs : int;  (** disk fsyncs during this query *)
+  results : int;  (** result-sequence length (0 on error) *)
+  epoch : int;  (** store epoch when the query ran *)
+  at_ms : int;  (** wall-clock completion, Unix milliseconds *)
+}
+
+type entry = Begin of begin_record | End of query_record
+
+(** {1 Writing} *)
+
+type t
+
+val open_dir : ?max_bytes:int -> dir:string -> unit -> t
+(** Open (appending) or create the recorder log in [dir].  [max_bytes]
+    (default 1 MiB) bounds each generation; the directory must exist.
+    @raise Invalid_argument if [dir] does not exist or
+    [max_bytes < 4096]. *)
+
+val close : t -> unit
+(** Flush and close.  Idempotent. *)
+
+val record_begin : t -> qid:int -> epoch:int -> source:string -> unit
+val record_end : t -> query_record -> unit
+
+(** {1 Reading} *)
+
+val read_dir : dir:string -> entry list
+(** All intact records, oldest first ([flight.log.1] then
+    [flight.log]).  Missing files are simply empty; a torn or corrupt
+    tail ends the parse quietly. *)
+
+val in_flight : entry list -> begin_record list
+(** [Begin]s with no matching [End] — queries running when the process
+    died, in start order. *)
+
+val file_name : string
+(** ["flight.log"], relative to the data directory. *)

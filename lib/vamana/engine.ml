@@ -4,6 +4,13 @@ let log_src = Logs.Src.create "vamana.engine" ~doc:"VAMANA engine facade"
 
 module Log = (val Logs.src_log log_src)
 
+type attribution = {
+  attr_qid : int;
+  attr_io : Storage.Stats.t;
+  attr_wal_bytes : int;
+  attr_fsyncs : int;
+}
+
 type result = {
   keys : Flex.t list;
   default_plan : Plan.op;
@@ -16,7 +23,35 @@ type result = {
   spans : Profile.span list;
   profile : Profile.report option;
   analysis : Analysis.t;
+  attribution : attribution;
 }
+
+(* ---- per-query attribution ----
+
+   Every execution runs under an [Obs] context carrying its query id,
+   so events emitted anywhere below (pager evictions, WAL appends,
+   fsyncs) attribute to the query that caused them.  A caller that
+   already established a qid context (the service does) wins; otherwise
+   a fresh id is minted here. *)
+
+let current_qid () =
+  match List.assoc_opt "qid" (Obs.context ()) with
+  | Some (Obs.Int q) -> Some q
+  | _ -> None
+
+let with_qid f =
+  match current_qid () with
+  | Some q -> f q
+  | None ->
+      let q = Obs.fresh_query_id () in
+      Obs.with_context [ ("qid", Obs.Int q) ] (fun () -> f q)
+
+let disk_window store before =
+  match (before, Store.disk_io store) with
+  | Some b, Some live ->
+      let d = Storage.Disk.diff_io live b in
+      (d.Storage.Disk.wal_bytes_written, d.Storage.Disk.fsyncs)
+  | _ -> (0, 0)
 
 let time f =
   let t0 = Unix.gettimeofday () in
@@ -171,6 +206,7 @@ let emit_query_events store ~context p spans by_index_before =
     by_index_before (Store.io_by_index store)
 
 let execute_prepared ?(profile = false) store ~context p =
+  with_qid @@ fun qid ->
   let pctx = if profile then Some (Profile.create store) else None in
   let observed = Obs.active () in
   let by_index_before =
@@ -179,6 +215,7 @@ let execute_prepared ?(profile = false) store ~context p =
     else []
   in
   let io_before = Storage.Stats.copy (Store.io_stats store) in
+  let disk_before = Option.map Storage.Disk.copy_io (Store.disk_io store) in
   (* prepared analyses are statistics snapshots: reusable exactly while
      the store reports the preparation epoch and the context stays in the
      analyzed scope; otherwise re-derive (cheap, index-count probes) *)
@@ -257,6 +294,10 @@ let execute_prepared ?(profile = false) store ~context p =
       m "%s: %d results, compile %.3fms opt %.3fms exec %.3fms, %d page reads" p.source
         (List.length keys) (p.prep_compile_time *. 1000.) (p.prep_optimize_time *. 1000.)
         (execute_time *. 1000.) io.Storage.Stats.logical_reads);
+  let attribution =
+    let wal, fs = disk_window store disk_before in
+    { attr_qid = qid; attr_io = io; attr_wal_bytes = wal; attr_fsyncs = fs }
+  in
   { keys;
     default_plan = List.hd p.default_plans;
     executed_plan = List.hd p.executed_plans;
@@ -264,12 +305,27 @@ let execute_prepared ?(profile = false) store ~context p =
     compile_time = p.prep_compile_time;
     optimize_time = p.prep_optimize_time;
     execute_time; io; spans; profile = profile_report;
-    analysis = List.hd analyses }
+    analysis = List.hd analyses; attribution }
 
 let query ?optimize ?profile store ~context src =
+  (* attribute over the whole prepare+execute window: optimizer and
+     synopsis probe reads belong to the query that triggered them, so a
+     single query's attributed counters sum to the Stats globals *)
+  with_qid @@ fun qid ->
+  let io_before = Storage.Stats.copy (Store.io_stats store) in
+  let disk_before = Option.map Storage.Disk.copy_io (Store.disk_io store) in
   match prepare ?optimize store ~scope:(scope_of_context context) src with
   | Error _ as e -> e
-  | Ok p -> Ok (execute_prepared ?profile store ~context p)
+  | Ok p ->
+      let r = execute_prepared ?profile store ~context p in
+      let wal, fs = disk_window store disk_before in
+      let attribution =
+        { attr_qid = qid;
+          attr_io = Storage.Stats.diff (Store.io_stats store) io_before;
+          attr_wal_bytes = wal;
+          attr_fsyncs = fs }
+      in
+      Ok { r with attribution }
 
 let query_doc ?optimize ?profile store doc src =
   query ?optimize ?profile store ~context:doc.Store.doc_key src
@@ -352,7 +408,17 @@ let explain_analyze ?(optimize = true) ?(json = false) store doc src =
                     [ ("query", Profile.Json.Str src);
                       ("results", Profile.Json.Int (List.length r.keys));
                       ("report", Profile.render_json rep);
-                      ("analysis", Analysis.to_json r.analysis r.executed_plan) ]))
+                      ("analysis", Analysis.to_json r.analysis r.executed_plan);
+                      ( "attribution",
+                        let a = r.attribution in
+                        Profile.Json.Obj
+                          [ ("qid", Profile.Json.Int a.attr_qid);
+                            ("pages_read", Profile.Json.Int a.attr_io.Storage.Stats.logical_reads);
+                            ( "physical_reads",
+                              Profile.Json.Int a.attr_io.Storage.Stats.physical_reads );
+                            ("evictions", Profile.Json.Int a.attr_io.Storage.Stats.evictions);
+                            ("wal_bytes", Profile.Json.Int a.attr_wal_bytes);
+                            ("fsyncs", Profile.Json.Int a.attr_fsyncs) ] ) ]))
           else
             let props_section =
               Format.asprintf "Static properties:@.%a"
@@ -368,6 +434,14 @@ let explain_analyze ?(optimize = true) ?(json = false) store doc src =
                       (List.map (fun d -> "  " ^ Analysis.diagnostic_to_string d) ds)
                   ^ "\n"
             in
+            let attr_section =
+              let a = r.attribution in
+              Printf.sprintf
+                "Attributed I/O (qid %d): pages_read=%d physical_reads=%d evictions=%d wal_bytes=%d fsyncs=%d\n"
+                a.attr_qid a.attr_io.Storage.Stats.logical_reads
+                a.attr_io.Storage.Stats.physical_reads a.attr_io.Storage.Stats.evictions
+                a.attr_wal_bytes a.attr_fsyncs
+            in
             Ok
-              (Printf.sprintf "Query: %s\n%d results\n%s%s%s" src (List.length r.keys)
-                 (Profile.render_text rep) props_section diag_section))
+              (Printf.sprintf "Query: %s\n%d results\n%s%s%s%s" src (List.length r.keys)
+                 (Profile.render_text rep) props_section diag_section attr_section))

@@ -4,6 +4,21 @@
     plans, cost annotations, optimizer trace, timings and buffer-pool I/O
     deltas — everything the benchmark harness reports. *)
 
+type attribution = {
+  attr_qid : int;  (** the query id every event emitted below carried *)
+  attr_io : Storage.Stats.t;
+      (** buffer-pool I/O over the attributed window — for {!query} the
+          whole prepare+execute window (optimizer probes included), for
+          a bare {!execute_prepared} the execute window only *)
+  attr_wal_bytes : int;  (** WAL bytes appended during the window (0 on [Mem]) *)
+  attr_fsyncs : int;  (** disk fsyncs during the window (0 on [Mem]) *)
+}
+(** Per-query resource attribution.  Execution runs inside an
+    {!Obs.with_context} scope carrying [("qid", Int attr_qid)], so bus
+    events fired by any layer during this query (evictions,
+    [wal_append], [wal_fsync], ...) carry the same id — the deltas here
+    and the event stream tell one story. *)
+
 type result = {
   keys : Flex.t list;  (** document order, duplicate-free *)
   default_plan : Plan.op;
@@ -24,6 +39,7 @@ type result = {
   analysis : Analysis.t;
       (** inferred stream properties and diagnostics of the executed plan
           (first branch for a union), as consulted by the execution path *)
+  attribution : attribution;  (** this query's attributed resource use *)
 }
 
 type prepared = {

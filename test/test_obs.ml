@@ -104,6 +104,162 @@ let test_time_span () =
         (List.mem_assoc "tag" e.Obs.attrs)
   | es -> Alcotest.failf "expected 1 event, got %d" (List.length es)
 
+let test_time_span_raise () =
+  with_bus @@ fun () ->
+  Obs.attach_ring ();
+  (match
+     Obs.time_span ~category:"test" "boom" [ ("tag", Obs.Str "x") ] (fun () ->
+         failwith "kaput")
+   with
+  | (_ : int) -> Alcotest.fail "expected the exception to propagate"
+  | exception Failure msg -> Alcotest.(check string) "exception re-raised" "kaput" msg);
+  match Obs.drain () with
+  | [ e ] ->
+      Alcotest.(check string) "span still emitted" "boom" e.Obs.name;
+      (match e.Obs.severity with
+      | Obs.Error -> ()
+      | _ -> Alcotest.fail "failed span should be Error severity");
+      (match List.assoc_opt "dur_ms" e.Obs.attrs with
+      | Some (Obs.Float d) -> Alcotest.(check bool) "duration non-negative" true (d >= 0.0)
+      | _ -> Alcotest.fail "missing dur_ms");
+      (match List.assoc_opt "error" e.Obs.attrs with
+      | Some (Obs.Str s) ->
+          let contains needle hay =
+            let n = String.length needle and m = String.length hay in
+            let rec go i = i + n <= m && (String.sub hay i n = needle || go (i + 1)) in
+            go 0
+          in
+          Alcotest.(check bool) "exception text captured" true (contains "kaput" s)
+      | _ -> Alcotest.fail "missing error attribute");
+      Alcotest.(check bool) "original attrs kept" true (List.mem_assoc "tag" e.Obs.attrs)
+  | es -> Alcotest.failf "expected 1 event, got %d" (List.length es)
+
+(* the [ts] field survives a JSON round-trip as the same monotonic
+   seconds the event carries — the unit the interface promises *)
+let test_ts_json_roundtrip () =
+  with_bus @@ fun () ->
+  Obs.attach_ring ();
+  Obs.emit ~category:"test" "tick" [ ("n", Obs.Int 7) ];
+  let e = List.hd (Obs.drain ()) in
+  let module Json = Vamana.Profile.Json in
+  match Json.of_string (Obs.to_json_string e) with
+  | Error m -> Alcotest.fail ("event JSON does not parse: " ^ m)
+  | Ok j ->
+      let ts =
+        match Json.member "ts" j with
+        | Some (Json.Float f) -> f
+        | Some (Json.Int i) -> float_of_int i
+        | _ -> Alcotest.fail "ts field missing"
+      in
+      (* rendered with 9 significant digits, so round-trips to ~1e-8 rel *)
+      Alcotest.(check bool) "ts is the event's seconds" true
+        (Float.abs (ts -. e.Obs.ts) <= 1e-8 *. Float.max 1.0 (Float.abs e.Obs.ts));
+      (match Json.member "seq" j with
+      | Some (Json.Int s) -> Alcotest.(check int) "seq round-trips" e.Obs.seq s
+      | _ -> Alcotest.fail "seq field missing")
+
+let test_emission_context () =
+  with_bus @@ fun () ->
+  Obs.attach_ring ();
+  let q = Obs.fresh_query_id () in
+  Alcotest.(check int) "query ids start at 1" 1 q;
+  Obs.with_context
+    [ ("qid", Obs.Int q) ]
+    (fun () ->
+      Obs.emit ~category:"outer" "o" [];
+      Obs.with_context
+        [ ("step", Obs.Str "inner") ]
+        (fun () -> Obs.emit ~category:"inner" "i" [ ("own", Obs.Bool true) ]));
+  (* context is restored even when the scoped function raises *)
+  (try Obs.with_context [ ("doomed", Obs.Bool true) ] (fun () -> failwith "x")
+   with Failure _ -> ());
+  Obs.emit ~category:"after" "a" [];
+  (match Obs.drain () with
+  | [ o; i; a ] ->
+      Alcotest.(check bool) "outer event tagged" true
+        (List.assoc_opt "qid" o.Obs.attrs = Some (Obs.Int 1));
+      Alcotest.(check bool) "inner event keeps outer context" true
+        (List.assoc_opt "qid" i.Obs.attrs = Some (Obs.Int 1));
+      Alcotest.(check bool) "inner context stacks" true
+        (List.assoc_opt "step" i.Obs.attrs = Some (Obs.Str "inner"));
+      Alcotest.(check bool) "own attrs kept" true
+        (List.assoc_opt "own" i.Obs.attrs = Some (Obs.Bool true));
+      Alcotest.(check bool) "context restored after scope" true
+        (not (List.mem_assoc "qid" a.Obs.attrs));
+      Alcotest.(check bool) "raised scope left nothing behind" true
+        (not (List.mem_assoc "doomed" a.Obs.attrs))
+  | es -> Alcotest.failf "expected 3 events, got %d" (List.length es));
+  Alcotest.(check int) "ids increment" 2 (Obs.fresh_query_id ());
+  Obs.reset ();
+  Alcotest.(check int) "reset restarts ids" 1 (Obs.fresh_query_id ())
+
+(* re-attaching the ring resizes and clears it: no stale events from
+   the previous window, and the overwrite counter restarts *)
+let test_ring_reattach_resizes () =
+  with_bus @@ fun () ->
+  Obs.attach_ring ~capacity:4 ();
+  for i = 1 to 3 do
+    Obs.emit ~category:"t" "e" [ ("i", Obs.Int i) ]
+  done;
+  Obs.attach_ring ~capacity:2 ();
+  Alcotest.(check int) "re-attach clears the ring" 0 (Obs.ring_length ());
+  Alcotest.(check int) "overwrite counter restarts" 0 (Obs.dropped ());
+  for i = 4 to 6 do
+    Obs.emit ~category:"t" "e" [ ("i", Obs.Int i) ]
+  done;
+  Alcotest.(check int) "new capacity enforced" 2 (Obs.ring_length ());
+  Alcotest.(check int) "dropped counts the new window only" 1 (Obs.dropped ());
+  let kept =
+    List.map
+      (fun (e : Obs.event) ->
+        match e.Obs.attrs with [ (_, Obs.Int i) ] -> i | _ -> -1)
+      (Obs.drain ())
+  in
+  Alcotest.(check (list int)) "only post-reattach events survive" [ 5; 6 ] kept
+
+let test_counters_across_reset () =
+  with_bus @@ fun () ->
+  Obs.attach_ring ~capacity:2 ();
+  Obs.set_sample_rate "noisy" 2;
+  for i = 1 to 6 do
+    Obs.emit ~category:"noisy" "n" [ ("i", Obs.Int i) ]
+  done;
+  (* kept: 1, 3, 5 — of which the 2-slot ring overwrites one *)
+  Alcotest.(check int) "sampling suppressed half" 3 (Obs.sampled_out ());
+  Alcotest.(check int) "ring overwrote one" 1 (Obs.dropped ());
+  Obs.reset ();
+  Alcotest.(check int) "sampled_out cleared" 0 (Obs.sampled_out ());
+  Alcotest.(check int) "dropped cleared" 0 (Obs.dropped ());
+  Alcotest.(check int) "sample rates cleared" 1 (Obs.sample_rate "noisy");
+  Alcotest.(check bool) "bus inactive" false (Obs.active ());
+  (* and a fresh window starts clean *)
+  Obs.attach_ring ();
+  Obs.emit ~category:"noisy" "n" [];
+  Alcotest.(check int) "fresh window records everything" 1 (Obs.ring_length ());
+  Alcotest.(check int) "no ghost suppressions" 0 (Obs.sampled_out ())
+
+(* every attached sink sees the same post-sampling stream *)
+let test_multiple_sinks_sampling () =
+  with_bus @@ fun () ->
+  let a = ref [] and b = ref [] in
+  let sa = Obs.attach_sink (fun e -> a := e.Obs.seq :: !a) in
+  let sb = Obs.attach_sink (fun e -> b := e.Obs.seq :: !b) in
+  Obs.set_sample_rate "noisy" 2;
+  for _ = 1 to 4 do
+    Obs.emit ~category:"noisy" "n" []
+  done;
+  Obs.emit ~category:"quiet" "q" [];
+  Alcotest.(check (list int)) "identical post-sampling streams"
+    (List.rev !a) (List.rev !b);
+  Alcotest.(check int) "sampling applied once, before fan-out" 3 (List.length !a);
+  Obs.detach_sink sa;
+  Obs.emit ~category:"quiet" "late" [];
+  Alcotest.(check int) "detached sink frozen" 3 (List.length !a);
+  Alcotest.(check int) "remaining sink still fed" 4 (List.length !b);
+  Alcotest.(check bool) "bus active with one sink left" true (Obs.active ());
+  Obs.detach_sink sb;
+  Alcotest.(check bool) "inactive after last detach" false (Obs.active ())
+
 let test_json_rendering () =
   with_bus @@ fun () ->
   Obs.attach_ring ();
@@ -208,6 +364,12 @@ let suite =
       Alcotest.test_case "sampling" `Quick test_sampling;
       Alcotest.test_case "sinks" `Quick test_sinks;
       Alcotest.test_case "time span" `Quick test_time_span;
+      Alcotest.test_case "time span raise" `Quick test_time_span_raise;
+      Alcotest.test_case "ts json round-trip" `Quick test_ts_json_roundtrip;
+      Alcotest.test_case "emission context" `Quick test_emission_context;
+      Alcotest.test_case "ring reattach resizes" `Quick test_ring_reattach_resizes;
+      Alcotest.test_case "counters across reset" `Quick test_counters_across_reset;
+      Alcotest.test_case "multiple sinks" `Quick test_multiple_sinks_sampling;
       Alcotest.test_case "json rendering" `Quick test_json_rendering;
       Alcotest.test_case "query events" `Quick test_query_events;
       Alcotest.test_case "eviction events" `Quick test_eviction_events ] )
