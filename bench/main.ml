@@ -10,6 +10,7 @@
      dune exec bench/main.exe -- io           -- page reads per engine (index-only property)
      dune exec bench/main.exe -- staleness    -- live statistics vs a frozen dictionary
      dune exec bench/main.exe -- service      -- warm-vs-cold cache latency (service layer)
+     dune exec bench/main.exe -- drift        -- plan-health drift detection + replan recovery
      dune exec bench/main.exe -- qerror       -- est-vs-actual cardinality -> BENCH_qerror.json
      dune exec bench/main.exe -- micro        -- Bechamel micro-benchmarks
      dune exec bench/main.exe -- disk [--sizes ...]
@@ -531,6 +532,107 @@ let print_service () =
   Printf.printf "(plan x: plan cache only — execution still runs; full x: result cache hit)\n";
   Printf.printf "\n%s" (Vamana_service.Service.snapshot_text service)
 
+(* ---- drift: plan-health detection latency and post-replan recovery ---- *)
+
+let print_drift () =
+  Printf.printf
+    "\n== Plan-health drift: detection latency and post-replan recovery (2 MB, sample 1/4) ==\n";
+  let module H = Vamana_service.Health in
+  let module Svc = Vamana_service.Service in
+  let store = Store.create ~pool_pages:65536 () in
+  let doc = Xmark.load store 2.0 in
+  let sample_every = 4 in
+  (* result cache off: a served answer would hide the drifting plan *)
+  let service = Svc.create ~result_cache_capacity:0 ~sample_every store in
+  let run q =
+    match Svc.query service ~context:doc.Store.doc_key q with
+    | Ok _ -> ()
+    | Error e -> failwith e
+  in
+  let record q =
+    let norm = Svc.normalize q in
+    List.find (fun r -> r.H.hr_query = norm) (H.records (Svc.health service))
+  in
+  let last_q r =
+    match List.rev (H.samples r) with s :: _ -> s.H.s_max_q | [] -> 1.0
+  in
+  (* warm phase: every plan cached and sampled against honest statistics *)
+  let warm_rounds = 8 in
+  for _ = 1 to warm_rounds do
+    List.iter (fun (_, q) -> run q) queries
+  done;
+  let base = List.map (fun (l, q) -> (l, last_q (record q))) queries in
+  (* churn burst mid-serve: the staleness study's update workload — a
+     Vermont population boom, and every watch deleted *)
+  let people =
+    match Vamana.Engine.query_doc store doc "/site/people" with
+    | Ok r -> List.hd r.Vamana.Engine.keys
+    | Error e -> failwith e
+  in
+  let boom = 2000 in
+  for i = 1 to boom do
+    let p =
+      Store.insert_element store ~parent:people "person"
+        [ ("id", Printf.sprintf "newcomer%d" i) ] None
+    in
+    let a = Store.insert_element store ~parent:p "address" [] None in
+    ignore (Store.insert_element store ~parent:a "province" [] (Some "Vermont"))
+  done;
+  (match Vamana.Engine.query_doc store doc "//watches" with
+  | Ok r -> List.iter (fun k -> ignore (Store.delete_subtree store k)) r.Vamana.Engine.keys
+  | Error e -> failwith e);
+  Printf.printf "churn: +%d Vermont persons, all watches deleted (epoch %d)\n" boom
+    (Store.epoch store);
+  (* keep serving; per plan, count executions from the churn burst to the
+     drift event and to the transparent replan *)
+  let churn_epoch = Store.epoch store in
+  let execs_at_churn = List.map (fun (l, q) -> (l, (record q).H.hr_executions)) queries in
+  let detect = ref [] and replan = ref [] in
+  let note tbl l v = if not (List.mem_assoc l !tbl) then tbl := (l, v) :: !tbl in
+  let max_rounds = 32 in
+  for _round = 1 to max_rounds do
+    List.iter
+      (fun (l, q) ->
+        run q;
+        let r = record q in
+        let since = r.H.hr_executions - List.assoc l execs_at_churn in
+        if r.H.hr_stale || r.H.hr_replans > 0 then note detect l since;
+        if r.H.hr_replans > 0 then note replan l since)
+      queries
+  done;
+  let peak r =
+    List.fold_left
+      (fun acc (s : H.sample) ->
+        if s.H.s_epoch >= churn_epoch then Float.max acc s.H.s_max_q else acc)
+      1.0 (H.samples r)
+  in
+  Printf.printf
+    "%-4s %-44s %8s %8s %12s %12s %8s %s\n" "Q" "query" "base q" "peak q" "detect(exec)"
+    "replan(exec)" "post q" "recovered";
+  List.iter
+    (fun (l, q) ->
+      let r = record q in
+      let post = last_q r in
+      let fmt_q v = if v >= 100.0 then Printf.sprintf "%8.0f" v else Printf.sprintf "%8.2f" v in
+      Printf.printf "%-4s %-44s %s %s %12s %12s %s %s\n" l q
+        (fmt_q (List.assoc l base))
+        (fmt_q (peak r))
+        (match List.assoc_opt l !detect with Some n -> string_of_int n | None -> "-")
+        (match List.assoc_opt l !replan with Some n -> string_of_int n | None -> "-")
+        (fmt_q post)
+        (if r.H.hr_replans > 0 && post <= 1.5 then "yes"
+         else if r.H.hr_replans > 0 then "partial"
+         else "n/a"))
+    queries;
+  let m = Svc.metrics service in
+  Printf.printf
+    "(sampled %d of %d executions; %d drift events, %d adaptive replans;\n\
+    \ detect/replan: plan executions between the churn burst and the event)\n"
+    (Vamana_service.Metrics.counter m "sampled_executions")
+    (Vamana_service.Metrics.counter m "queries")
+    (Vamana_service.Metrics.counter m "plan_drift_events")
+    (Vamana_service.Metrics.counter m "adaptive_replans")
+
 (* ---- cost-model drift: estimated vs actual cardinality per query ---- *)
 
 let qerror_file = "BENCH_qerror.json"
@@ -673,7 +775,8 @@ let measure_gate () =
                   wal_bytes = 0; fsyncs = 0;
                   results = List.length r.Vamana.Engine.keys;
                   epoch = Store.epoch store;
-                  at_ms = int_of_float (Unix.gettimeofday () *. 1000.) };
+                  at_ms = int_of_float (Unix.gettimeofday () *. 1000.);
+                  sampled = false; drift = 0.0 };
               if r.Vamana.Engine.execute_time < !best then best := r.Vamana.Engine.execute_time
             done;
             { g_label = label;
@@ -1136,6 +1239,8 @@ let () =
   if List.mem "disk" commands then print_disk !sizes;
   if want "staleness" then print_staleness ();
   if want "service" then print_service ();
+  (* drift churns a live service mid-run: opt-in like the gate commands *)
+  if List.mem "drift" commands then print_drift ();
   if want "qerror" then print_qerror ();
   if want "micro" then micro ();
   (* the gate commands are opt-in: never part of `all` (regress is a CI

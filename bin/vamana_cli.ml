@@ -159,13 +159,13 @@ let bucket_fanouts fanouts =
   Hashtbl.fold (fun k n acc -> (k, n) :: acc) tbl []
   |> List.sort (fun ((a, _), _) ((b, _), _) -> compare a b)
 
-let openmetrics_snapshot ?metrics store =
+let openmetrics_snapshot ?metrics ?(plan_health = []) store =
   let metrics =
     match metrics with Some m -> m | None -> Vamana_service.Metrics.create ()
   in
   Vamana_service.Metrics.to_openmetrics ~io:(Store.io_stats store)
     ~pools:(Store.io_by_index store)
-    ?disk:(Store.disk_io store) metrics
+    ?disk:(Store.disk_io store) ~plan_health metrics
 
 let run_stats file xmark_mb snapshot data_dir top_tags openmetrics =
   handle_parse_errors @@ fun () ->
@@ -577,7 +577,7 @@ let synopsis_cmd =
     Term.(const run_synopsis $ file_arg $ xmark_arg $ snapshot_arg $ data_dir_arg $ json_arg $ check_arg)
 
 let run_serve file xmark_mb snapshot data_dir queries_file repeat no_optimize plan_cap result_cap json
-    quiet slow_ms trace_out metrics_out =
+    quiet slow_ms trace_out metrics_out sample_every drift_threshold =
   handle_parse_errors @@ fun () ->
   let store, doc = input_doc file xmark_mb snapshot data_dir in
   (* a durable store gets a flight recorder for free: every served query
@@ -591,7 +591,7 @@ let run_serve file xmark_mb snapshot data_dir queries_file repeat no_optimize pl
     Vamana_service.Service.create ~plan_cache_capacity:plan_cap
       ~result_cache_capacity:result_cap ~optimize:(not no_optimize)
       ~slow_threshold:(if slow_ms > 0. then slow_ms /. 1000. else infinity)
-      ?flight store
+      ~sample_every ~drift_threshold ?flight store
   in
   let queries = List.filter is_query (read_queries queries_file) in
   if queries = [] then begin
@@ -616,7 +616,11 @@ let run_serve file xmark_mb snapshot data_dir queries_file repeat no_optimize pl
     Option.iter
       (fun path ->
         write_atomic path
-          (openmetrics_snapshot ~metrics:(Vamana_service.Service.metrics service) store))
+          (openmetrics_snapshot ~metrics:(Vamana_service.Service.metrics service)
+             ~plan_health:
+               (Vamana_service.Health.openmetrics_families
+                  (Vamana_service.Service.health service))
+             store))
       metrics_out
   in
   if not quiet then
@@ -661,18 +665,19 @@ let run_serve file xmark_mb snapshot data_dir queries_file repeat no_optimize pl
      let slow = Vamana_service.Service.slow_queries service in
      Printf.printf "\n== slow queries (>= %.1f ms; %d logged) ==\n" slow_ms (List.length slow);
      if slow <> [] then
-       Printf.printf "%-44s %5s %10s %8s %6s %6s %7s %9s %6s\n" "query" "qid" "ms" "results"
-         "plan" "result" "pages" "wal_bytes" "fsyncs";
+       Printf.printf "%-44s %5s %10s %8s %6s %6s %7s %9s %6s %6s\n" "query" "qid" "ms" "results"
+         "plan" "result" "pages" "wal_bytes" "fsyncs" "drift";
      List.iter
        (fun (sq : Vamana_service.Service.slow_query) ->
-         Printf.printf "%-44s %5d %10.3f %8d %6s %6s %7d %9d %6d\n"
+         Printf.printf "%-44s %5d %10.3f %8d %6s %6s %7d %9d %6d %6.2f\n"
            sq.Vamana_service.Service.sq_query sq.Vamana_service.Service.sq_qid
            (sq.Vamana_service.Service.sq_total_time *. 1000.)
            sq.Vamana_service.Service.sq_results
            (cache_tag sq.Vamana_service.Service.sq_plan_cache)
            (cache_tag sq.Vamana_service.Service.sq_result_cache)
            sq.Vamana_service.Service.sq_io.Storage.Stats.logical_reads
-           sq.Vamana_service.Service.sq_wal_bytes sq.Vamana_service.Service.sq_fsyncs)
+           sq.Vamana_service.Service.sq_wal_bytes sq.Vamana_service.Service.sq_fsyncs
+           sq.Vamana_service.Service.sq_drift)
        slow
    end);
   let snapshot_out =
@@ -723,12 +728,171 @@ let serve_cmd =
              ~doc:"Rewrite FILE atomically (temp + rename) with an OpenMetrics snapshot \
                    of the service and storage counters after every round.")
   in
+  let sample_every_arg =
+    Arg.(value & opt int Vamana_service.Health.default_sample_every
+         & info [ "sample-every" ] ~docv:"N"
+             ~doc:"Run every Nth execution of each cached plan with profiling on and feed \
+                   the plan-health drift detector (0 disables sampling).")
+  in
+  let drift_threshold_arg =
+    Arg.(value & opt float Vamana_service.Health.default_drift_threshold
+         & info [ "drift-threshold" ] ~docv:"X"
+             ~doc:"EWMA cost-drift score above which a plan is marked stale and \
+                   transparently re-prepared on its next request (0 disables replanning).")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:"Serve a query batch through the cached, metered query service")
     Term.(const run_serve $ file_arg $ xmark_arg $ snapshot_arg $ data_dir_arg $ queries_arg $ repeat_arg
           $ no_optimize_arg $ plan_cap_arg $ result_cap_arg $ json_arg $ quiet_arg
-          $ slow_ms_arg $ trace_out_arg $ metrics_out_arg)
+          $ slow_ms_arg $ trace_out_arg $ metrics_out_arg $ sample_every_arg $ drift_threshold_arg)
+
+(* ---- health: drive a batch with the plan-health sampler on, churning
+   the store between rounds so cost-model drift actually happens ---- *)
+
+let run_health file xmark_mb snapshot data_dir queries_file repeat churn churn_xpath churn_tag
+    sample_every drift_threshold json quiet =
+  handle_parse_errors @@ fun () ->
+  let store, doc = input_doc file xmark_mb snapshot data_dir in
+  let service =
+    Vamana_service.Service.create ~sample_every ~drift_threshold store
+  in
+  let queries = List.filter is_query (read_queries queries_file) in
+  if queries = [] then begin
+    Printf.eprintf "no queries (one XPath per line; '#' comments)\n";
+    exit 1
+  end;
+  (* churn inserts land under an XPath-selected parent, so the skew hits
+     exactly the statistics the batch's plans were costed against *)
+  let churn_parent =
+    if churn <= 0 then None
+    else
+      match Vamana.Engine.query store ~context:doc.Store.doc_key churn_xpath with
+      | Ok { Vamana.Engine.keys = k :: _; _ } -> Some k
+      | Ok _ ->
+          Printf.eprintf "--churn-xpath %s selected nothing\n" churn_xpath;
+          exit 1
+      | Error msg ->
+          Printf.eprintf "--churn-xpath %s: %s\n" churn_xpath msg;
+          exit 1
+  in
+  let failures = ref 0 in
+  let inserted = ref 0 in
+  let rounds = max 1 repeat in
+  for round = 1 to rounds do
+    List.iter
+      (fun q ->
+        match Vamana_service.Service.query service ~context:doc.Store.doc_key q with
+        | Ok _ -> ()
+        | Error msg ->
+            incr failures;
+            Printf.eprintf "%s error: %s\n" q msg
+        | exception e ->
+            incr failures;
+            Printf.eprintf "%s error: %s\n" q (Printexc.to_string e))
+      queries;
+    match churn_parent with
+    | Some parent when round < rounds ->
+        for _ = 1 to churn do
+          incr inserted;
+          ignore
+            (Store.insert_element store ~parent churn_tag
+               [ ("h", string_of_int !inserted) ]
+               (Some (Printf.sprintf "health-%d" !inserted)))
+        done
+    | _ -> ()
+  done;
+  let health = Vamana_service.Service.health service in
+  if json then
+    print_endline (Vamana.Profile.Json.to_string (Vamana_service.Health.to_json health))
+  else begin
+    let m = Vamana_service.Service.metrics service in
+    let clip s n = if String.length s > n then String.sub s 0 (n - 3) ^ "..." else s in
+    if not quiet then begin
+      Printf.printf "rounds %d  queries %d  churn inserts %d  store epoch %d\n" rounds
+        (List.length queries) !inserted (Store.epoch store);
+      Printf.printf "sampled executions %d  drift events %d  adaptive replans %d\n\n"
+        (Vamana_service.Metrics.counter m "sampled_executions")
+        (Vamana_service.Metrics.counter m "plan_drift_events")
+        (Vamana_service.Metrics.counter m "adaptive_replans")
+    end;
+    Printf.printf "%-40s %6s %7s %7s %6s %7s %7s %8s  %s\n" "query" "execs" "samples" "drift"
+      "stale" "replans" "epoch" "max_q" "worst op";
+    List.iter
+      (fun (r : Vamana_service.Health.record) ->
+        let last_q, worst =
+          match List.rev (Vamana_service.Health.samples r) with
+          | s :: _ ->
+              (Printf.sprintf "%8.2f" s.Vamana_service.Health.s_max_q,
+               s.Vamana_service.Health.s_worst_op)
+          | [] -> ("       -", "-")
+        in
+        Printf.printf "%-40s %6d %7d %7.3f %6s %7d %7d %s  %s\n"
+          (clip r.Vamana_service.Health.hr_query 40)
+          r.Vamana_service.Health.hr_executions r.Vamana_service.Health.hr_sampled
+          r.Vamana_service.Health.hr_drift
+          (if r.Vamana_service.Health.hr_stale then "yes" else "no")
+          r.Vamana_service.Health.hr_replans r.Vamana_service.Health.hr_last_epoch last_q
+          (clip worst 32))
+      (Vamana_service.Health.records health)
+  end;
+  if !failures > 0 then begin
+    Printf.eprintf "%d of %d queries failed\n" !failures (List.length queries * rounds);
+    exit 1
+  end
+
+let health_cmd =
+  let queries_arg =
+    Arg.(value & opt (some file) None
+         & info [ "q"; "queries" ] ~docv:"FILE"
+             ~doc:"Query batch, one XPath per line ('#' starts a comment). Default: stdin.")
+  in
+  let repeat_arg =
+    Arg.(value & opt int 8
+         & info [ "r"; "repeat" ] ~docv:"N"
+             ~doc:"Run the batch N times; churn (if any) is applied between rounds.")
+  in
+  let churn_arg =
+    Arg.(value & opt int 0
+         & info [ "churn" ] ~docv:"N"
+             ~doc:"Insert N elements between rounds, drifting the statistics the cached \
+                   plans were costed against. Default: no churn.")
+  in
+  let churn_xpath_arg =
+    Arg.(value & opt string "/*"
+         & info [ "churn-xpath" ] ~docv:"XPATH"
+             ~doc:"Parent element for churn inserts: the first node the expression selects.")
+  in
+  let churn_tag_arg =
+    Arg.(value & opt string "churn"
+         & info [ "churn-tag" ] ~docv:"TAG" ~doc:"Tag name of churn-inserted elements.")
+  in
+  let sample_every_arg =
+    Arg.(value & opt int 1
+         & info [ "sample-every" ] ~docv:"N"
+             ~doc:"Sample every Nth execution of each plan (default 1 here: every \
+                   execution feeds the drift detector).")
+  in
+  let drift_threshold_arg =
+    Arg.(value & opt float Vamana_service.Health.default_drift_threshold
+         & info [ "drift-threshold" ] ~docv:"X"
+             ~doc:"EWMA drift score above which a plan is re-prepared.")
+  in
+  let json_arg =
+    Arg.(value & flag
+         & info [ "json" ]
+             ~doc:"Emit the full health table as JSON (per-plan drift, replans, and the \
+                   sampled q-error reservoir).")
+  in
+  let quiet_arg = Arg.(value & flag & info [ "quiet" ] ~doc:"Table only, no summary header.") in
+  Cmd.v
+    (Cmd.info "health"
+       ~doc:"Serve a query batch with the always-on plan-health sampler and report per-plan \
+             q-error trend, EWMA cost-drift score, and adaptive replans; $(b,--churn) \
+             mutates the store between rounds to force drift")
+    Term.(const run_health $ file_arg $ xmark_arg $ snapshot_arg $ data_dir_arg $ queries_arg
+          $ repeat_arg $ churn_arg $ churn_xpath_arg $ churn_tag_arg $ sample_every_arg
+          $ drift_threshold_arg $ json_arg $ quiet_arg)
 
 (* ---- events: run a batch with the telemetry bus attached ---- *)
 
@@ -931,10 +1095,12 @@ let run_report data_dir top =
   let sum_pages =
     List.fold_left (fun acc (e : F.query_record) -> acc + e.F.pages_read) 0 ends
   in
+  let sampled = List.length (List.filter (fun (e : F.query_record) -> e.F.sampled) ends) in
   Printf.printf "== flight report (%s) ==\n" data_dir;
   Printf.printf "completed queries  %d (%d errors)\n" total errs;
   Printf.printf "total latency      %.3f ms\n" (float_of_int sum_us /. 1000.);
   Printf.printf "total pages read   %d\n" sum_pages;
+  Printf.printf "sampled (health)   %d\n" sampled;
   let clip s n = if String.length s > n then String.sub s 0 (n - 3) ^ "..." else s in
   let top_section title key render =
     let sorted =
@@ -957,6 +1123,33 @@ let run_report data_dir top =
         e.F.pages_read e.F.qid e.F.cache
         (float_of_int e.F.latency_us /. 1000.)
         e.F.wal_bytes e.F.fsyncs (clip e.F.source 44));
+  (* drifting plans, newest record per shape: which cached plans were
+     aging when the recorder last saw them *)
+  let drifting = Hashtbl.create 16 in
+  List.iter
+    (fun (e : F.query_record) ->
+      if e.F.drift > 0.0 then
+        let shape = Vamana_service.Service.normalize e.F.source in
+        match Hashtbl.find_opt drifting shape with
+        | Some (prev : F.query_record) when prev.F.qid >= e.F.qid -> ()
+        | _ -> Hashtbl.replace drifting shape e)
+    ends;
+  let drift_rows =
+    Hashtbl.fold (fun shape e acc -> (shape, e) :: acc) drifting []
+    |> List.sort (fun (_, (a : F.query_record)) (_, (b : F.query_record)) ->
+           compare b.F.drift a.F.drift)
+    |> List.filteri (fun i _ -> i < top)
+  in
+  if drift_rows <> [] then begin
+    Printf.printf "\n== top %d by cost drift (last recorded score per shape) ==\n"
+      (List.length drift_rows);
+    List.iter
+      (fun (shape, (e : F.query_record)) ->
+        Printf.printf "%8.3f drift  qid %-6d %-6s %10.3f ms  %s\n" e.F.drift e.F.qid e.F.cache
+          (float_of_int e.F.latency_us /. 1000.)
+          (clip shape 44))
+      drift_rows
+  end;
   (* per-shape percentiles: group by the service's cache-key
      normalization, so "//person / address" and "//person/address"
      aggregate as one shape *)
@@ -1213,4 +1406,4 @@ let fsck_cmd =
 
 let () =
   let info = Cmd.info "vamana" ~version:"1.0.0" ~doc:"Cost-driven XPath engine over the MASS storage structure" in
-  exit (Cmd.eval (Cmd.group info [ query_cmd; xquery_cmd; explain_cmd; lint_cmd; synopsis_cmd; stats_cmd; generate_cmd; save_cmd; snapshot_cmd; churn_cmd; fsck_cmd; serve_cmd; events_cmd; trace_cmd; report_cmd ]))
+  exit (Cmd.eval (Cmd.group info [ query_cmd; xquery_cmd; explain_cmd; lint_cmd; synopsis_cmd; stats_cmd; generate_cmd; save_cmd; snapshot_cmd; churn_cmd; fsck_cmd; serve_cmd; health_cmd; events_cmd; trace_cmd; report_cmd ]))

@@ -36,6 +36,11 @@ type t = {
   mutable docs : doc list;  (** in root-component order *)
   mutable next_doc_id : int;
   mutable epoch : int;  (** bumped by every content mutation *)
+  doc_epochs : (int, int) Hashtbl.t;
+      (** doc_id → global epoch at that document's last content
+          mutation; absent = untouched since open.  Process-local (not
+          persisted): the token only has to be stable for the lifetime
+          of caches layered above this handle. *)
   order : int;
   disk : Storage.Disk.t option;  (** [Some] on the file backend *)
   mutable autocommit : bool;
@@ -242,6 +247,7 @@ let create ?pool_pages ?(order = 64) ?backend () =
         docs = [];
         next_doc_id = 0;
         epoch = 0;
+        doc_epochs = Hashtbl.create 8;
         order;
         disk = None;
         autocommit = true;
@@ -265,6 +271,7 @@ let create ?pool_pages ?(order = 64) ?backend () =
           docs = [];
           next_doc_id = 0;
           epoch = 0;
+          doc_epochs = Hashtbl.create 8;
           order;
           disk = Some disk;
           autocommit = true;
@@ -338,6 +345,7 @@ let open_file ?pool_pages ~dir () =
       docs;
       next_doc_id;
       epoch;
+      doc_epochs = Hashtbl.create 8;
       order;
       disk = Some disk;
       autocommit = true;
@@ -346,9 +354,19 @@ let open_file ?pool_pages ~dir () =
 
 let epoch t = t.epoch
 
+let doc_epoch t doc =
+  match Hashtbl.find_opt t.doc_epochs doc.doc_id with Some e -> e | None -> 0
+
 let bump_epoch t =
   t.epoch <- t.epoch + 1;
   maybe_commit t
+
+(* record that this mutation touched [doc]: result caches scoped to one
+   document compare this token instead of the global epoch, so writes to
+   one document no longer flush every other document's cached answers *)
+let note_doc_mutation t = function
+  | Some doc -> Hashtbl.replace t.doc_epochs doc.doc_id t.epoch
+  | None -> ()
 
 (* ---- probes ----
 
@@ -466,6 +484,7 @@ let load t ~name tree =
   Array.iteri (fun i c -> walk (Flex.child doc_key comps.(i)) c) top;
   t.docs <- t.docs @ [ doc ];
   bump_epoch t;
+  note_doc_mutation t (Some doc);
   doc
 
 let load_string t ~name src = load t ~name (Xml.Parser.parse src)
@@ -901,6 +920,7 @@ let insert_element t ~parent ?after name attrs text =
       add (Flex.child key (List.nth inner (List.length attrs))) Record.Text "" s
   | None -> ());
   bump_epoch t;
+  note_doc_mutation t doc;
   key
 
 let delete_subtree t key =
@@ -924,6 +944,7 @@ let delete_subtree t key =
       | None -> ())
     keys;
   bump_epoch t;
+  note_doc_mutation t doc;
   n
 
 let remove_document t doc =
@@ -934,6 +955,7 @@ let remove_document t doc =
     ~finally:(fun () -> t.autocommit <- saved)
     (fun () -> ignore (delete_subtree t doc.doc_key));
   t.docs <- List.filter (fun d -> d.doc_id <> doc.doc_id) t.docs;
+  Hashtbl.remove t.doc_epochs doc.doc_id;
   maybe_commit t
 
 let root_element_key doc t =

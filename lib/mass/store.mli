@@ -124,6 +124,16 @@ val epoch : t -> int
     store (a cached answer tagged with the epoch it was computed at is
     valid exactly while the store still reports that epoch). *)
 
+val doc_epoch : t -> doc -> int
+(** Per-document invalidation token: the global {!epoch} value at this
+    document's last content mutation through this handle, [0] if it has
+    not been mutated since the handle was opened.  Mutations to {e
+    other} documents leave it unchanged, so a cache scoped to one
+    document can survive writes elsewhere in the store (the global
+    epoch cannot distinguish them).  Process-local — reopening a file
+    backend resets all tokens to 0, which is safe because any cache
+    comparing them dies with the process too. *)
+
 val root_element_key : doc -> t -> Flex.t option
 (** Key of the document's root element. *)
 

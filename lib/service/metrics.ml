@@ -181,7 +181,7 @@ let om_label_escape s =
 
 let om_float f = if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.1f" f else Printf.sprintf "%g" f
 
-let to_openmetrics ?io ?(pools = []) ?disk t =
+let to_openmetrics ?io ?(pools = []) ?disk ?(plan_health = []) t =
   let buf = Buffer.create 4096 in
   let line fmt =
     Printf.ksprintf
@@ -247,6 +247,23 @@ let to_openmetrics ?io ?(pools = []) ?disk t =
       counter_family "vamana_data_writes" d.data_writes;
       counter_family "vamana_data_write_bytes" d.data_write_bytes;
       counter_family "vamana_checkpoints" d.checkpoints);
+  (* plan-health families are always declared — a scrape can tell "no
+     plans sampled yet" apart from "exporter predates plan health" *)
+  line "# TYPE vamana_plan_drift_score gauge";
+  List.iter
+    (fun (plan, drift, _, _) ->
+      line "vamana_plan_drift_score{plan=\"%s\"} %s" (om_label_escape plan) (om_float drift))
+    plan_health;
+  line "# TYPE vamana_plan_replans counter";
+  List.iter
+    (fun (plan, _, replans, _) ->
+      line "vamana_plan_replans_total{plan=\"%s\"} %d" (om_label_escape plan) replans)
+    plan_health;
+  line "# TYPE vamana_plan_samples counter";
+  List.iter
+    (fun (plan, _, _, samples) ->
+      line "vamana_plan_samples_total{plan=\"%s\"} %d" (om_label_escape plan) samples)
+    plan_health;
   Buffer.add_string buf "# EOF\n";
   Buffer.contents buf
 

@@ -53,6 +53,7 @@ val to_openmetrics :
   ?io:Storage.Stats.t ->
   ?pools:(string * Storage.Stats.t) list ->
   ?disk:Storage.Disk.io ->
+  ?plan_health:(string * float * int * int) list ->
   t ->
   string
 (** The snapshot in OpenMetrics / Prometheus text exposition format,
@@ -62,7 +63,13 @@ val to_openmetrics :
     [le]-labelled buckets plus [_sum]/[_count].  [io] adds the
     aggregate buffer-pool counters ([vamana_page_*]), [pools] the same
     per index (label [index="..."]), [disk] the WAL/data-file counters
-    ([vamana_wal_*], [vamana_fsyncs], ...).  Terminated by [# EOF]. *)
+    ([vamana_wal_*], [vamana_fsyncs], ...).  [plan_health] entries
+    [(query, drift, replans, samples)] (see
+    {!Health.openmetrics_families}) render as
+    [vamana_plan_drift_score{plan="..."}] gauges plus
+    [vamana_plan_replans] / [vamana_plan_samples] counters; the three
+    [# TYPE] declarations are emitted even when the list is empty.
+    Terminated by [# EOF]. *)
 
 val reset : t -> unit
 (** Forget every counter and histogram (test support). *)

@@ -7,7 +7,11 @@ module Engine = Vamana.Engine
    documents may yield different plans. *)
 type plan_key = { src : string; scope : string; optimized : bool }
 
-type result_entry = { epoch : int; cached : Engine.result }
+(* [token] is the invalidation token the entry was computed under: the
+   scope document's {!Mass.Store.doc_epoch} for document-scoped queries
+   (so writes to other documents don't flush this entry), the global
+   epoch for unscoped ones *)
+type result_entry = { token : int; cached : Engine.result }
 
 type cache = [ `Hit | `Miss | `Stale | `Bypass ]
 
@@ -23,6 +27,7 @@ type slow_query = {
   sq_io : Storage.Stats.t;
   sq_wal_bytes : int;
   sq_fsyncs : int;
+  sq_drift : float;  (** the plan's EWMA drift score at detection *)
 }
 
 type t = {
@@ -36,6 +41,7 @@ type t = {
   slow_log : slow_query Queue.t;  (* bounded ring, oldest dropped *)
   slow_log_capacity : int;
   flight : Storage.Flight.t option;
+  health : Health.t;
 }
 
 (* the full counter schema, registered up front so snapshots always show
@@ -46,13 +52,15 @@ let counter_names =
     "result_cache_hits"; "result_cache_misses"; "result_cache_stale";
     "result_cache_evictions"; "profiled_queries"; "optimizer_iterations";
     "optimizer_rules_accepted"; "optimizer_rules_rejected"; "optimizer_rules_considered";
-    "slow_queries" ]
+    "slow_queries"; "sampled_executions"; "adaptive_replans"; "plan_drift_events";
+    "slow_profile_reused"; "slow_profile_rerun" ]
 
 let default_slow_threshold = 0.1
 
 let create ?(plan_cache_capacity = 128) ?(result_cache_capacity = 512) ?(optimize = true)
     ?(slow_threshold = default_slow_threshold) ?(slow_profile = true)
-    ?(slow_log_capacity = 128) ?flight store =
+    ?(slow_log_capacity = 128) ?flight ?(sample_every = Health.default_sample_every)
+    ?(drift_threshold = Health.default_drift_threshold) store =
   let metrics = Metrics.create () in
   List.iter (fun name -> Metrics.inc ~by:0 metrics name) counter_names;
   {
@@ -68,10 +76,12 @@ let create ?(plan_cache_capacity = 128) ?(result_cache_capacity = 512) ?(optimiz
     slow_log = Queue.create ();
     slow_log_capacity = max 1 slow_log_capacity;
     flight;
+    health = Health.create ~sample_every ~drift_threshold ();
   }
 
 let store t = t.store
 let metrics t = t.metrics
+let health t = t.health
 let slow_threshold t = t.slow_threshold
 let set_slow_threshold t s = t.slow_threshold <- s
 let slow_queries t = List.rev (Queue.fold (fun acc sq -> sq :: acc) [] t.slow_log)
@@ -129,6 +139,47 @@ let plan_key t ~scope src =
     optimized = t.optimize;
   }
 
+(* the plan key rendered for the health table (health records outlive
+   plan-cache evictions, so they key on the same identity, not the
+   cached artifact); 0x1f cannot appear in queries or rendered scopes *)
+let health_key key =
+  String.concat "\x1f" [ key.src; key.scope; (if key.optimized then "O" else "U") ]
+
+let health_record t key src =
+  Health.record t.health ~key:(health_key key) ~query:src ~scope:key.scope
+    ~optimized:key.optimized
+
+(* result-cache invalidation token: the scope document's own mutation
+   epoch when the query is document-scoped — writes to other documents
+   leave it unchanged — falling back to the store-wide epoch for
+   unscoped queries or a scope that is no longer a document *)
+let cache_token t ~scope =
+  match scope with
+  | Some s -> (
+      match Store.document_of_key t.store s with
+      | Some d -> Store.doc_epoch t.store d
+      | None -> Store.epoch t.store)
+  | None -> Store.epoch t.store
+
+(* whole-plan estimate under current synopsis statistics vs the plan's
+   compile-time costing: a ratio far from 1 means the statistics moved
+   under the cached plan even before sampled actuals catch it.  The
+   sentinel 256 (8 doublings) stands in for an infinite ratio (an
+   estimate of 0 against a nonzero count, or vice versa). *)
+let clamp_q q = if Float.is_finite q then q else 256.0
+
+let estimate_drift t (p : Engine.prepared) =
+  match (p.Engine.outcomes, p.Engine.executed_plans) with
+  | Some (o :: _), plan :: _ ->
+      let old_total = Vamana.Cost.total_output o.Vamana.Optimizer.cost plan in
+      let now =
+        Vamana.Cost.estimate
+          ~stats:(Vamana.Cost.synopsis_statistics t.store)
+          t.store ~scope:p.Engine.prep_scope plan
+      in
+      clamp_q (Vamana.Profile.q_error ~est:old_total ~act:(Vamana.Cost.total_output now plan))
+  | _ -> 1.0
+
 (* fetch-or-prepare through the plan cache *)
 let prepared t ~scope key src =
   match Lru.find t.plans key with
@@ -175,7 +226,7 @@ let prepared t ~scope key src =
             Metrics.inc t.metrics "plan_cache_evictions";
           Ok (p, `Miss))
 
-let execute t ~profile ~context key p =
+let execute t ~profile ~scope ~context key p =
   let result, _ = time (fun () -> Engine.execute_prepared ~profile t.store ~context p) in
   Metrics.observe t.metrics "execute" result.Engine.execute_time;
   Metrics.inc ~by:(List.length result.Engine.keys) t.metrics "result_keys";
@@ -183,7 +234,7 @@ let execute t ~profile ~context key p =
   (match t.results with
   | None -> ()
   | Some cache ->
-      let entry = { epoch = Store.epoch t.store; cached = result } in
+      let entry = { token = cache_token t ~scope; cached = result } in
       if Lru.put cache (key, Flex.to_string context) entry <> None then
         Metrics.inc t.metrics "result_cache_evictions");
   result
@@ -196,22 +247,32 @@ let cache_tag = function
 
 (* always-on slow-query log: record the query, its cache outcomes, and —
    when the offending run carried no instrumentation — re-execute the
-   cached plan with profiling so the entry has an operator tree to read *)
+   cached plan with profiling so the entry has an operator tree to read.
+   A run the health sampler (or an explicit profile request) already
+   instrumented is reused as-is: the plan never executes twice. *)
 let note_slow t ~context src (o : outcome) =
   if o.total_time >= t.slow_threshold then begin
     Metrics.inc t.metrics "slow_queries";
+    let scope = Engine.scope_of_context context in
+    let key = plan_key t ~scope src in
     let profile =
       match o.result.Engine.profile with
-      | Some _ as p -> p
+      | Some _ as p ->
+          Metrics.inc t.metrics "slow_profile_reused";
+          p
       | None ->
           if not t.slow_profile then None
-          else
-            let scope = Engine.scope_of_context context in
-            let key = plan_key t ~scope src in
-            (match Lru.find t.plans key with
+          else (
+            match Lru.find t.plans key with
             | Some p ->
+                Metrics.inc t.metrics "slow_profile_rerun";
                 (Engine.execute_prepared ~profile:true t.store ~context p).Engine.profile
             | None -> None)
+    in
+    let drift =
+      match Health.find t.health (health_key key) with
+      | Some r -> r.Health.hr_drift
+      | None -> 0.0
     in
     let a = o.attribution in
     let entry =
@@ -225,7 +286,8 @@ let note_slow t ~context src (o : outcome) =
         sq_qid = a.Engine.attr_qid;
         sq_io = a.Engine.attr_io;
         sq_wal_bytes = a.Engine.attr_wal_bytes;
-        sq_fsyncs = a.Engine.attr_fsyncs }
+        sq_fsyncs = a.Engine.attr_fsyncs;
+        sq_drift = drift }
     in
     if Queue.length t.slow_log >= t.slow_log_capacity then ignore (Queue.pop t.slow_log);
     Queue.push entry t.slow_log;
@@ -239,7 +301,8 @@ let note_slow t ~context src (o : outcome) =
           ("pages_read", Obs.Int a.Engine.attr_io.Storage.Stats.logical_reads);
           ("wal_bytes", Obs.Int a.Engine.attr_wal_bytes);
           ("fsyncs", Obs.Int a.Engine.attr_fsyncs);
-          ("profiled", Obs.Bool (profile <> None)) ]
+          ("profiled", Obs.Bool (profile <> None));
+          ("drift", Obs.Float entry.sq_drift) ]
   end
 
 let query ?(profile = false) t ~context src =
@@ -253,6 +316,8 @@ let query ?(profile = false) t ~context src =
   (match t.flight with
   | Some fr -> Storage.Flight.record_begin fr ~qid ~epoch:(Store.epoch t.store) ~source:src
   | None -> ());
+  let sampled_run = ref false in
+  let drift_now = ref 0.0 in
   let outcome, total_time =
     time (fun () ->
         Metrics.inc t.metrics "queries";
@@ -267,10 +332,11 @@ let query ?(profile = false) t ~context src =
           | Some cache -> (
               let rkey = (key, Flex.to_string context) in
               match Lru.find cache rkey with
-              | Some entry when entry.epoch = Store.epoch t.store -> `Cached entry.cached
+              | Some entry when entry.token = cache_token t ~scope -> `Cached entry.cached
               | Some _ ->
-                  (* written under an older epoch: the store has mutated
-                     since, so the answer may be stale — recompute *)
+                  (* written under an older invalidation token: this
+                     query's document (or, unscoped, the store) has
+                     mutated since, so the answer may be stale *)
                   Lru.remove cache rkey;
                   Metrics.inc t.metrics "result_cache_stale";
                   `Stale
@@ -285,12 +351,39 @@ let query ?(profile = false) t ~context src =
         | (`Bypass | `Stale | `Miss) as status ->
             if status <> `Bypass then Metrics.inc t.metrics "result_cache_misses";
             let result_cache = (status :> cache) in
+            let hr = health_record t key src in
+            (* adaptive replan: when the drift detector marked this plan
+               stale, drop the cached plan and re-prepare against fresh
+               statistics — the plan-cache disposition reads [`Stale] *)
+            let replanning = Health.stale hr in
+            if replanning then begin
+              Lru.remove t.plans key;
+              Metrics.inc t.metrics "adaptive_replans"
+            end;
             (match prepared t ~scope key src with
             | Error msg ->
                 Metrics.inc t.metrics "errors";
                 Error msg
             | Ok (p, plan_cache) ->
-                let result = execute t ~profile ~context key p in
+                let plan_cache = if replanning then `Stale else plan_cache in
+                if replanning then Health.note_replan t.health hr ~epoch:(Store.epoch t.store);
+                (* the always-on sampler: every Nth execution of this
+                   plan runs instrumented and feeds the drift detector *)
+                let sampled = Health.note_execution t.health hr in
+                if sampled then Metrics.inc t.metrics "sampled_executions";
+                sampled_run := sampled;
+                let result = execute t ~profile:(profile || sampled) ~scope ~context key p in
+                (match result.Engine.profile with
+                | Some rep ->
+                    if
+                      Health.observe t.health hr ~epoch:(Store.epoch t.store)
+                        ~latency:result.Engine.execute_time
+                        ~pages:result.Engine.io.Storage.Stats.logical_reads
+                        ~results:(List.length result.Engine.keys)
+                        ~estimate_q:(estimate_drift t p) rep
+                    then Metrics.inc t.metrics "plan_drift_events"
+                | None -> ());
+                drift_now := hr.Health.hr_drift;
                 Ok
                   { result; plan_cache; result_cache; total_time = 0.0;
                     attribution = result.Engine.attribution }))
@@ -324,7 +417,8 @@ let query ?(profile = false) t ~context src =
           physical_reads = attr_io.Storage.Stats.physical_reads;
           wal_bytes = attr_wal_bytes; fsyncs = attr_fsyncs; results;
           epoch = Store.epoch t.store;
-          at_ms = int_of_float (Unix.gettimeofday () *. 1000.) }
+          at_ms = int_of_float (Unix.gettimeofday () *. 1000.);
+          sampled = !sampled_run; drift = !drift_now }
   | None -> ());
   (match outcome with
   | Ok o ->
@@ -338,7 +432,8 @@ let query ?(profile = false) t ~context src =
             ("results", Obs.Int (List.length o.result.Engine.keys));
             ("pages_read", Obs.Int attr_io.Storage.Stats.logical_reads);
             ("wal_bytes", Obs.Int attr_wal_bytes);
-            ("fsyncs", Obs.Int attr_fsyncs) ]
+            ("fsyncs", Obs.Int attr_fsyncs);
+            ("sampled", Obs.Bool !sampled_run) ]
   | Error msg ->
       if Obs.active () then
         Obs.emit ~severity:Obs.Error ~category:"service" "query_error"

@@ -7,10 +7,13 @@
       by normalized query text + statistics scope + optimize flag, so a
       repeated query skips parse, compile and optimize entirely;
     - a {b result cache} — an optional LRU of full results keyed by plan
-      key + execution context, invalidated by the store's mutation
-      {!Mass.Store.epoch}: a cached answer is served only while the store
-      still reports the epoch the answer was computed at, so a mutation
-      between two identical queries always yields fresh results;
+      key + execution context, invalidated {e per document}: a
+      document-scoped answer is served only while that document still
+      reports the {!Mass.Store.doc_epoch} it was computed at — writes to
+      {e other} documents leave it live — while unscoped answers fall
+      back to the store-wide mutation {!Mass.Store.epoch}.  Either way a
+      mutation visible to the query between two identical requests
+      always yields fresh results;
     - a {b metrics registry} — monotonic counters (queries, cache
       hits/misses/evictions, compiles, errors) and latency histograms for
       the compile / optimize / execute phases and the end-to-end query
@@ -44,6 +47,8 @@ val create :
   ?slow_profile:bool ->
   ?slow_log_capacity:int ->
   ?flight:Storage.Flight.t ->
+  ?sample_every:int ->
+  ?drift_threshold:float ->
   Mass.Store.t ->
   t
 (** [plan_cache_capacity] defaults to 128; [result_cache_capacity]
@@ -56,17 +61,34 @@ val create :
     carried no instrumentation is re-executed once with profiling so its
     log entry has an operator tree attached.  [flight] attaches a
     {!Storage.Flight} recorder: every {!query} writes a begin/end record
-    pair (the caller keeps ownership and closes it). *)
+    pair (the caller keeps ownership and closes it).
+
+    [sample_every] (default {!Health.default_sample_every}) turns on the
+    always-on plan-health sampler: every Nth real execution of each
+    cached plan runs with profiling enabled and feeds the {!Health}
+    drift detector ([0] disables sampling); [drift_threshold] (default
+    {!Health.default_drift_threshold}) is the EWMA drift score above
+    which a plan is marked stale and transparently re-prepared on its
+    next request (an {e adaptive replan} — the outcome's [plan_cache]
+    reads [`Stale], the [adaptive_replans] counter is bumped and a
+    [health/adaptive_replan] event fires). *)
 
 val store : t -> Mass.Store.t
 val metrics : t -> Metrics.t
+
+val health : t -> Health.t
+(** The plan-health table: per-plan sampled q-error reservoirs, EWMA
+    drift scores and replan counts (see {!Health}). *)
 
 val default_slow_threshold : float
 (** 0.1 s. *)
 
 type outcome = {
   result : Vamana.Engine.result;
-  plan_cache : cache;  (** never [`Stale] or [`Bypass] *)
+  plan_cache : cache;
+      (** never [`Bypass]; [`Stale] marks an adaptive replan — the
+          cached plan had drifted past the threshold and was re-prepared
+          against fresh statistics for this request *)
   result_cache : cache;
   total_time : float;  (** end-to-end seconds inside the service *)
   attribution : Vamana.Engine.attribution;
@@ -110,6 +132,10 @@ type slow_query = {
   sq_io : Storage.Stats.t;  (** attributed buffer-pool I/O of the offending run *)
   sq_wal_bytes : int;
   sq_fsyncs : int;
+  sq_drift : float;
+      (** the plan's EWMA cost-drift score at detection ([0.] when the
+          plan has no health record yet) — a slow query that is {e also}
+          drifting is the replan candidate to look at first *)
 }
 
 val slow_threshold : t -> float

@@ -16,7 +16,8 @@
 
 let magic = 0x544C4656 (* "VFLT" little-endian *)
 let kind_begin = 1
-let kind_end = 2
+let kind_end = 2 (* original End layout; still decoded, no longer written *)
+let kind_end2 = 3 (* End + plan-health fields (sampled flag, drift score) *)
 let file_name = "flight.log"
 let rotated_name = "flight.log.1"
 let default_max_bytes = 1 lsl 20
@@ -36,6 +37,8 @@ type query_record = {
   results : int;
   epoch : int;
   at_ms : int;
+  sampled : bool;
+  drift : float;
 }
 
 type entry = Begin of begin_record | End of query_record
@@ -109,7 +112,11 @@ let record_end t (r : query_record) =
   Binio.w_u64 b r.epoch;
   Binio.w_u64 b r.at_ms;
   Binio.w_str b r.source;
-  append t kind_end (Buffer.contents b)
+  Binio.w_u8 b (if r.sampled then 1 else 0);
+  (* drift in micro-units: scores are small (doublings of q-error), so
+     micro precision loses nothing and keeps the frame all-integer *)
+  Binio.w_u64 b (int_of_float (Float.max 0.0 r.drift *. 1e6));
+  append t kind_end2 (Buffer.contents b)
 
 let decode_begin payload =
   let r = Binio.reader payload in
@@ -119,7 +126,7 @@ let decode_begin payload =
   let b_source = Binio.r_str r in
   { b_qid; b_epoch; b_source; b_at_ms }
 
-let decode_end payload =
+let decode_end ~v2 payload =
   let r = Binio.reader payload in
   let qid = Binio.r_u64 r in
   let ok = Binio.r_u8 r = 1 in
@@ -133,8 +140,15 @@ let decode_end payload =
   let epoch = Binio.r_u64 r in
   let at_ms = Binio.r_u64 r in
   let source = Binio.r_str r in
+  let sampled, drift =
+    if v2 then
+      let s = Binio.r_u8 r = 1 in
+      let d = float_of_int (Binio.r_u64 r) /. 1e6 in
+      (s, d)
+    else (false, 0.0)
+  in
   { qid; source; ok; cache; latency_us; pages_read; physical_reads; wal_bytes; fsyncs;
-    results; epoch; at_ms }
+    results; epoch; at_ms; sampled; drift }
 
 (* parse one file's records, stopping quietly at the first torn or
    corrupt frame: everything before it is intact by CRC *)
@@ -156,7 +170,8 @@ let parse_file path =
          let payload = String.sub contents r.pos plen in
          if Int32.to_int (Crc32.string payload) land 0xFFFFFFFF <> crc then raise Exit;
          (if kind = kind_begin then out := Begin (decode_begin payload) :: !out
-          else if kind = kind_end then out := End (decode_end payload) :: !out);
+          else if kind = kind_end then out := End (decode_end ~v2:false payload) :: !out
+          else if kind = kind_end2 then out := End (decode_end ~v2:true payload) :: !out);
          pos := r.pos + plen
        done
      with Exit | Binio.Short -> ());

@@ -36,6 +36,11 @@ type query_record = {
   results : int;  (** result-sequence length (0 on error) *)
   epoch : int;  (** store epoch when the query ran *)
   at_ms : int;  (** wall-clock completion, Unix milliseconds *)
+  sampled : bool;
+      (** this execution carried the plan-health sampler's profiling *)
+  drift : float;
+      (** the plan's EWMA cost-drift score after this query (micro-unit
+          precision on disk; 0 for unsampled plans and old-format logs) *)
 }
 
 type entry = Begin of begin_record | End of query_record

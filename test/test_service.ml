@@ -211,6 +211,54 @@ let test_result_cache_invalidated_by_delete () =
   Alcotest.(check int) "delete visible immediately" 1
     (List.length (keys_of service doc "//person"))
 
+let test_result_cache_per_document_invalidation () =
+  (* document-scoped entries are keyed to their own document's mutation
+     epoch: a write to another document must not evict them *)
+  let store = Store.create () in
+  let da = Store.load_string store ~name:"a.xml" "<r><x/><x/></r>" in
+  let db = Store.load_string store ~name:"b.xml" "<r><x/></r>" in
+  let service = Service.create store in
+  ignore (keys_of service da "//x");
+  ignore (keys_of service da "//x");
+  Alcotest.(check int) "warm" 1 (counter service "result_cache_hits");
+  let root d =
+    match Store.root_element_key d store with
+    | Some k -> k
+    | None -> Alcotest.fail "document has no root element"
+  in
+  ignore (Store.insert_element store ~parent:(root db) "x" [] None);
+  (match Service.query_doc service da "//x" with
+  | Ok o ->
+      Alcotest.(check bool) "doc-A entry survives a write to doc B" true
+        (o.Service.result_cache = `Hit)
+  | Error e -> Alcotest.fail e);
+  ignore (Store.insert_element store ~parent:(root da) "x" [] None);
+  match Service.query_doc service da "//x" with
+  | Ok o ->
+      Alcotest.(check bool) "write to doc A invalidates" true
+        (o.Service.result_cache = `Stale);
+      Alcotest.(check int) "fresh answer" 3 (List.length o.Service.result.Vamana.Engine.keys)
+  | Error e -> Alcotest.fail e
+
+let test_slow_log_reuses_sampled_profile () =
+  (* a slow query whose run was already sampled by the health profiler
+     must not be re-executed just to attach an operator tree *)
+  let store = Store.create () in
+  let doc = Store.load_string store ~name:"t.xml" base_doc in
+  let service =
+    Service.create ~result_cache_capacity:0 ~slow_threshold:0.0 ~sample_every:1 store
+  in
+  ignore (keys_of service doc "//person");
+  ignore (keys_of service doc "//person");
+  Alcotest.(check int) "no profiling re-execution" 0 (counter service "slow_profile_rerun");
+  Alcotest.(check int) "sampler's report reused" 2 (counter service "slow_profile_reused");
+  let slow = Service.slow_queries service in
+  Alcotest.(check int) "both runs logged" 2 (List.length slow);
+  List.iter
+    (fun (sq : Service.slow_query) ->
+      Alcotest.(check bool) "operator tree attached" true (sq.Service.sq_profile <> None))
+    slow
+
 let test_result_cache_per_context () =
   (* identical query text under two different documents must not share
      cached results *)
@@ -321,7 +369,9 @@ let test_profiled_query_bypasses_result_cache () =
       Alcotest.(check bool) "cache read bypassed" true (o.Service.result_cache = `Bypass);
       Alcotest.(check bool) "profile report present" true
         (o.Service.result.Vamana.Engine.profile <> None);
-      Alcotest.(check int) "profiled_queries counted" 1
+      (* 2: the health sampler profiled the plan's first execution (its
+         baseline sample) and this explicit profile run is the second *)
+      Alcotest.(check int) "profiled_queries counted" 2
         (counter service "profiled_queries")
 
 (* ---- query_store error reporting ---- *)
@@ -359,6 +409,10 @@ let suite =
       Alcotest.test_case "epoch invalidation on insert" `Quick test_result_cache_epoch_invalidation;
       Alcotest.test_case "epoch invalidation on delete" `Quick test_result_cache_invalidated_by_delete;
       Alcotest.test_case "contexts do not share results" `Quick test_result_cache_per_context;
+      Alcotest.test_case "per-document invalidation" `Quick
+        test_result_cache_per_document_invalidation;
+      Alcotest.test_case "slow log reuses sampled profile" `Quick
+        test_slow_log_reuses_sampled_profile;
       Alcotest.test_case "flush" `Quick test_flush;
       Alcotest.test_case "store epoch monotone" `Quick test_epoch_monotone;
       Alcotest.test_case "metrics registry" `Quick test_metrics_registry;

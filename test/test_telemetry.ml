@@ -327,7 +327,8 @@ let test_openmetrics () =
 let end_record ~qid ~source ~ok =
   { Flight.qid; source; ok; cache = "miss"; latency_us = 1250 + qid;
     pages_read = 10 * qid; physical_reads = qid; wal_bytes = 0; fsyncs = 0;
-    results = qid; epoch = 1; at_ms = 1_700_000_000_000 + qid }
+    results = qid; epoch = 1; at_ms = 1_700_000_000_000 + qid;
+    sampled = qid mod 2 = 0; drift = float_of_int qid /. 4. }
 
 let test_flight_roundtrip () =
   with_dir @@ fun dir ->
