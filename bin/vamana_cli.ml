@@ -3,6 +3,8 @@
      vamana query   [-f doc.xml | -x MB] [--no-optimize] [-v] QUERY
      vamana explain [-f doc.xml | -x MB] QUERY
      vamana lint    [-f doc.xml | -x MB] [--json] [-q queries.txt | QUERY]
+     vamana prove   [--depth D --fanout F --tags K --texts T --max-nodes N --steps S]
+                    [--random N --seed S] [--json] [--mutant NAME] [--replay FILE]
      vamana synopsis [-f doc.xml | -x MB] [--json | --check]
      vamana stats   [-f doc.xml | -x MB] [--tags N]
      vamana generate -x MB [-o out.xml]
@@ -1404,6 +1406,148 @@ let fsck_cmd =
              exits non-zero on any inconsistency")
     Term.(const run_fsck $ dir $ queries_arg)
 
+(* ---- prove: small-scope bounded soundness prover ---- *)
+
+let run_prove depth fanout tags texts max_nodes steps random random_depth seed json
+    mutant_name list_mutants replay out =
+  handle_parse_errors @@ fun () ->
+  let module SC = Vamana.Smallcheck in
+  let module J = Vamana.Profile.Json in
+  if list_mutants then begin
+    List.iter
+      (fun m -> Printf.printf "%-22s expected check %s\n" (SC.subject_name m)
+          (Option.value ~default:"-" (SC.subject_expected_check m)))
+      SC.mutants;
+    exit 0
+  end;
+  let subject_of_name name =
+    match SC.find_mutant name with
+    | Some m -> m
+    | None ->
+        Printf.eprintf "unknown mutant %S (see --list-mutants)\n" name;
+        exit 2
+  in
+  let emit doc = if json then print_endline (J.to_string doc) in
+  let write_out s =
+    match out with
+    | None -> ()
+    | Some path ->
+        let oc = open_out path in
+        output_string oc s;
+        close_out oc
+  in
+  match replay with
+  | Some path ->
+      let ic = open_in path in
+      let len = in_channel_length ic in
+      let src = really_input_string ic len in
+      close_in ic;
+      (match SC.replay_of_sexp src with
+       | Error msg ->
+           Printf.eprintf "replay parse error: %s\n" msg;
+           exit 2
+       | Ok (doc, query, mutant) ->
+           (* --mutant overrides the subject recorded in the artifact *)
+           let subject =
+             Option.map subject_of_name
+               (match mutant_name with Some _ -> mutant_name | None -> mutant)
+           in
+           let cxs = SC.check_pair ?subject ~doc ~query () in
+           (match cxs with
+            | [] ->
+                if json then emit (J.Obj [ ("counterexamples", J.Arr []) ])
+                else Printf.printf "replay: doc %s query %s — all checks pass\n" doc query;
+                exit 0
+            | cx :: _ ->
+                if json then
+                  emit (J.Obj [ ("counterexamples",
+                                 J.Arr [ J.Obj [ ("check", J.Str cx.SC.cx_check);
+                                                 ("detail", J.Str cx.SC.cx_detail) ] ]) ])
+                else begin
+                  Printf.printf "replay: counterexample reproduced\n";
+                  print_string (SC.counterexample_to_sexp cx)
+                end;
+                exit 1))
+  | None ->
+      let bounds =
+        { SC.depth = Option.value ~default:SC.default_bounds.SC.depth depth;
+          fanout = Option.value ~default:SC.default_bounds.SC.fanout fanout;
+          tags = Option.value ~default:SC.default_bounds.SC.tags tags;
+          texts = Option.value ~default:SC.default_bounds.SC.texts texts;
+          max_nodes = Option.value ~default:SC.default_bounds.SC.max_nodes max_nodes;
+          steps = Option.value ~default:SC.default_bounds.SC.steps steps }
+      in
+      let random_bounds =
+        { SC.ci_random_bounds with
+          SC.depth = Option.value ~default:SC.ci_random_bounds.SC.depth random_depth }
+      in
+      let subject = Option.map subject_of_name mutant_name in
+      let report = SC.prove ?subject ~random ~random_bounds ~seed bounds in
+      if json then print_endline (J.to_string (SC.report_to_json report))
+      else print_string (SC.report_to_string report);
+      (match report.SC.rp_counterexamples with
+       | [] -> ()
+       | cx :: _ ->
+           write_out (SC.counterexample_to_sexp cx);
+           exit 1)
+
+let prove_cmd =
+  let module SC = Vamana.Smallcheck in
+  let opt_int names docv doc =
+    Arg.(value & opt (some int) None & info names ~docv ~doc)
+  in
+  let depth = opt_int [ "depth" ] "D" "Maximum element nesting depth (default 3)." in
+  let fanout = opt_int [ "fanout" ] "F" "Maximum children per element (default 2)." in
+  let tags = opt_int [ "tags" ] "K" "Tag alphabet size (default 2)." in
+  let texts = opt_int [ "texts" ] "T" "Text-value domain size (default 1)." in
+  let max_nodes = opt_int [ "max-nodes" ] "N" "Per-document node budget (default 4)." in
+  let steps = opt_int [ "steps" ] "S" "Maximum location-path step count (default 2)." in
+  let random =
+    Arg.(value & opt int 0
+         & info [ "random" ] ~docv:"N"
+             ~doc:"Additionally check N randomized (document, plan) pairs drawn from deeper \
+                   bounds than the exhaustive sweep.")
+  in
+  let random_depth =
+    opt_int [ "random-depth" ] "D" "Element depth bound of the randomized layer (default 5)."
+  in
+  let seed =
+    Arg.(value & opt int SC.ci_seed
+         & info [ "seed" ] ~docv:"SEED" ~doc:"Seed of the randomized layer.")
+  in
+  let json_arg =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit the report as a single JSON document.")
+  in
+  let mutant_arg =
+    Arg.(value & opt (some string) None
+         & info [ "mutant" ] ~docv:"NAME"
+             ~doc:"Verify a seeded-unsoundness mutant instead of the real library (the prover \
+                   proving itself): the run must produce counterexamples.")
+  in
+  let list_mutants_arg =
+    Arg.(value & flag & info [ "list-mutants" ] ~doc:"List the mutant catalogue and exit.")
+  in
+  let replay_arg =
+    Arg.(value & opt (some file) None
+         & info [ "replay" ] ~docv:"FILE"
+             ~doc:"Re-check a single shrunk counterexample S-expression instead of sweeping.")
+  in
+  let out_arg =
+    Arg.(value & opt (some string) None
+         & info [ "o"; "out" ] ~docv:"FILE"
+             ~doc:"Write the first counterexample's replayable S-expression to FILE.")
+  in
+  Cmd.v
+    (Cmd.info "prove"
+       ~doc:"Small-scope soundness prover: exhaustively enumerate every XML document and \
+             every XPath plan within small bounds and check rewrite-rule soundness, \
+             analysis-claim soundness, and cost-model invariants on every pair. \
+             Counterexamples are shrunk to a minimum and rendered as replayable \
+             S-expressions. Exits non-zero if any counterexample is found.")
+    Term.(const run_prove $ depth $ fanout $ tags $ texts $ max_nodes $ steps $ random
+          $ random_depth $ seed $ json_arg $ mutant_arg $ list_mutants_arg $ replay_arg
+          $ out_arg)
+
 let () =
   let info = Cmd.info "vamana" ~version:"1.0.0" ~doc:"Cost-driven XPath engine over the MASS storage structure" in
-  exit (Cmd.eval (Cmd.group info [ query_cmd; xquery_cmd; explain_cmd; lint_cmd; synopsis_cmd; stats_cmd; generate_cmd; save_cmd; snapshot_cmd; churn_cmd; fsck_cmd; serve_cmd; health_cmd; events_cmd; trace_cmd; report_cmd ]))
+  exit (Cmd.eval (Cmd.group info [ query_cmd; xquery_cmd; explain_cmd; lint_cmd; prove_cmd; synopsis_cmd; stats_cmd; generate_cmd; save_cmd; snapshot_cmd; churn_cmd; fsck_cmd; serve_cmd; health_cmd; events_cmd; trace_cmd; report_cmd ]))

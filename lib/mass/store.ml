@@ -771,6 +771,10 @@ let axis_cursor t (axis : Xpath.Ast.axis) test ctx : cursor =
   | Xpath.Ast.Following_sibling -> (
       match Flex.parent ctx with
       | None -> empty_cursor
+      (* a document node's Flex parent is the store root, but in the data
+         model documents have no siblings — without this guard the axis
+         would leak the other documents of a multi-document store *)
+      | Some _ when depth <= 1 -> empty_cursor
       | Some _ when (match get t ctx with
                     | Some { Record.kind = Record.Attribute; _ } -> true
                     | _ -> false) ->
@@ -796,6 +800,7 @@ let axis_cursor t (axis : Xpath.Ast.axis) test ctx : cursor =
   | Xpath.Ast.Preceding_sibling -> (
       match Flex.parent ctx with
       | None -> empty_cursor
+      | Some _ when depth <= 1 -> empty_cursor
       | Some _ when (match get t ctx with
                     | Some { Record.kind = Record.Attribute; _ } -> true
                     | _ -> false) ->

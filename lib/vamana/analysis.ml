@@ -36,6 +36,12 @@ exception Ill_formed of string
 exception Property_violation of string
 
 let strict = ref false
+let strict_enabled () = !strict
+
+let with_strict f =
+  let saved = !strict in
+  strict := true;
+  Fun.protect ~finally:(fun () -> strict := saved) f
 
 (* The stream a chain leaf pulls from: the single engine context tuple.
    Predicate sub-plans likewise re-root at one candidate at a time. *)
@@ -140,9 +146,48 @@ let desc_of_test axis (test : Ast.node_test) =
         in
         { kinds = norm_kinds ks; name = None }
 
+(* A predicate that can only hold on a node with children (the sub-path
+   starts with child:: or descendant::) or with attributes: every
+   comparison β is existential, so an empty sub-path falsifies it.  Not
+   is excluded (it inverts the requirement); Or requires both arms. *)
+let rec pred_narrows (p : Plan.pred) =
+  let of_sub (sub : Plan.op) =
+    match (Plan.leaf sub).Plan.kind with
+    | Plan.Step ((Ast.Child | Ast.Descendant), _) -> Some `Children
+    | Plan.Step (Ast.Attribute, _) -> Some `Attrs
+    | _ -> None
+  in
+  match p with
+  | Plan.Exists sub
+  | Plan.Binary (_, _, Plan.Path_operand sub, _)
+  | Plan.Binary (_, _, _, Plan.Path_operand sub) ->
+      of_sub sub
+  | Plan.And (a, b) -> ( match pred_narrows a with Some _ as r -> r | None -> pred_narrows b)
+  | Plan.Or (a, b) -> (
+      match (pred_narrows a, pred_narrows b) with
+      | Some `Attrs, Some _ | Some _, Some `Attrs -> Some `Attrs
+      | Some `Children, Some `Children -> Some `Children
+      | _ -> None)
+  | Plan.Not _ | Plan.Binary _ | Plan.Position _ | Plan.Generic _ -> None
+
+(* Only documents and elements have children; only elements have
+   attributes. *)
+let refine_desc_by_preds (op : Plan.op) desc =
+  List.fold_left
+    (fun d p ->
+      match pred_narrows p with
+      | Some `Children ->
+          { d with
+            kinds = List.filter (fun k -> k = Record.Document || k = Record.Element) d.kinds }
+      | Some `Attrs -> { d with kinds = List.filter (fun k -> k = Record.Element) d.kinds }
+      | None -> d)
+    desc op.Plan.predicates
+
 (* Description of the nodes an operator can emit (the operator is the
    chain top of its sub-plan). *)
-let rec desc_of (op : Plan.op) =
+let rec desc_of (op : Plan.op) = refine_desc_by_preds op (desc_of_kind op)
+
+and desc_of_kind (op : Plan.op) =
   match op.Plan.kind with
   | Plan.Root -> (
       match op.Plan.context with

@@ -118,10 +118,22 @@ exception Property_violation of string
 
 val assert_well_formed : Plan.op -> unit
 
+val with_strict : (unit -> 'a) -> 'a
+(** Run [f] with strict mode on, restoring the previous setting on exit
+    (normal or exceptional — [Fun.protect]).  While active, {!Exec.build}
+    validates plan structure before opening it and the optimizer
+    escalates property violations from rejection to
+    {!Property_violation}.  Scoped activation cannot leak across test
+    cases or prover runs the way flipping the raw flag could. *)
+
+val strict_enabled : unit -> bool
+(** Whether strict mode is currently active. *)
+
 val strict : bool ref
-(** Debug flag (default [false]).  When set, {!Exec.build} validates
-    plan structure before opening it and the optimizer escalates
-    property violations from rejection to {!Property_violation}. *)
+  [@@ocaml.deprecated "use Analysis.with_strict (scoped) / Analysis.strict_enabled instead"]
+(** Debug flag (default [false]).  Deprecated alias for the state behind
+    {!with_strict}; mutating it directly leaks strict mode across
+    scopes. *)
 
 (** {1 Rendering} *)
 

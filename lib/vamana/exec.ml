@@ -289,7 +289,7 @@ and str_eq cmp x y =
    instantiating any iterator (malformed plans otherwise surface as
    confusing mid-stream invalid_arg failures). *)
 let build ?profile store ~context op =
-  if !Analysis.strict then Analysis.assert_well_formed op;
+  if Analysis.strict_enabled () then Analysis.assert_well_formed op;
   build ?profile store ~context op
 
 let run_raw ?profile store ~context plan =

@@ -81,7 +81,7 @@ let optimize ?(rules = Rewrite.cost_rules) ?stats store ~scope plan =
                                   Log.warn (fun m ->
                                       m "rejected %s at %s: %s" rule.Rewrite.name
                                         (Plan.kind_to_string op) reason);
-                                  if !Analysis.strict then
+                                  if Analysis.strict_enabled () then
                                     raise
                                       (Analysis.Property_violation
                                          (Printf.sprintf "%s at %s: %s" rule.Rewrite.name

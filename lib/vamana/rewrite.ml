@@ -103,7 +103,12 @@ let self_merge =
         match ((List.nth ops i).kind, (List.nth ops (i - 1) : Plan.op)) with
         | Plan.Step (Ast.Self, t2), ({ kind = Plan.Step (axis, t1); _ } as below) -> (
             match intersect_tests t1 t2 with
-            | Some merged when positional_free_list (List.nth ops i).Plan.predicates ->
+            (* narrowing the lower test changes the candidate stream its
+               own positional predicates count over: *[2]/self::b is the
+               2nd child if it is a b, not the 2nd b *)
+            | Some merged
+              when positional_free_list (List.nth ops i).Plan.predicates
+                   && (merged = t1 || positional_free_list below.Plan.predicates) ->
                 let x = List.nth ops i in
                 let replacement =
                   { below with
@@ -298,6 +303,15 @@ let value_index =
 
 let cleanup_rules = [ descendant_merge; self_merge ]
 let cost_rules = [ value_index; parent_elim; ancestor_pushdown; child_pushdown ]
+let all_rules = cleanup_rules @ cost_rules
+
+let applications rule root =
+  List.filter_map
+    (fun (op : Plan.op) ->
+      match rule.apply root ~target:op.id with
+      | Some rewritten -> Some (op.id, rewritten)
+      | None -> None)
+    (Plan.context_chain root)
 
 let apply_cleanup root =
   let try_rules plan =

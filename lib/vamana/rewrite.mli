@@ -55,3 +55,14 @@ val cost_rules : rule list
 
 val apply_cleanup : Plan.op -> Plan.op
 (** Apply {!cleanup_rules} to fixpoint over the whole context chain. *)
+
+val all_rules : rule list
+(** [cleanup_rules @ cost_rules] — the whole library, for exhaustive
+    verification sweeps. *)
+
+val applications : rule -> Plan.op -> (int * Plan.op) list
+(** Every site on [root]'s context chain where [rule] fires, as
+    [(target id, rewritten plan)] pairs in root-first chain order.  The
+    bounded-verification layer ({!Smallcheck}) uses this to check a rule
+    at {e every} application site, not just the one the optimizer would
+    pick. *)

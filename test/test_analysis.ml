@@ -192,10 +192,7 @@ let test_structural () =
     (List.exists (fun (d : A.diagnostic) -> d.A.severity = A.Error) (A.structural_diagnostics root));
   (* the strict gate validates before instantiating iterators *)
   let store, doc = Test_vamana.setup () in
-  A.strict := true;
-  Fun.protect
-    ~finally:(fun () -> A.strict := false)
-    (fun () ->
+  A.with_strict (fun () ->
       match Exec.run store ~context:doc.Store.doc_key root with
       | _ -> Alcotest.fail "strict executor accepted a malformed plan"
       | exception A.Ill_formed _ -> ());
@@ -289,10 +286,7 @@ let test_seeded_bug_strict_and_event () =
              e.Obs.name = "rule_property_violation" && e.Obs.severity = Obs.Warn)
            events));
   (* under the debug flag the rejection escalates to a hard error *)
-  A.strict := true;
-  Fun.protect
-    ~finally:(fun () -> A.strict := false)
-    (fun () ->
+  A.with_strict (fun () ->
       match Optimizer.optimize ~rules:[ buggy_descendant_merge ] store ~scope plan with
       | _ -> Alcotest.fail "strict mode did not raise on the seeded bug"
       | exception A.Property_violation _ -> ())
@@ -372,6 +366,12 @@ let is_sorted cmp l =
 let is_ancestor a b =
   Flex.depth a < Flex.depth b && Flex.equal a (Flex.prefix b (Flex.depth a))
 
+(* a violated claim is raised (not Alcotest.fail'd) so the harness can
+   shrink the (document, query) pair before reporting *)
+exception Claim of string
+
+let claimf fmt = Printf.ksprintf (fun s -> raise (Claim s)) fmt
+
 let check_claims store (doc : Store.doc) src plan =
   let a = A.analyze store ~scope:(Some doc.Store.doc_key) plan in
   let raw = Exec.run_raw store ~context:doc.Store.doc_key plan in
@@ -380,58 +380,80 @@ let check_claims store (doc : Store.doc) src plan =
   (match p.A.order with
   | A.Doc ->
       if not (is_sorted Flex.compare raw) then
-        Alcotest.failf "%s: claimed doc-order, stream is not sorted" src
+        claimf "%s: claimed doc-order, stream is not sorted" src
   | A.Rev_doc ->
       if not (is_sorted (fun x y -> Flex.compare y x) raw) then
-        Alcotest.failf "%s: claimed reverse-order, stream is not reverse-sorted" src
+        claimf "%s: claimed reverse-order, stream is not reverse-sorted" src
   | A.Unordered -> ());
   if p.A.distinct && List.length raw <> List.length set then
-    Alcotest.failf "%s: claimed distinct, stream has duplicates" src;
+    claimf "%s: claimed distinct, stream has duplicates" src;
   (match p.A.card_max with
   | Some n ->
       if List.length set > n then
-        Alcotest.failf "%s: claimed card<=%d, result set has %d" src n (List.length set)
+        claimf "%s: claimed card<=%d, result set has %d" src n (List.length set)
   | None -> ());
   (if p.A.no_nesting then
      let rec adjacent = function
        | x :: (y :: _ as rest) ->
            if is_ancestor x y then
-             Alcotest.failf "%s: claimed disjoint, %s nests %s" src (Flex.to_string x)
+             claimf "%s: claimed disjoint, %s nests %s" src (Flex.to_string x)
                (Flex.to_string y)
            else adjacent rest
        | _ -> ()
      in
      adjacent set);
   if A.statically_empty a && raw <> [] then
-    Alcotest.failf "%s: claimed statically empty, stream has %d tuples" src (List.length raw);
+    claimf "%s: claimed statically empty, stream has %d tuples" src (List.length raw);
   set
 
 let test_differential () =
   let store = Store.create ~pool_pages:16384 () in
   let doc = Xmark.load store 0.1 in
-  let rng = mk_rng 20260806 in
+  let seed = 20260806 in
+  let rng = mk_rng seed in
   let n_queries = 220 in
   let checked = ref 0 in
+  let doc_xml =
+    lazy
+      (match Store.to_tree store doc.Store.doc_key with
+      | Some t -> Xml.Writer.to_string t
+      | None -> Alcotest.fail "cannot reconstruct the XMark document")
+  in
+  (* a failure on the full XMark document is unreadable; shrink it to a
+     minimal (document, query) pair with the bounded prover's shrinker
+     and report that, together with the corpus seed for replay *)
+  let fail_minimal src msg =
+    match Smallcheck.shrink_pair ~doc:(Lazy.force doc_xml) ~query:src () with
+    | Some cx ->
+        Alcotest.failf
+          "%s (corpus seed %d)\nminimal counterexample (%d shrink steps):\n  doc   %s\n  query %s\n  %s"
+          msg seed cx.Smallcheck.cx_shrink_steps cx.Smallcheck.cx_doc cx.Smallcheck.cx_query
+          cx.Smallcheck.cx_detail
+    | None -> Alcotest.failf "%s (corpus seed %d, query %s)" msg seed src
+    | exception _ -> Alcotest.failf "%s (corpus seed %d, query %s)" msg seed src
+  in
   for _ = 1 to n_queries do
     let src = gen_query rng in
-    match (Engine.query ~optimize:false store ~context:doc.Store.doc_key src,
-           Engine.query ~optimize:true store ~context:doc.Store.doc_key src)
-    with
-    | Error e, _ | _, Error e -> Alcotest.failf "%s: %s" src e
-    | Ok r0, Ok r1 ->
-        (* the engine's two pipelines must agree on the node set *)
-        if not (List.equal Flex.equal r0.Engine.keys r1.Engine.keys) then
-          Alcotest.failf "%s: unoptimized %d keys, optimized %d keys — result sets differ" src
-            (List.length r0.Engine.keys) (List.length r1.Engine.keys);
-        (* every analyzer claim must hold on both plans, observed on the
-           raw (unsorted, undeduplicated) executor stream *)
-        let s0 = check_claims store doc src r0.Engine.executed_plan in
-        let s1 = check_claims store doc src r1.Engine.executed_plan in
-        if not (List.equal Flex.equal s0 s1) then
-          Alcotest.failf "%s: raw streams disagree with engine results" src;
-        if not (List.equal Flex.equal s0 r0.Engine.keys) then
-          Alcotest.failf "%s: engine keys differ from observed node set" src;
-        incr checked
+    try
+      match (Engine.query ~optimize:false store ~context:doc.Store.doc_key src,
+             Engine.query ~optimize:true store ~context:doc.Store.doc_key src)
+      with
+      | Error e, _ | _, Error e -> Alcotest.failf "%s: %s" src e
+      | Ok r0, Ok r1 ->
+          (* the engine's two pipelines must agree on the node set *)
+          if not (List.equal Flex.equal r0.Engine.keys r1.Engine.keys) then
+            claimf "%s: unoptimized %d keys, optimized %d keys — result sets differ" src
+              (List.length r0.Engine.keys) (List.length r1.Engine.keys);
+          (* every analyzer claim must hold on both plans, observed on the
+             raw (unsorted, undeduplicated) executor stream *)
+          let s0 = check_claims store doc src r0.Engine.executed_plan in
+          let s1 = check_claims store doc src r1.Engine.executed_plan in
+          if not (List.equal Flex.equal s0 s1) then
+            claimf "%s: raw streams disagree with engine results" src;
+          if not (List.equal Flex.equal s0 r0.Engine.keys) then
+            claimf "%s: engine keys differ from observed node set" src;
+          incr checked
+    with Claim msg -> fail_minimal src msg
   done;
   Alcotest.(check int) "all generated queries checked" n_queries !checked;
   (* the analyzer's emptiness verdicts agree with the index probes the
