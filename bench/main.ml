@@ -11,6 +11,7 @@
      dune exec bench/main.exe -- staleness    -- live statistics vs a frozen dictionary
      dune exec bench/main.exe -- service      -- warm-vs-cold cache latency (service layer)
      dune exec bench/main.exe -- drift        -- plan-health drift detection + replan recovery
+     dune exec bench/main.exe -- interfere    -- result-cache invalidation: epoch vs footprint
      dune exec bench/main.exe -- qerror       -- est-vs-actual cardinality -> BENCH_qerror.json
      dune exec bench/main.exe -- micro        -- Bechamel micro-benchmarks
      dune exec bench/main.exe -- disk [--sizes ...]
@@ -531,6 +532,75 @@ let print_service () =
     queries;
   Printf.printf "(plan x: plan cache only — execution still runs; full x: result cache hit)\n";
   Printf.printf "\n%s" (Vamana_service.Service.snapshot_text service)
+
+(* ---- interfere: result-cache invalidation policy under churn ---- *)
+
+let print_interfere () =
+  Printf.printf
+    "\n== Result-cache invalidation under churn: doc-epoch vs footprint (2 MB) ==\n";
+  let run_mode invalidation =
+    let store = Store.create ~pool_pages:65536 () in
+    let doc = Xmark.load store 2.0 in
+    let service = Vamana_service.Service.create ~invalidation store in
+    let elem q =
+      match Vamana.Engine.query_doc store doc q with
+      | Ok r -> List.hd r.Vamana.Engine.keys
+      | Error e -> failwith e
+    in
+    let regions = elem "/site/regions" and people = elem "/site/people" in
+    let hits = ref 0 and total = ref 0 in
+    let run q =
+      match Vamana_service.Service.query service ~context:doc.Store.doc_key q with
+      | Ok o -> (
+          incr total;
+          match o.Vamana_service.Service.result_cache with
+          | `Hit -> incr hits
+          | `Miss | `Stale | `Bypass -> ())
+      | Error e -> failwith e
+    in
+    let qs = List.map snd queries in
+    (* cold fill, then measure only the churned warm rounds *)
+    List.iter run qs;
+    hits := 0;
+    total := 0;
+    let rounds = 40 in
+    for i = 1 to rounds do
+      (* every round inserts an element no corpus query reads; every 8th
+         also inserts a person, which several query footprints do read *)
+      ignore (Store.insert_element store ~parent:regions "pad" [] None);
+      if i mod 8 = 0 then
+        ignore
+          (Store.insert_element store ~parent:people "person"
+             [ ("id", Printf.sprintf "churn%d" i) ]
+             None);
+      List.iter run qs
+    done;
+    let m = Vamana_service.Service.metrics service in
+    let c = Vamana_service.Metrics.counter m in
+    ( !hits,
+      !total,
+      c "result_cache_spared",
+      c "cache_invalidations_footprint",
+      c "cache_invalidations_epoch",
+      c "cache_invalidations_top" )
+  in
+  let rate (h, t, _, _, _, _) = float_of_int h /. float_of_int t in
+  let report name ((hits, total, spared, inv_fp, inv_ep, inv_top) as r) =
+    Printf.printf
+      "%-10s %4d/%d warm hits (%4.1f%%)   spared %3d   evicted: footprint %d, epoch %d, \
+       top %d\n"
+      name hits total
+      (100. *. rate r)
+      spared inv_fp inv_ep inv_top
+  in
+  let epoch = run_mode `Epoch in
+  let fp = run_mode `Footprint in
+  report "epoch" epoch;
+  report "footprint" fp;
+  Printf.printf
+    "(single-document churn; footprint invalidation %s the doc-epoch hit rate)\n"
+    (if rate fp > rate epoch then "beats" else "does NOT beat");
+  rate fp > rate epoch
 
 (* ---- drift: plan-health detection latency and post-replan recovery ---- *)
 
@@ -1241,6 +1311,13 @@ let () =
   if want "service" then print_service ();
   (* drift churns a live service mid-run: opt-in like the gate commands *)
   if List.mem "drift" commands then print_drift ();
+  (* interfere is a gate: exit non-zero if footprint invalidation does
+     not beat doc-epoch invalidation under churn *)
+  let interfere_lost = List.mem "interfere" commands && not (print_interfere ()) in
+  if interfere_lost then begin
+    Printf.printf "\ninterfere gate FAILED.\n";
+    exit 1
+  end;
   if want "qerror" then print_qerror ();
   if want "micro" then micro ();
   (* the gate commands are opt-in: never part of `all` (regress is a CI

@@ -405,7 +405,7 @@ let run_lint file xmark_mb snapshot data_dir no_optimize json queries_file query
             | T.Warning -> incr warnings
             | T.Info -> ())
           rep.T.rep_diagnostics;
-        Ok (rep, pairs))
+        Ok (rep, pairs, p.Vamana.Engine.prep_footprint))
   in
   let results = List.map (fun q -> (q, lint_one q)) queries in
   let span_json = function
@@ -446,10 +446,11 @@ let run_lint file xmark_mb snapshot data_dir no_optimize json queries_file query
          (fun (q, r) ->
            match r with
            | Error msg -> J.Obj [ ("query", J.Str q); ("error", J.Str msg) ]
-           | Ok (rep, pairs) ->
+           | Ok (rep, pairs, fp) ->
                J.Obj
                  [ ("query", J.Str q);
                    ("typecheck", typecheck_json rep);
+                   ("footprint", Vamana.Footprint.to_json fp);
                    ("branches", J.Arr (List.map (fun (plan, a) -> A.to_json a plan) pairs)) ])
          results
      in
@@ -475,11 +476,12 @@ let run_lint file xmark_mb snapshot data_dir no_optimize json queries_file query
                print_indented msg
              end
              else Printf.printf "  error [compile] %s\n" msg
-         | Ok (rep, pairs) ->
+         | Ok (rep, pairs, fp) ->
              List.iter
                (fun (d : T.diagnostic) ->
                  print_indented (Format.asprintf "%a" (T.pp_diagnostic ~src:q) d))
                rep.T.rep_diagnostics;
+             Printf.printf "  footprint: %s\n" (Vamana.Footprint.to_string fp);
              List.iter
                (fun (_, (a : A.t)) ->
                  Printf.printf "  properties: %s%s\n"
@@ -520,6 +522,82 @@ let lint_cmd =
              diagnostics.")
     Term.(const run_lint $ file_arg $ xmark_arg $ snapshot_arg $ data_dir_arg $ no_optimize_arg $ json_arg
           $ queries_arg $ query_opt_arg)
+
+(* ---- footprint: static read footprints of compiled plans ---- *)
+
+let run_footprint file xmark_mb snapshot data_dir no_optimize json queries_file query =
+  handle_parse_errors @@ fun () ->
+  let store, doc = input_doc file xmark_mb snapshot data_dir in
+  let queries =
+    match query with
+    | Some q -> [ q ]
+    | None -> List.filter is_query (read_queries queries_file)
+  in
+  if queries = [] then begin
+    Printf.eprintf "no queries (pass one as an argument, or -q FILE / stdin, one per line)\n";
+    exit 1
+  end;
+  let scope = Some doc.Store.doc_key in
+  let module F = Vamana.Footprint in
+  let module J = Vamana.Profile.Json in
+  let errors = ref 0 in
+  let results =
+    List.map
+      (fun q ->
+        match Vamana.Engine.prepare ~optimize:(not no_optimize) store ~scope q with
+        | Error msg ->
+            incr errors;
+            (q, Error msg)
+        | Ok p -> (q, Ok p.Vamana.Engine.prep_footprint))
+      queries
+  in
+  (if json then
+     let rows =
+       List.map
+         (fun (q, r) ->
+           match r with
+           | Error msg -> J.Obj [ ("query", J.Str q); ("error", J.Str msg) ]
+           | Ok fp ->
+               J.Obj
+                 [ ("query", J.Str q);
+                   ("footprint", F.to_json fp);
+                   ("top", J.Bool (F.is_top fp)) ])
+         results
+     in
+     print_endline
+       (J.to_string (J.Obj [ ("queries", J.Arr rows); ("errors", J.Int !errors) ]))
+   else
+     List.iter
+       (fun (q, r) ->
+         match r with
+         | Error msg -> Printf.printf "%s\n  error %s\n" q msg
+         | Ok fp -> Printf.printf "%s\n  %s\n" q (F.to_string fp))
+       results);
+  if !errors > 0 then exit 1
+
+let footprint_cmd =
+  let json_arg =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit footprints as a single JSON document.")
+  in
+  let queries_arg =
+    Arg.(value & opt (some file) None
+         & info [ "q"; "queries" ] ~docv:"FILE"
+             ~doc:"Query batch, one XPath per line ('#' starts a comment). Default: stdin \
+                   when no QUERY argument is given.")
+  in
+  let query_opt_arg =
+    Arg.(value & pos 0 (some string) None & info [] ~docv:"QUERY" ~doc:"XPath expression.")
+  in
+  Cmd.v
+    (Cmd.info "footprint"
+       ~doc:"Compute the static read footprint of each query's prepared plan — the tag \
+             tests, node-kind classes, value-index keys and string-value cones it can \
+             touch. A store update whose write delta is disjoint from the footprint \
+             provably leaves the query's result unchanged; this is the evidence the \
+             service's result cache uses to keep entries across mutations. ⊤ means the \
+             analysis could not bound the reads (e.g. a variable or unknown function).")
+    Term.(const run_footprint $ file_arg $ xmark_arg $ snapshot_arg $ data_dir_arg
+          $ no_optimize_arg $ json_arg $ queries_arg $ query_opt_arg)
 
 (* ---- synopsis: dump or verify the path synopsis ---- *)
 
@@ -1550,4 +1628,4 @@ let prove_cmd =
 
 let () =
   let info = Cmd.info "vamana" ~version:"1.0.0" ~doc:"Cost-driven XPath engine over the MASS storage structure" in
-  exit (Cmd.eval (Cmd.group info [ query_cmd; xquery_cmd; explain_cmd; lint_cmd; prove_cmd; synopsis_cmd; stats_cmd; generate_cmd; save_cmd; snapshot_cmd; churn_cmd; fsck_cmd; serve_cmd; health_cmd; events_cmd; trace_cmd; report_cmd ]))
+  exit (Cmd.eval (Cmd.group info [ query_cmd; xquery_cmd; explain_cmd; lint_cmd; footprint_cmd; prove_cmd; synopsis_cmd; stats_cmd; generate_cmd; save_cmd; snapshot_cmd; churn_cmd; fsck_cmd; serve_cmd; health_cmd; events_cmd; trace_cmd; report_cmd ]))

@@ -29,6 +29,19 @@ type doc = {
   mutable pi_count : int;
 }
 
+(* Per-mutation write footprint: which name-index tags, value-index keys
+   and string-value cones a content mutation touched.  Caches layered
+   above the store intersect these against a cached entry's read
+   footprint to decide whether the entry provably survived the write. *)
+type write_delta = {
+  wd_epoch : int;
+  wd_doc : int option;
+  wd_top : bool;
+  wd_tags : string list;
+  wd_values : string list;
+  wd_cones : string list;
+}
+
 type t = {
   doc_index : Record.t DocTree.t;
   name_index : unit TagTree.t;
@@ -41,6 +54,13 @@ type t = {
           mutation; absent = untouched since open.  Process-local (not
           persisted): the token only has to be stable for the lifetime
           of caches layered above this handle. *)
+  mutable deltas : write_delta list;
+      (** newest first, bounded by {!delta_capacity}; process-local like
+          [doc_epochs] *)
+  mutable deltas_dropped_through : int;
+      (** epoch high-water mark of deltas evicted from the bounded ring:
+          coverage of the ring is only complete for tokens at or above
+          this value *)
   order : int;
   disk : Storage.Disk.t option;  (** [Some] on the file backend *)
   mutable autocommit : bool;
@@ -248,6 +268,8 @@ let create ?pool_pages ?(order = 64) ?backend () =
         next_doc_id = 0;
         epoch = 0;
         doc_epochs = Hashtbl.create 8;
+        deltas = [];
+        deltas_dropped_through = 0;
         order;
         disk = None;
         autocommit = true;
@@ -272,6 +294,8 @@ let create ?pool_pages ?(order = 64) ?backend () =
           next_doc_id = 0;
           epoch = 0;
           doc_epochs = Hashtbl.create 8;
+          deltas = [];
+          deltas_dropped_through = 0;
           order;
           disk = Some disk;
           autocommit = true;
@@ -346,6 +370,10 @@ let open_file ?pool_pages ~dir () =
       next_doc_id;
       epoch;
       doc_epochs = Hashtbl.create 8;
+      (* deltas are process-local: a reopened store knows nothing about
+         mutations before the open, so coverage starts at this epoch *)
+      deltas = [];
+      deltas_dropped_through = epoch;
       order;
       disk = Some disk;
       autocommit = true;
@@ -394,6 +422,68 @@ let tag_of (r : Record.t) =
 
 let indexed_value (r : Record.t) =
   match r.kind with Record.Text | Record.Attribute -> Some r.value | _ -> None
+
+(* ---- write-footprint deltas ----
+
+   Every content mutation records which name-index tags and value-index
+   keys it added or removed, plus the string-value "cones": the element
+   tags (and "#document") whose XPath string-value — concatenated
+   descendant text — changed because a text node appeared or vanished
+   below them.  FLEX keys are immutable and node values never mutate in
+   place, so these three atom classes are a complete description of what
+   a mutation can change about any query's answer. *)
+
+let delta_capacity = 128
+let delta_atom_cap = 64
+
+let record_delta t ~doc ?(top = false) ~tags ~values ~cones () =
+  let dedup l = List.sort_uniq String.compare l in
+  let tags = dedup tags and values = dedup values and cones = dedup cones in
+  let top =
+    top
+    || List.length tags > delta_atom_cap
+    || List.length values > delta_atom_cap
+    || List.length cones > delta_atom_cap
+  in
+  let wd =
+    { wd_epoch = t.epoch;
+      wd_doc = Option.map (fun d -> d.doc_id) doc;
+      wd_top = top;
+      wd_tags = (if top then [] else tags);
+      wd_values = (if top then [] else values);
+      wd_cones = (if top then [] else cones) }
+  in
+  let rec take n = function
+    | [] -> ([], None)
+    | x :: rest ->
+        if n = 0 then ([], Some x)
+        else
+          let kept, dropped = take (n - 1) rest in
+          (x :: kept, dropped)
+  in
+  let kept, dropped = take delta_capacity (wd :: t.deltas) in
+  (* the first entry past capacity is the newest of those dropped, so its
+     epoch is the ring's new coverage floor *)
+  (match dropped with
+  | Some d -> t.deltas_dropped_through <- max t.deltas_dropped_through d.wd_epoch
+  | None -> ());
+  t.deltas <- kept
+
+(* bounded atom accumulator: distinct strings with early collapse to ⊤,
+   so bulk mutations never materialize unbounded atom lists *)
+let acc_put top tbl k =
+  if not !top then begin
+    if not (Hashtbl.mem tbl k) then Hashtbl.add tbl k ();
+    if Hashtbl.length tbl > delta_atom_cap then top := true
+  end
+
+let acc_keys tbl = Hashtbl.fold (fun k () acc -> k :: acc) tbl []
+
+let write_deltas t ~since =
+  if since < t.deltas_dropped_through then None
+  else Some (List.filter (fun d -> d.wd_epoch > since) t.deltas)
+
+let last_write_delta t = match t.deltas with d :: _ -> Some d | [] -> None
 
 let insert_record t (r : Record.t) =
   DocTree.insert t.doc_index r.key r;
@@ -458,9 +548,21 @@ let load t ~name tree =
     }
   in
   t.next_doc_id <- t.next_doc_id + 1;
-  insert_record t { Record.key = doc_key; kind = Record.Document; name; value = "" };
+  (* accumulate the load's write footprint with an early collapse to ⊤ so
+     a bulk ingest never materializes an unbounded atom list *)
+  let d_top = ref false in
+  let d_tags = Hashtbl.create 32 and d_values = Hashtbl.create 32 in
+  let note (r : Record.t) =
+    acc_put d_top d_tags (tag_of r);
+    match indexed_value r with Some v -> acc_put d_top d_values v | None -> ()
+  in
+  let doc_record = { Record.key = doc_key; kind = Record.Document; name; value = "" } in
+  insert_record t doc_record;
+  note doc_record;
   let add key kind nm value =
-    insert_record t { Record.key; kind; name = nm; value };
+    let r = { Record.key; kind; name = nm; value } in
+    insert_record t r;
+    note r;
     bump doc kind 1
   in
   let rec walk key (n : Xml.Tree.node) =
@@ -485,6 +587,10 @@ let load t ~name tree =
   t.docs <- t.docs @ [ doc ];
   bump_epoch t;
   note_doc_mutation t (Some doc);
+  (* no string-value cones: a load creates only new nodes, so no existing
+     node's string-value changes *)
+  record_delta t ~doc:(Some doc) ~top:!d_top ~tags:(acc_keys d_tags)
+    ~values:(acc_keys d_values) ~cones:[] ();
   doc
 
 let load_string t ~name src = load t ~name (Xml.Parser.parse src)
@@ -891,6 +997,22 @@ let child_components t parent =
   in
   go []
 
+(* Element tags on the ancestor chain of [key] (plus the document
+   string-value): the nodes whose XPath string-value changes when a text
+   node appears or disappears at or below [key]. *)
+let ancestor_cones t key =
+  let rec go acc k =
+    if Flex.depth k = 0 then acc
+    else
+      let acc =
+        match get t k with
+        | Some { Record.kind = Record.Element; name; _ } -> name :: acc
+        | _ -> acc
+      in
+      match Flex.parent k with Some p -> go acc p | None -> acc
+  in
+  "#document" :: go [] key
+
 let insert_element t ~parent ?after name attrs text =
   (match get t parent with
   | Some { Record.kind = Record.Element | Record.Document; _ } -> ()
@@ -926,11 +1048,22 @@ let insert_element t ~parent ?after name attrs text =
   | None -> ());
   bump_epoch t;
   note_doc_mutation t doc;
+  let tags =
+    (name :: List.map (fun (an, _) -> "@" ^ an) attrs)
+    @ (if text = None then [] else [ "#text" ])
+  in
+  let values = List.map snd attrs @ Option.to_list text in
+  (* a text child changes the string-value of every ancestor element (the
+     new element's own string-value is covered by its tag atom) *)
+  let cones = if text = None then [] else ancestor_cones t parent in
+  record_delta t ~doc ~tags ~values ~cones ();
   key
 
 let delete_subtree t key =
   let lo, hi = Flex.subtree_range key in
   let doc = doc_of_key t key in
+  (* the ancestor chain must be resolved before the subtree disappears *)
+  let ancestors = ancestor_cones t key in
   (* collect first: deleting invalidates cursors *)
   let scan = doc_scan t ~lo ~hi ~filter:(fun _ _ -> true) in
   let rec collect acc =
@@ -940,16 +1073,33 @@ let delete_subtree t key =
   in
   let keys = collect [] in
   let n = List.length keys in
+  let d_top = ref false in
+  let d_tags = Hashtbl.create 32
+  and d_values = Hashtbl.create 32
+  and d_elems = Hashtbl.create 32 in
+  let has_text = ref false in
   List.iter
     (fun k ->
       match get t k with
       | Some r ->
+          acc_put d_top d_tags (tag_of r);
+          (match indexed_value r with Some v -> acc_put d_top d_values v | None -> ());
+          (match r.Record.kind with
+          | Record.Text -> has_text := true
+          | Record.Element -> acc_put d_top d_elems r.Record.name
+          | _ -> ());
           remove_record t r;
           (match doc with Some d -> bump d r.Record.kind (-1) | None -> ())
       | None -> ())
     keys;
   bump_epoch t;
   note_doc_mutation t doc;
+  (* deleted text changed the string-value of its ancestors: any element
+     inside the subtree (a sound over-approximation of the text's actual
+     ancestors there) plus the chain above the subtree root *)
+  let cones = if !has_text then ancestors @ acc_keys d_elems else [] in
+  record_delta t ~doc ~top:!d_top ~tags:(acc_keys d_tags) ~values:(acc_keys d_values)
+    ~cones ();
   n
 
 let remove_document t doc =

@@ -134,6 +134,46 @@ val doc_epoch : t -> doc -> int
     backend resets all tokens to 0, which is safe because any cache
     comparing them dies with the process too. *)
 
+(** {1 Write-footprint deltas}
+
+    Every content mutation ({!load}, {!insert_element}, {!delete_subtree},
+    {!remove_document}) records a conservative description of what it
+    touched: the name-index tags and value-index keys of the records it
+    added or removed, and the string-value {e cones} — the element tags
+    (plus ["#document"]) whose XPath string-value changed because a text
+    node appeared or vanished below them.  FLEX keys are immutable and
+    node values never mutate in place, so these atom classes are a
+    complete account of what a mutation can change about any query's
+    answer; a result cache that proves its read footprint disjoint from
+    every delta since the result was computed may keep serving it.
+
+    Deltas live in a bounded process-local ring (like {!doc_epoch}
+    tokens): when old entries fall off, {!write_deltas} reports the loss
+    instead of silently under-approximating. *)
+
+type write_delta = {
+  wd_epoch : int;  (** global {!epoch} value after the mutation *)
+  wd_doc : int option;  (** [doc_id] of the touched document, when known *)
+  wd_top : bool;
+      (** ⊤: the mutation touched more distinct atoms than the recording
+          cap; treat it as potentially touching everything (the atom
+          lists are empty in this case) *)
+  wd_tags : string list;  (** name-index tags ({!tag_of} spelling), sorted, distinct *)
+  wd_values : string list;  (** value-index keys, sorted, distinct *)
+  wd_cones : string list;
+      (** element tags and ["#document"] whose string-value changed *)
+}
+
+val write_deltas : t -> since:int -> write_delta list option
+(** All deltas with [wd_epoch > since], newest first.  [None] when the
+    bounded ring no longer covers the interval (a delta newer than
+    [since] was dropped, or [since] predates this handle) — the caller
+    must then fall back to epoch invalidation. *)
+
+val last_write_delta : t -> write_delta option
+(** The most recent mutation's delta, if any mutation happened through
+    this handle. *)
+
 val root_element_key : doc -> t -> Flex.t option
 (** Key of the document's root element. *)
 

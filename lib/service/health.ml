@@ -137,6 +137,10 @@ let push_sample r s =
   r.hr_samples.(r.hr_next) <- Some s;
   r.hr_next <- (r.hr_next + 1) mod Array.length r.hr_samples
 
+let last_sample r =
+  let n = Array.length r.hr_samples in
+  r.hr_samples.((r.hr_next - 1 + n) mod n)
+
 let samples r =
   let n = Array.length r.hr_samples in
   let out = ref [] in

@@ -123,6 +123,11 @@ val note_replan : t -> record -> epoch:int -> unit
 val samples : record -> sample list
 (** Reservoir contents, oldest first. *)
 
+val last_sample : record -> sample option
+(** Most recent sample, if any — what the service's footprint drift-skip
+    reuses when no write since [hr_last_epoch] can have touched the
+    plan. *)
+
 val worst_operator : Vamana.Profile.report -> string * float
 (** Label and q-error of the worst-q-error operator in the report
     (["?"], [1.0] when no operator carries one). *)

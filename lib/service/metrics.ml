@@ -198,7 +198,30 @@ let to_openmetrics ?io ?(pools = []) ?disk ?(plan_health = []) t =
     line "# TYPE %s gauge" name;
     line "%s %s" name (om_float v)
   in
-  List.iter (fun (name, v) -> counter_family ("vamana_" ^ om_name name) v) (counters t);
+  (* invalidation-reason counters fold into one labeled family:
+     cache_invalidations_<reason> renders as
+     vamana_cache_invalidations_total{reason="<reason>"} *)
+  let inval_prefix = "cache_invalidations_" in
+  let plain, inval =
+    List.partition
+      (fun (name, _) ->
+        not
+          (String.length name > String.length inval_prefix
+          && String.sub name 0 (String.length inval_prefix) = inval_prefix))
+      (counters t)
+  in
+  List.iter (fun (name, v) -> counter_family ("vamana_" ^ om_name name) v) plain;
+  if inval <> [] then begin
+    line "# TYPE vamana_cache_invalidations counter";
+    List.iter
+      (fun (name, v) ->
+        let reason =
+          String.sub name (String.length inval_prefix)
+            (String.length name - String.length inval_prefix)
+        in
+        line "vamana_cache_invalidations_total{reason=\"%s\"} %d" (om_label_escape reason) v)
+      inval
+  end;
   List.iter (fun (base, r) -> gauge_family ("vamana_" ^ om_name base ^ "_hit_ratio") r) (hit_rates t);
   List.iter
     (fun (name, h) ->

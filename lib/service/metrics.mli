@@ -58,7 +58,11 @@ val to_openmetrics :
   string
 (** The snapshot in OpenMetrics / Prometheus text exposition format,
     scrape-ready: every registry counter becomes a [vamana_<name>]
-    counter family ([_total] sample), cache hit rates become gauges,
+    counter family ([_total] sample) — except the
+    [cache_invalidations_<reason>] counters, which fold into the single
+    labeled family
+    [vamana_cache_invalidations_total{reason="footprint"|"epoch"|"top"}]
+    — cache hit rates become gauges,
     histograms become [vamana_<name>_seconds] with cumulative
     [le]-labelled buckets plus [_sum]/[_count].  [io] adds the
     aggregate buffer-pool counters ([vamana_page_*]), [pools] the same

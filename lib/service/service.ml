@@ -10,8 +10,12 @@ type plan_key = { src : string; scope : string; optimized : bool }
 (* [token] is the invalidation token the entry was computed under: the
    scope document's {!Mass.Store.doc_epoch} for document-scoped queries
    (so writes to other documents don't flush this entry), the global
-   epoch for unscoped ones *)
-type result_entry = { token : int; cached : Engine.result }
+   epoch for unscoped ones.  [fp] is the plan's read footprint: under
+   footprint invalidation a token mismatch downgrades from "evict" to
+   "intersect against the writes since [token]" — both epochs count the
+   same store-wide mutation clock, so [token] is a valid [since] bound
+   for {!Mass.Store.write_deltas} in either mode. *)
+type result_entry = { token : int; fp : Vamana.Footprint.t; cached : Engine.result }
 
 type cache = [ `Hit | `Miss | `Stale | `Bypass ]
 
@@ -30,9 +34,12 @@ type slow_query = {
   sq_drift : float;  (** the plan's EWMA drift score at detection *)
 }
 
+type invalidation = [ `Epoch | `Footprint ]
+
 type t = {
   store : Store.t;
   optimize : bool;
+  invalidation : invalidation;
   metrics : Metrics.t;
   plans : (plan_key, Engine.prepared) Lru.t;
   results : (plan_key * string, result_entry) Lru.t option;
@@ -53,19 +60,23 @@ let counter_names =
     "result_cache_evictions"; "profiled_queries"; "optimizer_iterations";
     "optimizer_rules_accepted"; "optimizer_rules_rejected"; "optimizer_rules_considered";
     "slow_queries"; "sampled_executions"; "adaptive_replans"; "plan_drift_events";
-    "slow_profile_reused"; "slow_profile_rerun" ]
+    "slow_profile_reused"; "slow_profile_rerun"; "result_cache_spared";
+    "cache_invalidations_footprint"; "cache_invalidations_epoch"; "cache_invalidations_top";
+    "drift_checks_skipped" ]
 
 let default_slow_threshold = 0.1
 
 let create ?(plan_cache_capacity = 128) ?(result_cache_capacity = 512) ?(optimize = true)
-    ?(slow_threshold = default_slow_threshold) ?(slow_profile = true)
-    ?(slow_log_capacity = 128) ?flight ?(sample_every = Health.default_sample_every)
+    ?(invalidation = `Footprint) ?(slow_threshold = default_slow_threshold)
+    ?(slow_profile = true) ?(slow_log_capacity = 128) ?flight
+    ?(sample_every = Health.default_sample_every)
     ?(drift_threshold = Health.default_drift_threshold) store =
   let metrics = Metrics.create () in
   List.iter (fun name -> Metrics.inc ~by:0 metrics name) counter_names;
   {
     store;
     optimize;
+    invalidation;
     metrics;
     plans = Lru.create ~capacity:plan_cache_capacity;
     results =
@@ -80,6 +91,7 @@ let create ?(plan_cache_capacity = 128) ?(result_cache_capacity = 512) ?(optimiz
   }
 
 let store t = t.store
+let invalidation t = t.invalidation
 let metrics t = t.metrics
 let health t = t.health
 let slow_threshold t = t.slow_threshold
@@ -180,6 +192,38 @@ let estimate_drift t (p : Engine.prepared) =
       clamp_q (Vamana.Profile.q_error ~est:old_total ~act:(Vamana.Cost.total_output now plan))
   | _ -> 1.0
 
+(* Footprint drift-skip: the estimate ratio only moves when the
+   statistics under the plan's footprint move.  When every write since
+   an epoch the ratio is known at is provably disjoint from the
+   footprint, the recomputation is a no-op — return the known value
+   instead of re-walking the synopsis.  Two anchors, tried in order:
+   the prepare epoch (known ratio 1.0 — the compile-time costing and a
+   fresh estimate would read the same counts) and the last sample taken
+   of {e this} prepared plan (its recorded ratio). *)
+let estimate_drift_for t hr (p : Engine.prepared) =
+  let fp = p.Engine.prep_footprint in
+  let disjoint_since anchor =
+    anchor >= 0
+    &&
+    match Store.write_deltas t.store ~since:anchor with
+    | None -> false
+    | Some deltas -> List.for_all (fun d -> not (Vamana.Footprint.intersects fp d)) deltas
+  in
+  if t.invalidation = `Footprint && not (Vamana.Footprint.is_top fp) then
+    if disjoint_since p.Engine.prep_epoch then begin
+      Metrics.inc t.metrics "drift_checks_skipped";
+      1.0
+    end
+    else if
+      hr.Health.hr_last_epoch >= p.Engine.prep_epoch
+      && disjoint_since hr.Health.hr_last_epoch
+    then begin
+      Metrics.inc t.metrics "drift_checks_skipped";
+      match Health.last_sample hr with Some s -> s.Health.s_estimate_q | None -> 1.0
+    end
+    else estimate_drift t p
+  else estimate_drift t p
+
 (* fetch-or-prepare through the plan cache *)
 let prepared t ~scope key src =
   match Lru.find t.plans key with
@@ -234,7 +278,9 @@ let execute t ~profile ~scope ~context key p =
   (match t.results with
   | None -> ()
   | Some cache ->
-      let entry = { token = cache_token t ~scope; cached = result } in
+      let entry =
+        { token = cache_token t ~scope; fp = p.Engine.prep_footprint; cached = result }
+      in
       if Lru.put cache (key, Flex.to_string context) entry <> None then
         Metrics.inc t.metrics "result_cache_evictions");
   result
@@ -333,13 +379,64 @@ let query ?(profile = false) t ~context src =
               let rkey = (key, Flex.to_string context) in
               match Lru.find cache rkey with
               | Some entry when entry.token = cache_token t ~scope -> `Cached entry.cached
-              | Some _ ->
+              | Some entry -> (
                   (* written under an older invalidation token: this
                      query's document (or, unscoped, the store) has
-                     mutated since, so the answer may be stale *)
-                  Lru.remove cache rkey;
-                  Metrics.inc t.metrics "result_cache_stale";
-                  `Stale
+                     mutated since.  Under epoch invalidation that alone
+                     evicts; under footprint invalidation the entry
+                     survives if every write since is provably disjoint
+                     from the plan's read footprint *)
+                  let evict reason =
+                    Lru.remove cache rkey;
+                    Metrics.inc t.metrics "result_cache_stale";
+                    Metrics.inc t.metrics ("cache_invalidations_" ^ reason);
+                    `Stale
+                  in
+                  match t.invalidation with
+                  | `Epoch -> evict "epoch"
+                  | `Footprint -> (
+                      if Vamana.Footprint.is_top entry.fp then evict "top"
+                      else
+                        match Store.write_deltas t.store ~since:entry.token with
+                        | None ->
+                            (* the delta ring no longer covers the
+                               entry's window; only the epoch argument
+                               remains *)
+                            evict "epoch"
+                        | Some deltas ->
+                            (* a scoped entry only reads inside its
+                               document, so other documents' deltas
+                               cannot touch it (a delta without a
+                               document attribution stays relevant) *)
+                            let own_doc =
+                              match scope with
+                              | Some s ->
+                                  Option.map
+                                    (fun d -> d.Store.doc_id)
+                                    (Store.document_of_key t.store s)
+                              | None -> None
+                            in
+                            let relevant d =
+                              match (own_doc, d.Store.wd_doc) with
+                              | Some id, Some wid -> wid = id
+                              | _, _ -> true
+                            in
+                            if
+                              List.for_all
+                                (fun d ->
+                                  (not (relevant d))
+                                  || not (Vamana.Footprint.intersects entry.fp d))
+                                deltas
+                            then begin
+                              (* provably untouched: refresh the token so
+                                 the next lookup fast-paths again *)
+                              ignore
+                                (Lru.put cache rkey
+                                   { entry with token = cache_token t ~scope });
+                              Metrics.inc t.metrics "result_cache_spared";
+                              `Cached entry.cached
+                            end
+                            else evict "footprint"))
               | None -> `Miss)
         in
         match cached_result with
@@ -380,7 +477,7 @@ let query ?(profile = false) t ~context src =
                         ~latency:result.Engine.execute_time
                         ~pages:result.Engine.io.Storage.Stats.logical_reads
                         ~results:(List.length result.Engine.keys)
-                        ~estimate_q:(estimate_drift t p) rep
+                        ~estimate_q:(estimate_drift_for t hr p) rep
                     then Metrics.inc t.metrics "plan_drift_events"
                 | None -> ());
                 drift_now := hr.Health.hr_drift;

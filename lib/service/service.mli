@@ -7,11 +7,18 @@
       by normalized query text + statistics scope + optimize flag, so a
       repeated query skips parse, compile and optimize entirely;
     - a {b result cache} — an optional LRU of full results keyed by plan
-      key + execution context, invalidated {e per document}: a
-      document-scoped answer is served only while that document still
-      reports the {!Mass.Store.doc_epoch} it was computed at — writes to
-      {e other} documents leave it live — while unscoped answers fall
-      back to the store-wide mutation {!Mass.Store.epoch}.  Either way a
+      key + execution context.  Each entry carries the invalidation
+      token it was computed under (the scope document's
+      {!Mass.Store.doc_epoch} for scoped queries, the store-wide
+      {!Mass.Store.epoch} for unscoped ones) and the plan's
+      {!Vamana.Footprint} read footprint.  Under the default
+      [`Footprint] invalidation a token mismatch triggers an
+      interference check: the entry survives — and its token refreshes —
+      when every {!Mass.Store.write_delta} recorded since is provably
+      disjoint from the footprint; it is evicted when a delta
+      intersects, when the footprint is ⊤, or when the delta ring no
+      longer covers the entry's window.  [`Epoch] invalidation evicts on
+      any token mismatch (the pre-footprint behaviour).  Either way a
       mutation visible to the query between two identical requests
       always yields fresh results;
     - a {b metrics registry} — monotonic counters (queries, cache
@@ -39,10 +46,18 @@ type cache = [ `Hit  (** served from cache *)
              | `Stale  (** present but from an older store epoch; recomputed *)
              | `Bypass  (** cache disabled *) ]
 
+type invalidation =
+  [ `Epoch  (** evict on any invalidation-token mismatch *)
+  | `Footprint
+    (** on a token mismatch, evict only when a write delta since the
+        entry's token intersects the plan's read footprint (or the
+        footprint is ⊤, or delta coverage was lost) *) ]
+
 val create :
   ?plan_cache_capacity:int ->
   ?result_cache_capacity:int ->
   ?optimize:bool ->
+  ?invalidation:invalidation ->
   ?slow_threshold:float ->
   ?slow_profile:bool ->
   ?slow_log_capacity:int ->
@@ -59,7 +74,11 @@ val create :
     bounded ring of the last [slow_log_capacity] (default 128) slow
     queries; with [slow_profile] (default [true]) a slow query whose run
     carried no instrumentation is re-executed once with profiling so its
-    log entry has an operator tree attached.  [flight] attaches a
+    log entry has an operator tree attached.  [invalidation] (default
+    [`Footprint]) selects the result-cache invalidation protocol; the
+    [cache_invalidations_footprint]/[epoch]/[top] counters attribute
+    every eviction to its reason and [result_cache_spared] counts the
+    entries an interference check saved.  [flight] attaches a
     {!Storage.Flight} recorder: every {!query} writes a begin/end record
     pair (the caller keeps ownership and closes it).
 
@@ -74,6 +93,10 @@ val create :
     [health/adaptive_replan] event fires). *)
 
 val store : t -> Mass.Store.t
+
+val invalidation : t -> invalidation
+(** The result-cache invalidation protocol this service runs. *)
+
 val metrics : t -> Metrics.t
 
 val health : t -> Health.t

@@ -35,13 +35,15 @@ type t = {
 exception Ill_formed of string
 exception Property_violation of string
 
-let strict = ref false
-let strict_enabled () = !strict
+(* Strict-mode state is private: the only way to enable it is the
+   scoped [with_strict], so it cannot leak across test cases. *)
+let strict_state = ref false
+let strict_enabled () = !strict_state
 
 let with_strict f =
-  let saved = !strict in
-  strict := true;
-  Fun.protect ~finally:(fun () -> strict := saved) f
+  let saved = !strict_state in
+  strict_state := true;
+  Fun.protect ~finally:(fun () -> strict_state := saved) f
 
 (* The stream a chain leaf pulls from: the single engine context tuple.
    Predicate sub-plans likewise re-root at one candidate at a time. *)

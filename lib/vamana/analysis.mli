@@ -113,7 +113,7 @@ exception Ill_formed of string
 (** Raised by {!assert_well_formed} on a structural [Error]. *)
 
 exception Property_violation of string
-(** Raised by the optimizer (under {!strict}) when an admissible-cost
+(** Raised by the optimizer (under {!with_strict}) when an admissible-cost
     rewrite fails {!check_rewrite}. *)
 
 val assert_well_formed : Plan.op -> unit
@@ -128,12 +128,6 @@ val with_strict : (unit -> 'a) -> 'a
 
 val strict_enabled : unit -> bool
 (** Whether strict mode is currently active. *)
-
-val strict : bool ref
-  [@@ocaml.deprecated "use Analysis.with_strict (scoped) / Analysis.strict_enabled instead"]
-(** Debug flag (default [false]).  Deprecated alias for the state behind
-    {!with_strict}; mutating it directly leaks strict mode across
-    scopes. *)
 
 (** {1 Rendering} *)
 

@@ -78,6 +78,7 @@ type prepared = {
   outcomes : Optimizer.outcome list option;
   analyses : Analysis.t list;
   prep_report : Xpath.Typecheck.report;
+  prep_footprint : Footprint.t;
   prep_scope : Flex.t option;
   prep_epoch : int;
   prep_compile_time : float;
@@ -159,9 +160,10 @@ let prepare ?(optimize = true) store ~scope src =
               | Some [] | None -> [])
           in
           let analyses = List.map (Analysis.analyze store ~scope) executed_plans in
+          let prep_footprint = Footprint.of_plans executed_plans in
           Ok
             { source = src; default_plans; executed_plans; outcomes; analyses; prep_report;
-              prep_scope = scope; prep_epoch = Store.epoch store;
+              prep_footprint; prep_scope = scope; prep_epoch = Store.epoch store;
               prep_compile_time = parse_time +. check_time +. compile_only_time;
               prep_optimize_time = optimize_time; prep_spans })
 
@@ -367,7 +369,7 @@ let explain ?(optimize = true) store doc src =
       let costed = Cost.estimate store ~scope default_plan in
       let a0 = Analysis.analyze store ~scope default_plan in
       Format.fprintf ppf "Default plan:@.%a@." (Analysis.pp_annotated ~costed a0) default_plan;
-      let final_analysis =
+      let final_analysis, final_plan =
         if optimize then begin
           let o = Optimizer.optimize store ~scope default_plan in
           List.iter
@@ -378,12 +380,14 @@ let explain ?(optimize = true) store doc src =
           let a1 = Analysis.analyze store ~scope o.Optimizer.plan in
           Format.fprintf ppf "Optimized plan (%d iterations):@.%a@." o.Optimizer.iterations
             (Analysis.pp_annotated ~costed:o.Optimizer.cost a1) o.Optimizer.plan;
-          a1
+          (a1, o.Optimizer.plan)
         end
-        else a0
+        else (a0, default_plan)
       in
       (if Analysis.statically_empty final_analysis then
          Format.fprintf ppf "Statically empty: execution will be skipped@.");
+      Format.fprintf ppf "Footprint: %s@."
+        (Footprint.to_string (Footprint.of_plan final_plan));
       (match final_analysis.Analysis.diagnostics with
       | [] -> ()
       | ds ->
@@ -409,6 +413,7 @@ let explain_analyze ?(optimize = true) ?(json = false) store doc src =
                       ("results", Profile.Json.Int (List.length r.keys));
                       ("report", Profile.render_json rep);
                       ("analysis", Analysis.to_json r.analysis r.executed_plan);
+                      ("footprint", Footprint.to_json (Footprint.of_plan r.executed_plan));
                       ( "attribution",
                         let a = r.attribution in
                         Profile.Json.Obj
@@ -434,6 +439,10 @@ let explain_analyze ?(optimize = true) ?(json = false) store doc src =
                       (List.map (fun d -> "  " ^ Analysis.diagnostic_to_string d) ds)
                   ^ "\n"
             in
+            let footprint_section =
+              Printf.sprintf "Footprint: %s\n"
+                (Footprint.to_string (Footprint.of_plan r.executed_plan))
+            in
             let attr_section =
               let a = r.attribution in
               Printf.sprintf
@@ -443,5 +452,6 @@ let explain_analyze ?(optimize = true) ?(json = false) store doc src =
                 a.attr_wal_bytes a.attr_fsyncs
             in
             Ok
-              (Printf.sprintf "Query: %s\n%d results\n%s%s%s%s" src (List.length r.keys)
-                 (Profile.render_text rep) props_section diag_section attr_section))
+              (Printf.sprintf "Query: %s\n%d results\n%s%s%s%s%s" src (List.length r.keys)
+                 (Profile.render_text rep) props_section diag_section footprint_section
+                 attr_section))

@@ -55,6 +55,11 @@ type prepared = {
           [prep_epoch]; {!execute_prepared} only acts on the emptiness
           proof while the store still reports that epoch and the
           execution context is the checked document node. *)
+  prep_footprint : Footprint.t;
+      (** conservative read footprint over all union branches — what the
+          result-cache intersects against store write deltas to decide
+          whether an update can invalidate a cached result.  Purely
+          structural (no statistics), so it never goes stale. *)
   prep_scope : Flex.t option;
   prep_epoch : int;  (** {!Mass.Store.epoch} at preparation time *)
   prep_compile_time : float;  (** seconds *)

@@ -26,7 +26,7 @@ val build : ?profile:Profile.ctx -> Mass.Store.t -> context:Flex.t -> Plan.op ->
     it, iterators carry no profiling structures and the hot path is
     unchanged.
 
-    Under {!Analysis.strict} the plan's structure is validated once at
+    Under {!Analysis.with_strict} the plan's structure is validated once at
     the root before any iterator is instantiated; a malformed plan
     raises {!Analysis.Ill_formed} instead of failing mid-stream. *)
 

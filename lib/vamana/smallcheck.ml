@@ -25,17 +25,28 @@ let ci_random_bounds = { depth = 5; fanout = 3; tags = 3; texts = 2; max_nodes =
 let ci_random_cases = 500
 let ci_seed = 20260808
 
-type family = Rule_soundness | Analysis_soundness | Cost_invariants
+(* Committed bounds of the (document, plan, update) interference sweep.
+   The triple domain multiplies documents × plans × updates, so it is
+   kept much tighter than the pair sweep: single-step queries still
+   cover all 13 axes and the whole predicate menu, which is where the
+   footprint analysis earns its keep.  EXPERIMENTS.md records the
+   measured triple count and wall time. *)
+let interference_bounds =
+  { depth = 2; fanout = 2; tags = 2; texts = 1; max_nodes = 3; steps = 1 }
+
+type family = Rule_soundness | Analysis_soundness | Cost_invariants | Interference
 
 let family_to_string = function
   | Rule_soundness -> "rule-soundness"
   | Analysis_soundness -> "analysis-soundness"
   | Cost_invariants -> "cost-invariants"
+  | Interference -> "interference"
 
 let family_of_string = function
   | "rule-soundness" -> Some Rule_soundness
   | "analysis-soundness" -> Some Analysis_soundness
   | "cost-invariants" -> Some Cost_invariants
+  | "interference" -> Some Interference
   | _ -> None
 
 type counterexample = {
@@ -59,6 +70,8 @@ type report = {
   rp_random : int;
   rp_seed : int option;
   rp_sites : int;
+  rp_updates : int;
+  rp_triples : int;
   rp_counterexamples : counterexample list;
   rp_wall : float;
 }
@@ -216,6 +229,7 @@ type subject = {
   sub_rules : Rewrite.rule list;
   sub_analyze : Store.t -> scope:Flex.t option -> Plan.op -> Analysis.t;
   sub_stats : Store.t -> Cost.statistics_source;
+  sub_footprint : Plan.op -> Footprint.t;
 }
 
 let subject_name s = s.sub_name
@@ -224,12 +238,13 @@ let subject_expected_rule s = s.sub_expected_rule
 
 let real_subject =
   { sub_name = "real";
-    sub_desc = "production rule library, analyzer and synopsis statistics";
+    sub_desc = "production rule library, analyzer, synopsis statistics and footprint analysis";
     sub_expected_check = None;
     sub_expected_rule = None;
     sub_rules = Rewrite.all_rules;
     sub_analyze = (fun store ~scope plan -> Analysis.analyze store ~scope plan);
-    sub_stats = Cost.synopsis_statistics }
+    sub_stats = Cost.synopsis_statistics;
+    sub_footprint = Footprint.of_plan }
 
 (* -- mutant rules -- *)
 
@@ -352,14 +367,15 @@ let chain_off_by_one store =
           match f ~scope spec with Some (n, true) -> Some (n + 1, true) | r -> r)
         base.Cost.chain_out }
 
-let mutant ?rule ~check ~desc name ~rules ~analyze ~stats =
+let mutant ?rule ?(footprint = Footprint.of_plan) ~check ~desc name ~rules ~analyze ~stats =
   { sub_name = name;
     sub_desc = desc;
     sub_expected_check = Some check;
     sub_expected_rule = rule;
     sub_rules = rules;
     sub_analyze = analyze;
-    sub_stats = stats }
+    sub_stats = stats;
+    sub_footprint = footprint }
 
 let mutants =
   let real = real_subject in
@@ -385,7 +401,14 @@ let mutants =
       ~rules:real.sub_rules ~analyze:empty_text_step ~stats:real.sub_stats;
     mutant "chain-off-by-one" ~check:"cost-chain-exact"
       ~desc:"synopsis whose exact chain counts are inflated by one"
-      ~rules:real.sub_rules ~analyze:real.sub_analyze ~stats:chain_off_by_one ]
+      ~rules:real.sub_rules ~analyze:real.sub_analyze ~stats:chain_off_by_one;
+    (* the lying footprint: claims every plan reads nothing, so every
+       update is "provably" non-interfering — the exact unsoundness the
+       interference family exists to catch *)
+    mutant "lying-footprint" ~check:"footprint-interference"
+      ~desc:"footprint analysis that claims every plan reads nothing"
+      ~rules:real.sub_rules ~analyze:real.sub_analyze ~stats:real.sub_stats
+      ~footprint:(fun _ -> Footprint.empty) ]
 
 let find_mutant name = List.find_opt (fun s -> s.sub_name = name) mutants
 
@@ -659,13 +682,132 @@ let check_one subject store ~doc_key cq =
     None
   with Fail e -> Some e
 
+(* ---- the interference family ----
+
+   The footprint analysis promises: a plan whose read footprint is
+   disjoint from an update's write delta returns the same result before
+   and after the update.  Sweep the contrapositive over (document,
+   plan, update) triples — apply each bounded update to a fresh copy of
+   each bounded document, re-run each bounded plan, and whenever the
+   result changed, require the write delta to intersect the plan's
+   footprint.  A disjoint verdict here is exactly the case where the
+   service's result cache would have served a stale answer. *)
+
+type update = { u_desc : string; u_apply : Store.t -> Store.doc -> unit }
+
+let all_elements =
+  lazy
+    (Compile.compile_path
+       { Ast.absolute = true; steps = [ Ast.step Ast.Descendant_or_self Ast.Wildcard ] })
+
+(* i-th element of the document in document order (the root element is
+   #0) — resolved at apply time so the update lands on the fresh copy *)
+let nth_element store (doc : Store.doc) i =
+  List.nth_opt (Exec.run store ~context:doc.Store.doc_key (Lazy.force all_elements)) i
+
+let rec spec_elements = function
+  | Xml.Tree.E (_, _, kids) -> 1 + List.fold_left (fun a k -> a + spec_elements k) 0 kids
+  | Xml.Tree.D _ | Xml.Tree.Cm _ | Xml.Tree.Proc _ -> 0
+
+(* Update menu per element position: child inserts over the tag
+   alphabet, a text-carrying insert, an attribute-carrying insert, and
+   a subtree delete.  Positions come from the spec's static element
+   count, so every enumerated update really applies (an update that
+   silently no-ops would make the triple vacuous). *)
+let enum_updates (b : bounds) spec =
+  let insert ?text ?(attrs = []) ~desc tag i =
+    { u_desc = Printf.sprintf "insert %s under element #%d" desc i;
+      u_apply =
+        (fun store doc ->
+          match nth_element store doc i with
+          | Some parent -> ignore (Store.insert_element store ~parent tag attrs text)
+          | None -> ()) }
+  in
+  let delete i =
+    { u_desc = Printf.sprintf "delete the subtree of element #%d" i;
+      u_apply =
+        (fun store doc ->
+          match nth_element store doc i with
+          | Some key -> ignore (Store.delete_subtree store key)
+          | None -> ()) }
+  in
+  List.concat
+    (List.init (spec_elements spec) (fun i ->
+         List.init b.tags (fun t ->
+             insert ~desc:(Printf.sprintf "<%s/>" (tag_name t)) (tag_name t) i)
+         @ (if b.texts > 0 then
+              [ insert
+                  ~desc:
+                    (Printf.sprintf "<%s>%s</%s>" (tag_name 0) (text_value 0) (tag_name 0))
+                  ~text:(text_value 0) (tag_name 0) i;
+                insert
+                  ~desc:(Printf.sprintf "<%s id=\"%s\"/>" (tag_name 0) (text_value 0))
+                  ~attrs:[ ("id", text_value 0) ] (tag_name 0) i ]
+            else [])
+         @ [ delete i ]))
+
+(* Fresh copy of [spec], [update] applied, plus the write deltas the
+   update recorded (captured by epoch so the load's own delta is
+   excluded).  A fresh store's ring always covers [e0], so the
+   [write_deltas] coverage fallback cannot fire here. *)
+let apply_update spec update =
+  let store = Store.create ~backend:Store.Mem () in
+  let doc = Store.load store ~name:"i" (Xml.Tree.document [ spec ]) in
+  let e0 = Store.epoch store in
+  update.u_apply store doc;
+  let deltas = Option.value ~default:[] (Store.write_deltas store ~since:e0) in
+  (store, doc, deltas)
+
+let interference_error subject update deltas ~before ~after plan =
+  if List.equal Flex.equal before after then None
+  else
+    let fp = subject.sub_footprint plan in
+    if List.exists (Footprint.intersects fp) deltas then None
+    else
+      Some
+        { e_family = Interference;
+          e_check = "footprint-interference";
+          e_rule = None;
+          e_detail =
+            Printf.sprintf
+              "%s changed the result %s -> %s but every write delta is disjoint from the \
+               footprint %s"
+              update.u_desc (keys_to_string before) (keys_to_string after)
+              (Footprint.to_string fp) }
+
+let case_plans cq = cq.q_plan :: Option.to_list cq.q_clean
+
+let check_interference subject spec cq =
+  let store0 = Store.create ~backend:Store.Mem () in
+  let doc0 = Store.load store0 ~name:"i" (Xml.Tree.document [ spec ]) in
+  let plans = case_plans cq in
+  let before = List.map (Exec.run store0 ~context:doc0.Store.doc_key) plans in
+  List.fold_left
+    (fun acc u ->
+      match acc with
+      | Some _ -> acc
+      | None ->
+          let store1, doc1, deltas = apply_update spec u in
+          List.fold_left2
+            (fun acc plan rb ->
+              match acc with
+              | Some _ -> acc
+              | None ->
+                  let ra = Exec.run store1 ~context:doc1.Store.doc_key plan in
+                  interference_error subject u deltas ~before:rb ~after:ra plan)
+            None plans before)
+    None
+    (enum_updates interference_bounds spec)
+
 (* ---- one-shot pair checking (replay, shrinking) ---- *)
 
 let check_spec_pair subject spec ast =
   let store = Store.create ~backend:Store.Mem () in
   let doc = Store.load store ~name:"replay" (Xml.Tree.document [ spec ]) in
   let cq = compile_case subject ast in
-  check_one subject store ~doc_key:doc.Store.doc_key cq
+  match check_one subject store ~doc_key:doc.Store.doc_key cq with
+  | Some e -> Some e
+  | None -> check_interference subject spec cq
 
 (* ---- shrinking ----
 
@@ -894,19 +1036,21 @@ let prove ?(subject = real_subject) ?(random = 0) ?(random_bounds = ci_random_bo
   let pairs = ref 0 and sites = ref 0 in
   let cxs = ref [] and n_cxs = ref 0 in
   let seen = Hashtbl.create 8 in
+  let record spec ast e =
+    let key = (e.e_check, e.e_rule) in
+    if not (Hashtbl.mem seen key) then begin
+      Hashtbl.add seen key ();
+      incr n_cxs;
+      cxs := shrink subject spec ast e :: !cxs
+    end
+  in
   let consider spec (doc : Store.doc) cq =
     if !n_cxs < max_counterexamples then begin
       incr pairs;
       sites := !sites + List.length cq.q_sites;
       match check_one subject store ~doc_key:doc.Store.doc_key cq with
       | None -> ()
-      | Some e ->
-          let key = (e.e_check, e.e_rule) in
-          if not (Hashtbl.mem seen key) then begin
-            Hashtbl.add seen key ();
-            incr n_cxs;
-            cxs := shrink subject spec cq.q_ast e :: !cxs
-          end
+      | Some e -> record spec cq.q_ast e
     end
   in
   List.iter (fun (spec, doc) -> List.iter (consider spec doc) cqs) loaded;
@@ -925,6 +1069,48 @@ let prove ?(subject = real_subject) ?(random = 0) ?(random_bounds = ci_random_bo
       end
     done
   end;
+  (* interference sweep, always at its own committed bounds: the triple
+     domain (documents × plan forms × updates) is independent of the
+     pair sweep's [bounds] so the family's coverage does not silently
+     shrink when a caller passes a cheaper pair configuration *)
+  let n_updates = ref 0 and n_triples = ref 0 in
+  if !n_cxs < max_counterexamples then begin
+    let i_cqs = List.map (compile_case subject) (enum_queries interference_bounds) in
+    List.iter
+      (fun spec ->
+        if !n_cxs < max_counterexamples then begin
+          let store0 = Store.create ~backend:Store.Mem () in
+          let doc0 = Store.load store0 ~name:"i0" (Xml.Tree.document [ spec ]) in
+          let before =
+            List.map
+              (fun cq -> List.map (Exec.run store0 ~context:doc0.Store.doc_key) (case_plans cq))
+              i_cqs
+          in
+          List.iter
+            (fun u ->
+              if !n_cxs < max_counterexamples then begin
+                incr n_updates;
+                let store1, doc1, deltas = apply_update spec u in
+                List.iter2
+                  (fun cq rbs ->
+                    List.iter2
+                      (fun plan rb ->
+                        if !n_cxs < max_counterexamples then begin
+                          incr n_triples;
+                          let ra = Exec.run store1 ~context:doc1.Store.doc_key plan in
+                          match
+                            interference_error subject u deltas ~before:rb ~after:ra plan
+                          with
+                          | None -> ()
+                          | Some e -> record spec cq.q_ast e
+                        end)
+                      (case_plans cq) rbs)
+                  i_cqs before
+              end)
+            (enum_updates interference_bounds spec)
+        end)
+      (enum_documents interference_bounds)
+  end;
   { rp_subject = subject.sub_name;
     rp_bounds = bounds;
     rp_docs = List.length docs;
@@ -933,6 +1119,8 @@ let prove ?(subject = real_subject) ?(random = 0) ?(random_bounds = ci_random_bo
     rp_random = !n_random;
     rp_seed = (if random > 0 then Some seed else None);
     rp_sites = !sites;
+    rp_updates = !n_updates;
+    rp_triples = !n_triples;
     rp_counterexamples = List.rev !cxs;
     rp_wall = Unix.gettimeofday () -. t0 }
 
@@ -1100,14 +1288,18 @@ let report_to_json r =
       ("random_pairs", Json.Int r.rp_random);
       ("seed", match r.rp_seed with Some s -> Json.Int s | None -> Json.Null);
       ("rule_sites", Json.Int r.rp_sites);
+      ("updates", Json.Int r.rp_updates);
+      ("triples", Json.Int r.rp_triples);
       ("counterexamples", Json.Arr (List.map counterexample_to_json r.rp_counterexamples));
       ("wall_seconds", Json.Float r.rp_wall) ]
 
 let report_to_string r =
   let b = Buffer.create 256 in
   Printf.bprintf b
-    "subject %s: %d documents × %d plans = %d pairs (%d randomized), %d rule sites, %.2fs\n"
-    r.rp_subject r.rp_docs r.rp_plans r.rp_pairs r.rp_random r.rp_sites r.rp_wall;
+    "subject %s: %d documents × %d plans = %d pairs (%d randomized), %d rule sites, %d \
+     updates / %d interference triples, %.2fs\n"
+    r.rp_subject r.rp_docs r.rp_plans r.rp_pairs r.rp_random r.rp_sites r.rp_updates
+    r.rp_triples r.rp_wall;
   (match r.rp_seed with Some s -> Printf.bprintf b "random seed: %d (replay with --seed %d)\n" s s | None -> ());
   (match r.rp_counterexamples with
   | [] -> Buffer.add_string b "no counterexamples: every invariant holds on the bounded domain\n"
@@ -1123,4 +1315,3 @@ let report_to_string r =
         cxs);
   Buffer.contents b
 
-let () = ignore family_of_string

@@ -28,6 +28,18 @@
       cost-admitted rewrite whose totals were claimed exact raises the
       actual executed total.
 
+    A fourth family sweeps (document, plan, {e update}) triples at its
+    own committed {!interference_bounds}:
+
+    - {b interference}: apply each bounded store update (child insert
+      over the tag alphabet, text- and attribute-carrying inserts,
+      subtree delete, at every element position) to a fresh copy of the
+      document and re-run the plan — whenever the result changes, the
+      update's {!Mass.Store.write_delta} must intersect the plan's
+      {!Footprint}.  A violation is exactly the case where
+      footprint-based result-cache invalidation would serve a stale
+      answer.
+
     On failure the prover shrinks the (document, query) pair — dropping
     document subtrees, truncating plan steps, shrinking the tag
     alphabet — to a minimal counterexample and renders it as a
@@ -57,11 +69,22 @@ val ci_random_bounds : bounds
 val ci_random_cases : int
 val ci_seed : int
 
+val interference_bounds : bounds
+(** Committed bounds of the (document, plan, update) interference
+    sweep.  The triple domain multiplies documents × plans × updates,
+    so it is tighter than the pair sweep — single-step queries still
+    cover all 13 axes and the whole predicate menu.  {!prove} always
+    runs this family at these bounds, regardless of the pair bounds it
+    was given. *)
+
 (** {1 Verdicts} *)
 
-type family = Rule_soundness | Analysis_soundness | Cost_invariants
+type family = Rule_soundness | Analysis_soundness | Cost_invariants | Interference
 
 val family_to_string : family -> string
+
+val family_of_string : string -> family option
+(** Inverse of {!family_to_string}; [None] for unknown slugs. *)
 
 type counterexample = {
   cx_family : family;
@@ -84,6 +107,8 @@ type report = {
   rp_random : int;  (** randomized pairs among [rp_pairs] *)
   rp_seed : int option;  (** seed of the randomized layer, for replay *)
   rp_sites : int;  (** rule application sites exercised *)
+  rp_updates : int;  (** store updates applied by the interference sweep *)
+  rp_triples : int;  (** (document, plan form, update) interference triples checked *)
   rp_counterexamples : counterexample list;
   rp_wall : float;  (** seconds *)
 }
@@ -91,10 +116,10 @@ type report = {
 (** {1 Subjects and mutants} *)
 
 type subject
-(** What is being verified: a rule library, an analyzer and a statistics
-    source.  {!real_subject} wires in the production implementations;
-    mutant subjects replace one piece with a deliberately unsound
-    variant. *)
+(** What is being verified: a rule library, an analyzer, a statistics
+    source and a footprint analysis.  {!real_subject} wires in the
+    production implementations; mutant subjects replace one piece with
+    a deliberately unsound variant. *)
 
 val real_subject : subject
 val subject_name : subject -> string
@@ -139,11 +164,12 @@ val prove :
   report
 (** Exhaustively check every (document, plan) pair within [bounds],
     plus [random] randomized pairs drawn from [random_bounds] (default
-    {!ci_random_bounds}) with the given [seed] (default {!ci_seed}).
-    Stops collecting after [max_counterexamples] (default 5) distinct
-    failures; each collected counterexample is shrunk to a local
-    minimum.  The prover builds its own in-memory store; it never
-    touches caller state. *)
+    {!ci_random_bounds}) with the given [seed] (default {!ci_seed}),
+    then sweep the interference family over every (document, plan,
+    update) triple within {!interference_bounds}.  Stops collecting
+    after [max_counterexamples] (default 5) distinct failures; each
+    collected counterexample is shrunk to a local minimum.  The prover
+    builds its own in-memory store; it never touches caller state. *)
 
 val check_pair :
   ?subject:subject -> doc:string -> query:string -> unit -> counterexample list

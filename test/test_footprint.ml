@@ -1,0 +1,218 @@
+(* Tests for the static read-footprint analysis: the atoms of
+   representative plans, ⊤ escalation (variables, unknown functions,
+   atom-cap overflow), lattice operations, and — the property the
+   result cache stakes its correctness on — intersection against the
+   write deltas real store mutations record. *)
+
+module Store = Mass.Store
+module F = Vamana.Footprint
+
+let compile q =
+  match Vamana.Compile.compile_query q with
+  | Ok plan -> plan
+  | Error e -> Alcotest.failf "compile %s: %s" q e
+
+let fp q = F.of_plan (compile q)
+let atoms q = F.atoms (fp q)
+
+(* ---- atoms of representative plans ---- *)
+
+let test_step_tags () =
+  Alcotest.(check (list string)) "chain of name tests" [ "tag:a"; "tag:b" ]
+    (atoms "/child::a/descendant::b");
+  Alcotest.(check (list string)) "attribute axis prefixes @" [ "tag:@id"; "tag:b" ]
+    (atoms "/descendant::b[attribute::id='x']");
+  Alcotest.(check (list string)) "kind tests" [ "tag:#text" ] (atoms "/descendant::text()");
+  Alcotest.(check (list string)) "wildcard reads the element class"
+    [ "kind:element"; "tag:a" ] (atoms "/child::a/parent::*")
+
+let test_root_is_empty () =
+  let f = fp "/" in
+  Alcotest.(check bool) "bare document query reads nothing" true (F.is_empty f);
+  Alcotest.(check string) "renders as empty" "∅" (F.to_string f);
+  Alcotest.(check (list string)) "no atoms" [] (F.atoms f)
+
+let test_string_value_cone () =
+  (* comparing an element-emitting operand reads its whole string-value
+     cone: a text write anywhere below any [b] must interfere *)
+  Alcotest.(check (list string)) "element comparison adds a cone"
+    [ "cone:b"; "tag:a"; "tag:b" ]
+    (atoms "/child::a[child::b='x']")
+
+let test_position_predicate_is_free () =
+  (* [2] is covered by the owning step's test atom: position depends
+     only on the candidate set the step already reads *)
+  Alcotest.(check (list string)) "positional predicate adds nothing" [ "tag:a" ]
+    (atoms "/child::a[2]")
+
+let test_pure_function_stays_bounded () =
+  Alcotest.(check (list string)) "count() is pure" [ "cone:b"; "tag:a"; "tag:b" ]
+    (atoms "/child::a[count(child::b)=2]")
+
+(* ---- ⊤ escalation ---- *)
+
+let test_atom_cap_overflow_is_top () =
+  (* a union touching more than the atom cap collapses to ⊤ — the
+     analysis errs upward, never downward *)
+  let store = Store.create () in
+  let doc = Store.load_string store ~name:"t.xml" "<a/>" in
+  let q =
+    String.concat "|" (List.init 65 (fun i -> Printf.sprintf "/child::t%d" i))
+  in
+  match Vamana.Engine.prepare store ~scope:(Some doc.Store.doc_key) q with
+  | Error e -> Alcotest.fail e
+  | Ok p ->
+      Alcotest.(check bool) "65 tag atoms overflow to ⊤" true
+        (F.is_top p.Vamana.Engine.prep_footprint);
+      Alcotest.(check string) "renders as top" "⊤"
+        (F.to_string p.Vamana.Engine.prep_footprint);
+      Alcotest.(check (list string)) "atoms" [ "top" ]
+        (F.atoms p.Vamana.Engine.prep_footprint)
+
+(* ---- lattice operations ---- *)
+
+let test_union () =
+  let a = fp "/child::a" and b = fp "/descendant::b" in
+  Alcotest.(check (list string)) "union collects both sides" [ "tag:a"; "tag:b" ]
+    (F.atoms (F.union a b));
+  Alcotest.(check bool) "union with top is top" true (F.is_top (F.union a F.top));
+  Alcotest.(check bool) "union with empty is identity" false
+    (F.is_top (F.union a F.empty));
+  Alcotest.(check (list string)) "empty is neutral" [ "tag:a" ]
+    (F.atoms (F.union F.empty a))
+
+let test_of_plans () =
+  Alcotest.(check (list string)) "of_plans unions branches" [ "tag:a"; "tag:b" ]
+    (F.atoms (F.of_plans [ compile "/child::a"; compile "/child::b" ]))
+
+(* ---- intersection against real write deltas ---- *)
+
+let deltas_since store e0 =
+  match Store.write_deltas store ~since:e0 with
+  | Some ds -> ds
+  | None -> Alcotest.fail "delta ring lost coverage on a fresh store"
+
+let intersects_any f ds = List.exists (F.intersects f) ds
+
+let test_intersects_element_insert () =
+  let store = Store.create () in
+  let doc = Store.load_string store ~name:"t.xml" "<a><b>x</b></a>" in
+  let root =
+    match Store.root_element_key doc store with
+    | Some k -> k
+    | None -> Alcotest.fail "no root"
+  in
+  let e0 = Store.epoch store in
+  ignore (Store.insert_element store ~parent:root "b" [] None);
+  let ds = deltas_since store e0 in
+  Alcotest.(check bool) "query reading b interferes" true
+    (intersects_any (fp "/descendant::b") ds);
+  Alcotest.(check bool) "wildcard reads every element" true
+    (intersects_any (fp "/child::a/child::*") ds);
+  Alcotest.(check bool) "query reading only c is spared" false
+    (intersects_any (fp "/descendant::c") ds);
+  Alcotest.(check bool) "text-only query is spared" false
+    (intersects_any (fp "/descendant::text()") ds);
+  Alcotest.(check bool) "top intersects everything" true (intersects_any F.top ds);
+  Alcotest.(check bool) "empty intersects nothing" false (intersects_any F.empty ds)
+
+let test_intersects_text_insert_via_cone () =
+  let store = Store.create () in
+  let doc = Store.load_string store ~name:"t.xml" "<a><b>x</b></a>" in
+  let b =
+    match Vamana.Engine.query_doc store doc "/child::a/child::b" with
+    | Ok r -> List.hd r.Vamana.Engine.keys
+    | Error e -> Alcotest.fail e
+  in
+  let e0 = Store.epoch store in
+  ignore (Store.insert_element store ~parent:b "c" [] (Some "y"));
+  let ds = deltas_since store e0 in
+  (* the new text changes b's (and a's) string-value: any footprint with
+     a cone over an ancestor tag must interfere *)
+  Alcotest.(check bool) "cone over b sees the text write" true
+    (intersects_any (fp "/child::a[child::b='x']") ds);
+  Alcotest.(check bool) "tag-only query on d is spared" false
+    (intersects_any (fp "/descendant::d") ds)
+
+let test_intersects_attribute_and_value () =
+  let store = Store.create () in
+  let doc = Store.load_string store ~name:"t.xml" "<a><b id=\"x\"/></a>" in
+  let root =
+    match Store.root_element_key doc store with
+    | Some k -> k
+    | None -> Alcotest.fail "no root"
+  in
+  let e0 = Store.epoch store in
+  ignore (Store.insert_element store ~parent:root "b" [ ("id", "x") ] None);
+  let ds = deltas_since store e0 in
+  Alcotest.(check bool) "attribute test sees the new @id" true
+    (intersects_any (fp "/descendant::b[attribute::id='x']") ds);
+  (* the optimizer may turn the predicate into a value-index probe whose
+     footprint is the value atom — the insert's value delta must cover it *)
+  (match Vamana.Engine.prepare store ~scope:(Some doc.Store.doc_key)
+           "/descendant::b[attribute::id='x']"
+   with
+  | Error e -> Alcotest.fail e
+  | Ok p ->
+      Alcotest.(check bool) "optimized (value-index) footprint also interferes" true
+        (intersects_any p.Vamana.Engine.prep_footprint ds));
+  Alcotest.(check bool) "different attribute name is spared" false
+    (intersects_any (fp "/descendant::c[attribute::name='x']") ds)
+
+let test_intersects_delete () =
+  let store = Store.create () in
+  let doc = Store.load_string store ~name:"t.xml" "<a><b>x</b><c/></a>" in
+  let b =
+    match Vamana.Engine.query_doc store doc "/child::a/child::b" with
+    | Ok r -> List.hd r.Vamana.Engine.keys
+    | Error e -> Alcotest.fail e
+  in
+  let e0 = Store.epoch store in
+  ignore (Store.delete_subtree store b);
+  let ds = deltas_since store e0 in
+  Alcotest.(check bool) "deleting b interferes with //b" true
+    (intersects_any (fp "/descendant::b") ds);
+  Alcotest.(check bool) "deleted text interferes with text readers" true
+    (intersects_any (fp "/descendant::text()") ds);
+  Alcotest.(check bool) "//c is spared" false (intersects_any (fp "/descendant::c") ds)
+
+(* ---- JSON rendering ---- *)
+
+let test_to_json () =
+  let module J = Vamana.Profile.Json in
+  (match F.to_json (fp "/child::a[child::b='x']") with
+  | J.Obj fields ->
+      Alcotest.(check (option bool)) "top flag" (Some false)
+        (match List.assoc_opt "top" fields with Some (J.Bool b) -> Some b | _ -> None);
+      let strs k =
+        match List.assoc_opt k fields with
+        | Some (J.Arr l) ->
+            Some (List.filter_map (function J.Str s -> Some s | _ -> None) l)
+        | _ -> None
+      in
+      Alcotest.(check (option (list string))) "tags" (Some [ "a"; "b" ]) (strs "tags");
+      Alcotest.(check (option (list string))) "cones" (Some [ "b" ]) (strs "cones")
+  | _ -> Alcotest.fail "expected an object");
+  match F.to_json F.top with
+  | J.Obj fields ->
+      Alcotest.(check bool) "top json" true
+        (List.assoc_opt "top" fields = Some (J.Bool true))
+  | _ -> Alcotest.fail "expected an object"
+
+let suite =
+  ( "footprint",
+    [ Alcotest.test_case "step tags" `Quick test_step_tags;
+      Alcotest.test_case "bare / reads nothing" `Quick test_root_is_empty;
+      Alcotest.test_case "string-value cone" `Quick test_string_value_cone;
+      Alcotest.test_case "positional predicate free" `Quick test_position_predicate_is_free;
+      Alcotest.test_case "pure functions bounded" `Quick test_pure_function_stays_bounded;
+      Alcotest.test_case "atom cap overflows to top" `Quick test_atom_cap_overflow_is_top;
+      Alcotest.test_case "union" `Quick test_union;
+      Alcotest.test_case "of_plans" `Quick test_of_plans;
+      Alcotest.test_case "intersects: element insert" `Quick test_intersects_element_insert;
+      Alcotest.test_case "intersects: text insert via cone" `Quick
+        test_intersects_text_insert_via_cone;
+      Alcotest.test_case "intersects: attribute and value" `Quick
+        test_intersects_attribute_and_value;
+      Alcotest.test_case "intersects: delete" `Quick test_intersects_delete;
+      Alcotest.test_case "json rendering" `Quick test_to_json ] )

@@ -240,6 +240,130 @@ let test_result_cache_per_document_invalidation () =
       Alcotest.(check int) "fresh answer" 3 (List.length o.Service.result.Vamana.Engine.keys)
   | Error e -> Alcotest.fail e
 
+(* ---- footprint invalidation (the default protocol) ---- *)
+
+let result_cache_of service doc q =
+  match Service.query_doc service doc q with
+  | Ok o -> o.Service.result_cache
+  | Error e -> Alcotest.failf "query %s failed: %s" q e
+
+let test_footprint_spares_non_interfering_write () =
+  let store, doc, service = setup () in
+  Alcotest.(check bool) "footprint is the default"
+    true
+    (Service.invalidation service = `Footprint);
+  ignore (keys_of service doc "//person");
+  let people =
+    match Vamana.Engine.query_doc store doc "/site/people" with
+    | Ok r -> List.hd r.Vamana.Engine.keys
+    | Error e -> Alcotest.fail e
+  in
+  (* a tag the query's footprint never reads: provably non-interfering *)
+  ignore (Store.insert_element store ~parent:people "pad" [] None);
+  Alcotest.(check bool) "entry survives a disjoint write" true
+    (result_cache_of service doc "//person" = `Hit);
+  Alcotest.(check int) "spared counted" 1 (counter service "result_cache_spared");
+  Alcotest.(check int) "no footprint eviction" 0
+    (counter service "cache_invalidations_footprint");
+  (* the interference check refreshed the token: the next lookup
+     fast-paths without consulting deltas again *)
+  Alcotest.(check bool) "token refreshed" true
+    (result_cache_of service doc "//person" = `Hit);
+  Alcotest.(check int) "no second interference check" 1
+    (counter service "result_cache_spared");
+  (* now a write the footprint does read *)
+  ignore (Store.insert_element store ~parent:people "person" [ ("id", "p3") ] None);
+  Alcotest.(check bool) "interfering write evicts" true
+    (result_cache_of service doc "//person" = `Stale);
+  Alcotest.(check int) "eviction attributed to footprint" 1
+    (counter service "cache_invalidations_footprint")
+
+let test_epoch_mode_evicts_on_any_write () =
+  let store = Store.create () in
+  let doc = Store.load_string store ~name:"t.xml" base_doc in
+  let service = Service.create ~invalidation:`Epoch store in
+  Alcotest.(check bool) "mode recorded" true (Service.invalidation service = `Epoch);
+  ignore (keys_of service doc "//person");
+  let people =
+    match Vamana.Engine.query_doc store doc "/site/people" with
+    | Ok r -> List.hd r.Vamana.Engine.keys
+    | Error e -> Alcotest.fail e
+  in
+  ignore (Store.insert_element store ~parent:people "pad" [] None);
+  Alcotest.(check bool) "disjoint write still evicts under epoch mode" true
+    (result_cache_of service doc "//person" = `Stale);
+  Alcotest.(check int) "eviction attributed to epoch" 1
+    (counter service "cache_invalidations_epoch");
+  Alcotest.(check int) "nothing spared" 0 (counter service "result_cache_spared")
+
+(* a query whose footprint overflows the atom cap to ⊤ (65 distinct
+   union branches) — the analysis can promise nothing about it *)
+let top_query =
+  String.concat "|" (List.init 65 (fun i -> Printf.sprintf "/child::t%d" i))
+
+let test_unscoped_entries_across_documents () =
+  (* two documents; unscoped queries (context = the store-wide document
+     node) are keyed to the global epoch, so a write to ANY document
+     triggers the interference check — and a ⊤ footprint must evict *)
+  let store = Store.create () in
+  let da = Store.load_string store ~name:"a.xml" "<r><x/><x/></r>" in
+  let db = Store.load_string store ~name:"b.xml" "<r><y/></r>" in
+  let service = Service.create store in
+  let unscoped q =
+    match Service.query service ~context:Flex.document q with
+    | Ok o -> o
+    | Error e -> Alcotest.failf "query %s failed: %s" q e
+  in
+  ignore (unscoped top_query);
+  ignore (unscoped "/descendant::y");
+  (* scoped doc-B entry rides along *)
+  ignore (keys_of service db "//y");
+  let root d =
+    match Store.root_element_key d store with
+    | Some k -> k
+    | None -> Alcotest.fail "document has no root element"
+  in
+  (* write to doc A only *)
+  ignore (Store.insert_element store ~parent:(root da) "x" [] None);
+  (* doc B's scoped entry is untouched: its own document never mutated *)
+  Alcotest.(check bool) "doc-B scoped entry survives a write to doc A" true
+    (result_cache_of service db "//y" = `Hit);
+  (* the unscoped ⊤ entry cannot be proven safe: evicted *)
+  Alcotest.(check bool) "unscoped ⊤ entry evicted" true
+    ((unscoped top_query).Service.result_cache = `Stale);
+  Alcotest.(check int) "eviction attributed to ⊤" 1
+    (counter service "cache_invalidations_top");
+  (* the unscoped bounded entry reads only [y]: the doc-A write to [x]
+     is provably disjoint even across documents *)
+  Alcotest.(check bool) "unscoped bounded entry spared" true
+    ((unscoped "/descendant::y").Service.result_cache = `Hit);
+  Alcotest.(check int) "spared counted" 1 (counter service "result_cache_spared");
+  (* but a write to doc B's [y] evicts it *)
+  ignore (Store.insert_element store ~parent:(root db) "y" [] None);
+  let o = unscoped "/descendant::y" in
+  Alcotest.(check bool) "interfering write evicts the unscoped entry" true
+    (o.Service.result_cache = `Stale);
+  Alcotest.(check int) "fresh unscoped answer" 2
+    (List.length o.Service.result.Vamana.Engine.keys)
+
+let test_openmetrics_invalidation_family () =
+  let store, doc, service = setup () in
+  ignore (keys_of service doc "//person");
+  let people =
+    match Vamana.Engine.query_doc store doc "/site/people" with
+    | Ok r -> List.hd r.Vamana.Engine.keys
+    | Error e -> Alcotest.fail e
+  in
+  ignore (Store.insert_element store ~parent:people "person" [] None);
+  ignore (keys_of service doc "//person");
+  let om = Metrics.to_openmetrics (Service.metrics service) in
+  Alcotest.(check bool) "labeled eviction family" true
+    (contains ~needle:"vamana_cache_invalidations_total{reason=\"footprint\"} 1" om);
+  Alcotest.(check bool) "single TYPE declaration for the family" true
+    (contains ~needle:"# TYPE vamana_cache_invalidations counter" om);
+  Alcotest.(check bool) "raw counter name not exported" false
+    (contains ~needle:"vamana_cache_invalidations_footprint_total" om)
+
 let test_slow_log_reuses_sampled_profile () =
   (* a slow query whose run was already sampled by the health profiler
      must not be re-executed just to attach an operator tree *)
@@ -411,6 +535,14 @@ let suite =
       Alcotest.test_case "contexts do not share results" `Quick test_result_cache_per_context;
       Alcotest.test_case "per-document invalidation" `Quick
         test_result_cache_per_document_invalidation;
+      Alcotest.test_case "footprint spares non-interfering write" `Quick
+        test_footprint_spares_non_interfering_write;
+      Alcotest.test_case "epoch mode evicts on any write" `Quick
+        test_epoch_mode_evicts_on_any_write;
+      Alcotest.test_case "unscoped entries across documents" `Quick
+        test_unscoped_entries_across_documents;
+      Alcotest.test_case "openmetrics invalidation family" `Quick
+        test_openmetrics_invalidation_family;
       Alcotest.test_case "slow log reuses sampled profile" `Quick
         test_slow_log_reuses_sampled_profile;
       Alcotest.test_case "flush" `Quick test_flush;

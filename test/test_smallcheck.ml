@@ -36,7 +36,40 @@ let test_real_library_sound () =
     (List.map (fun cx -> cx.SC.cx_detail) report.SC.rp_counterexamples);
   Alcotest.(check bool) "at least 10k pairs" true (report.SC.rp_pairs >= 10_000);
   Alcotest.(check int) "randomized layer ran" 50 report.SC.rp_random;
-  Alcotest.(check bool) "rule sites exercised" true (report.SC.rp_sites > 0)
+  Alcotest.(check bool) "rule sites exercised" true (report.SC.rp_sites > 0);
+  (* the interference family ran at its own committed bounds *)
+  Alcotest.(check bool) "at least 10k interference triples" true
+    (report.SC.rp_triples >= 10_000);
+  Alcotest.(check bool) "updates applied" true (report.SC.rp_updates > 0)
+
+(* ---- the interference family ---- *)
+
+let test_interference_family_round_trips () =
+  Alcotest.(check (option string)) "family slug round-trips" (Some "interference")
+    (Option.map SC.family_to_string (SC.family_of_string "interference"));
+  Alcotest.(check bool) "unknown slug rejected" true (SC.family_of_string "nope" = None);
+  (* committed interference bounds: single-step queries, tiny documents *)
+  Alcotest.(check int) "single-step queries" 1 SC.interference_bounds.SC.steps;
+  Alcotest.(check bool) "tighter than the pair sweep" true
+    (SC.interference_bounds.SC.max_nodes <= SC.default_bounds.SC.max_nodes)
+
+let test_lying_footprint_attribution () =
+  (* the seeded footprint mutant claims every plan reads nothing; the
+     interference sweep must catch it and name the footprint check —
+     and the real subject must pass the very same shrunk pair *)
+  let m =
+    match SC.find_mutant "lying-footprint" with
+    | Some m -> m
+    | None -> Alcotest.fail "lying-footprint mutant missing from the catalogue"
+  in
+  Alcotest.(check (option string)) "expected check" (Some "footprint-interference")
+    (SC.subject_expected_check m);
+  let report = SC.prove ~subject:m ~random:0 ~max_counterexamples:1 small in
+  match report.SC.rp_counterexamples with
+  | [ cx ] ->
+      Alcotest.(check bool) "attributed to the interference family" true
+        (cx.SC.cx_family = SC.Interference)
+  | l -> Alcotest.failf "expected exactly 1 counterexample, got %d" (List.length l)
 
 (* ---- the prover proves itself: every mutant caught and shrunk ---- *)
 
@@ -80,7 +113,7 @@ let mutant_cases =
     SC.mutants
 
 let test_mutant_catalogue_complete () =
-  Alcotest.(check int) "seven seeded mutants" 7 (List.length SC.mutants);
+  Alcotest.(check int) "eight seeded mutants" 8 (List.length SC.mutants);
   List.iter
     (fun m ->
       Alcotest.(check bool)
@@ -178,6 +211,10 @@ let suite =
   ( "smallcheck",
     [ Alcotest.test_case "enumeration coverage" `Quick test_enumeration_coverage;
       Alcotest.test_case "real library sound on bounded domain" `Quick test_real_library_sound;
+      Alcotest.test_case "interference family round trips" `Quick
+        test_interference_family_round_trips;
+      Alcotest.test_case "lying footprint attribution" `Quick
+        test_lying_footprint_attribution;
       Alcotest.test_case "mutant catalogue complete" `Quick test_mutant_catalogue_complete ]
     @ mutant_cases
     @ [ Alcotest.test_case "caller state untouched" `Quick test_caller_state_untouched;
